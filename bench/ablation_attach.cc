@@ -1,0 +1,40 @@
+// Ablation: physical deployment choices the paper leaves unspecified —
+// (a) the ICN2 slot assignment of the concentrator/dispatchers and
+// (b) the C/D tap buffer depth (deep concentrate buffers vs a plain
+// single-flit wormhole switch).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+int main() {
+  using namespace coc;
+  bench::PrintHeader("Ablation: C/D attachment",
+                     "ICN2 slot assignment and tap buffer depth (simulation)");
+
+  const auto sys = MakeSystem1120(MessageFormat{32, 256});
+  CocSystemSim interleaved(sys, Icn2SlotPolicy::kInterleaved);
+  CocSystemSim cluster_major(sys, Icn2SlotPolicy::kClusterMajor);
+
+  Table t({"lambda_g", "interleaved", "cluster_major", "interleaved_b1",
+           "cluster_major_b1"});
+  for (double rate : LinearRates(3e-4, 6)) {
+    SimConfig deep = DefaultSimBudget(rate);
+    SimConfig unit = deep;
+    unit.condis_buffer_flits = 1;
+    t.AddRow({FormatSci(rate),
+              FormatDouble(interleaved.Run(deep).latency.Mean(), 1),
+              FormatDouble(cluster_major.Run(deep).latency.Mean(), 1),
+              FormatDouble(interleaved.Run(unit).latency.Mean(), 1),
+              FormatDouble(cluster_major.Run(unit).latency.Mean(), 1)});
+  }
+  std::printf("\nN=1120 M=32 Lm=256, simulated mean latency (us);\n"
+              "*_b1 columns use single-flit C/D tap buffers:\n%s",
+              t.ToString().c_str());
+  std::printf(
+      "\nreading guide: cluster-major packs the four 128-node clusters'\n"
+      "C/Ds under one ICN2 leaf (cheap leaf-local big-pair traffic, hotter\n"
+      "leaf uplinks); single-flit taps couple ECN1 to ICN2 backpressure.\n");
+  MaybeWriteCsv("ablation_attach", t.ToCsv());
+  return 0;
+}

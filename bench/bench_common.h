@@ -1,0 +1,65 @@
+// Shared scaffolding for the figure/table benches.
+//
+// Every bench prints the paper artifact it regenerates (series table +
+// ASCII chart), honours COC_FULL=1 for the paper-faithful simulation
+// protocol (10k warm-up / 100k measured / 10k drain) and COC_CSV_DIR for
+// machine-readable output.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "harness/sweep.h"
+#include "system/presets.h"
+
+namespace coc::bench {
+
+/// Worker threads for simulation sweeps: the machine's parallelism, capped.
+inline int SweepThreads() {
+  return std::clamp<int>(static_cast<int>(std::thread::hardware_concurrency()),
+                         1, 8);
+}
+
+inline void PrintHeader(const std::string& name, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", name.c_str(), what.c_str());
+  const char* full = std::getenv("COC_FULL");
+  if (full != nullptr && full[0] == '1') {
+    std::printf("simulation protocol: paper-faithful (10k/100k/10k messages)\n");
+  } else {
+    std::printf(
+        "simulation protocol: reduced (2k/20k/2k messages); set COC_FULL=1 "
+        "for the paper's 10k/100k/10k\n");
+  }
+  std::printf("==============================================================\n");
+}
+
+/// Runs one latency-vs-rate figure (the Figs. 3-6 pattern): the given system
+/// at both paper flit sizes, analysis + simulation series.
+inline void RunLatencyFigure(const std::string& name,
+                             SystemConfig (*make)(MessageFormat), int m_flits,
+                             double max_rate) {
+  for (double dm : {256.0, 512.0}) {
+    const auto sys = make(MessageFormat{m_flits, dm});
+    SweepSpec spec;
+    spec.rates = LinearRates(max_rate, 10);
+    spec.sim_base = DefaultSimBudget();
+    spec.sim_abort_latency = 3000;  // sim is saturated well before this
+    const auto pts = RunSweepParallel(sys, spec, SweepThreads());
+    const std::string label =
+        name + "  N=" + std::to_string(sys.TotalNodes()) +
+        " m=" + std::to_string(sys.m()) + " M=" + std::to_string(m_flits) +
+        " Lm=" + std::to_string(static_cast<int>(dm)) +
+        "  (mean message latency, us)";
+    std::printf("\n%s", FormatSweepTable(label, pts).c_str());
+    std::printf("%s", FormatSweepPlot(label, pts).c_str());
+    const auto path = MaybeWriteCsv(
+        name + "_dm" + std::to_string(static_cast<int>(dm)),
+        FormatSweepCsv(pts));
+    if (!path.empty()) std::printf("csv: %s\n", path.c_str());
+  }
+}
+
+}  // namespace coc::bench

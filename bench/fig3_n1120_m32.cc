@@ -1,0 +1,12 @@
+// Regenerates paper Fig. 3: mean message latency vs. traffic generation rate
+// for the N=1120 (C=32, m=8) organization with M=32-flit messages, flit
+// sizes 256 and 512 bytes, analysis and simulation series.
+#include "bench_common.h"
+
+int main() {
+  coc::bench::PrintHeader("Fig. 3",
+                          "latency vs generation rate, N=1120, M=32");
+  coc::bench::RunLatencyFigure("fig3", coc::MakeSystem1120, /*m_flits=*/32,
+                               /*max_rate=*/5e-4);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Regenerates paper Fig. 4: latency vs. rate, N=1120 organization, M=64.
+#include "bench_common.h"
+
+int main() {
+  coc::bench::PrintHeader("Fig. 4",
+                          "latency vs generation rate, N=1120, M=64");
+  coc::bench::RunLatencyFigure("fig4", coc::MakeSystem1120, /*m_flits=*/64,
+                               /*max_rate=*/2.5e-4);
+  return 0;
+}

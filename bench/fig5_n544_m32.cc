@@ -1,0 +1,10 @@
+// Regenerates paper Fig. 5: latency vs. rate, N=544 (C=16, m=4), M=32.
+#include "bench_common.h"
+
+int main() {
+  coc::bench::PrintHeader("Fig. 5",
+                          "latency vs generation rate, N=544, M=32");
+  coc::bench::RunLatencyFigure("fig5", coc::MakeSystem544, /*m_flits=*/32,
+                               /*max_rate=*/1e-3);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Regenerates paper Fig. 6: latency vs. rate, N=544 organization, M=64.
+#include "bench_common.h"
+
+int main() {
+  coc::bench::PrintHeader("Fig. 6",
+                          "latency vs generation rate, N=544, M=64");
+  coc::bench::RunLatencyFigure("fig6", coc::MakeSystem544, /*m_flits=*/64,
+                               /*max_rate=*/5e-4);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// google-benchmark microbenchmarks of the analytical model itself: a design
+// tool is only useful if a full-system evaluation is cheap, so we track the
+// cost of one Evaluate() on both Table 1 organizations and the cost of the
+// saturation search.
+#include <benchmark/benchmark.h>
+
+#include "model/latency_model.h"
+#include "system/presets.h"
+
+namespace coc {
+namespace {
+
+void BM_Evaluate1120(benchmark::State& state) {
+  const auto sys = MakeSystem1120(MessageFormat{32, 256});
+  LatencyModel model(sys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Evaluate(3e-4).mean_latency);
+  }
+}
+BENCHMARK(BM_Evaluate1120);
+
+void BM_Evaluate544(benchmark::State& state) {
+  const auto sys = MakeSystem544(MessageFormat{64, 512});
+  LatencyModel model(sys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Evaluate(2e-4).mean_latency);
+  }
+}
+BENCHMARK(BM_Evaluate544);
+
+void BM_SaturationSearch1120(benchmark::State& state) {
+  const auto sys = MakeSystem1120(MessageFormat{32, 256});
+  LatencyModel model(sys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.SaturationRate(2e-3));
+  }
+}
+BENCHMARK(BM_SaturationSearch1120);
+
+void BM_ModelConstruction(benchmark::State& state) {
+  const auto sys = MakeSystem1120(MessageFormat{32, 256});
+  for (auto _ : state) {
+    LatencyModel model(sys);
+    benchmark::DoNotOptimize(&model);
+  }
+}
+BENCHMARK(BM_ModelConstruction);
+
+}  // namespace
+}  // namespace coc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// google-benchmark microbenchmarks of the simulation substrate: routing
+// queries, per-message path construction, and end-to-end simulated messages
+// per second on a small system (the quantity that bounds every validation
+// sweep's wall time).
+#include <benchmark/benchmark.h>
+
+#include "sim/coc_system_sim.h"
+#include "system/presets.h"
+#include "topology/m_port_n_tree.h"
+
+namespace coc {
+namespace {
+
+void BM_RouteLookup(benchmark::State& state) {
+  const MPortNTree tree(8, 3);
+  std::int64_t a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Route(a, tree.num_nodes() - 1 - a));
+    a = (a + 17) % tree.num_nodes();
+  }
+}
+BENCHMARK(BM_RouteLookup);
+
+void BM_BuildInterPath(benchmark::State& state) {
+  const auto sys = MakeSystem1120(MessageFormat{32, 256});
+  const CocSystemSim sim(sys);
+  std::int64_t s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.BuildPath(s, sys.TotalNodes() - 1 - s));
+    s = (s + 131) % (sys.TotalNodes() / 2);
+  }
+}
+BENCHMARK(BM_BuildInterPath);
+
+void BM_SimulateSmallSystem(benchmark::State& state) {
+  const auto sys = MakeSmallSystem(MessageFormat{16, 64});
+  const CocSystemSim sim(sys);
+  SimConfig cfg;
+  cfg.lambda_g = 2e-4;
+  cfg.warmup_messages = 200;
+  cfg.measured_messages = 2000;
+  cfg.drain_messages = 200;
+  std::int64_t messages = 0;
+  for (auto _ : state) {
+    cfg.seed++;
+    const auto r = sim.Run(cfg);
+    messages += r.delivered;
+    benchmark::DoNotOptimize(r.latency.Mean());
+  }
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateSmallSystem);
+
+}  // namespace
+}  // namespace coc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Regenerates paper Table 1 (the validation system organizations) together
+// with the derived quantities the paper states in §2: node counts per
+// cluster, switch counts, and ICN2 depth.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "topology/m_port_n_tree.h"
+
+namespace {
+
+void PrintOrganization(const char* name, const coc::SystemConfig& sys) {
+  using namespace coc;
+  std::printf("\n%s: N=%lld, C=%d, m=%d, ICN2 depth n_c=%d (exact fit: %s)\n",
+              name, static_cast<long long>(sys.TotalNodes()),
+              sys.num_clusters(), sys.m(), sys.icn2_depth(),
+              sys.icn2_exact_fit() ? "yes" : "no");
+  Table t({"clusters", "n_i", "N_i", "switches/tree", "U^(i)"});
+  int run_start = 0;
+  for (int i = 0; i <= sys.num_clusters(); ++i) {
+    const bool flush =
+        i == sys.num_clusters() ||
+        (i > 0 && sys.cluster(i).n != sys.cluster(run_start).n);
+    if (flush) {
+      const int n = sys.cluster(run_start).n;
+      const MPortNTree tree(sys.m(), n);
+      t.AddRow({"i in [" + std::to_string(run_start) + "," +
+                    std::to_string(i - 1) + "]",
+                std::to_string(n),
+                std::to_string(sys.NodesInCluster(run_start)),
+                std::to_string(tree.num_switches()),
+                FormatDouble(sys.OutgoingProbability(run_start), 4)});
+      run_start = i;
+    }
+  }
+  std::printf("%s", t.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  coc::bench::PrintHeader("Table 1", "system organizations for validation");
+  PrintOrganization("Organization 1",
+                    coc::MakeSystem1120(coc::MessageFormat{32, 256}));
+  PrintOrganization("Organization 2",
+                    coc::MakeSystem544(coc::MessageFormat{32, 256}));
+  return 0;
+}

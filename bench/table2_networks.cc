@@ -1,0 +1,33 @@
+// Regenerates paper Table 2 (network characteristics) plus the per-flit
+// service times (Eqs. 11-12) they imply for both paper flit sizes — the
+// constants every other experiment builds on.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+int main() {
+  using namespace coc;
+  bench::PrintHeader("Table 2", "network characteristics for validation");
+
+  Table t({"network", "bandwidth", "alpha_n", "alpha_s", "beta=1/BW"});
+  const auto net1 = Net1();
+  const auto net2 = Net2();
+  t.AddRow({"Net.1 (ICN1, ICN2)", FormatDouble(net1.bandwidth),
+            FormatDouble(net1.network_latency), FormatDouble(net1.switch_latency),
+            FormatDouble(net1.beta(), 6)});
+  t.AddRow({"Net.2 (ECN1)", FormatDouble(net2.bandwidth),
+            FormatDouble(net2.network_latency), FormatDouble(net2.switch_latency),
+            FormatDouble(net2.beta(), 6)});
+  std::printf("\n%s", t.ToString().c_str());
+
+  Table s({"network", "d_m", "t_cn (Eq.11)", "t_cs (Eq.12)"});
+  for (double dm : {256.0, 512.0}) {
+    s.AddRow({"Net.1", FormatDouble(dm), FormatDouble(net1.TCn(dm), 4),
+              FormatDouble(net1.TCs(dm), 4)});
+    s.AddRow({"Net.2", FormatDouble(dm), FormatDouble(net2.TCn(dm), 4),
+              FormatDouble(net2.TCs(dm), 4)});
+  }
+  std::printf("\nDerived per-flit service times (us):\n%s", s.ToString().c_str());
+  return 0;
+}

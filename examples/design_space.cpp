@@ -1,0 +1,92 @@
+// Design-space exploration — the use case the paper motivates in §4: "a
+// practical evaluation tool that can help system designers explore the
+// design space and examine various design parameters".
+//
+// Starting from the paper's N=544 organization, this example sweeps three
+// design parameters with the (cheap) analytical model and reports the
+// saturation throughput of each candidate: ICN2 bandwidth, ECN1 bandwidth,
+// and message length. It then verifies the headline finding (ICN2 is the
+// lever that matters) with targeted simulations.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "model/latency_model.h"
+#include "sim/coc_system_sim.h"
+#include "system/presets.h"
+
+namespace {
+
+coc::SystemConfig Customize(const coc::SystemConfig& base, double icn2_bw_mul,
+                            double ecn1_bw_mul, int m_flits) {
+  std::vector<coc::ClusterConfig> clusters;
+  for (int i = 0; i < base.num_clusters(); ++i) {
+    coc::ClusterConfig c = base.cluster(i);
+    c.ecn1.bandwidth *= ecn1_bw_mul;
+    clusters.push_back(c);
+  }
+  coc::NetworkCharacteristics icn2 = base.icn2();
+  icn2.bandwidth *= icn2_bw_mul;
+  coc::MessageFormat msg = base.message();
+  msg.length_flits = m_flits;
+  return coc::SystemConfig(base.m(), std::move(clusters), icn2, msg);
+}
+
+}  // namespace
+
+int main() {
+  using namespace coc;
+  const auto base = MakeSystem544(MessageFormat{64, 256});
+
+  std::printf("design-space exploration on the N=544 organization (M=64)\n\n");
+
+  Table t({"candidate", "saturation rate", "latency@1e-4 (us)",
+           "vs base sat."});
+  struct Candidate {
+    const char* name;
+    double icn2_mul, ecn1_mul;
+    int m_flits;
+  };
+  const Candidate candidates[] = {
+      {"base", 1.0, 1.0, 64},
+      {"ICN2 bandwidth +20%", 1.2, 1.0, 64},
+      {"ICN2 bandwidth +50%", 1.5, 1.0, 64},
+      {"ECN1 bandwidth +20%", 1.0, 1.2, 64},
+      {"ECN1 bandwidth +50%", 1.0, 1.5, 64},
+      {"half-length messages (M=32)", 1.0, 1.0, 32},
+      {"ICN2 +20% and ECN1 +20%", 1.2, 1.2, 64},
+  };
+  double base_sat = 0;
+  for (const Candidate& c : candidates) {
+    const auto sys = Customize(base, c.icn2_mul, c.ecn1_mul, c.m_flits);
+    LatencyModel model(sys);
+    const double sat = model.SaturationRate(5e-3);
+    if (base_sat == 0) base_sat = sat;
+    t.AddRow({c.name, FormatSci(sat),
+              FormatDouble(model.Evaluate(1e-4).mean_latency, 1),
+              FormatDouble(100.0 * (sat / base_sat - 1.0), 1) + "%"});
+  }
+  std::printf("%s", t.ToString().c_str());
+
+  // Verify the model's ranking of the two bandwidth levers by simulation at
+  // a moderately loaded operating point.
+  std::printf("\nsimulation cross-check at lambda_g = 2e-4:\n");
+  for (const Candidate& c :
+       {candidates[0], candidates[1], candidates[3]}) {
+    const auto sys = Customize(base, c.icn2_mul, c.ecn1_mul, c.m_flits);
+    CocSystemSim sim(sys);
+    SimConfig cfg;
+    cfg.lambda_g = 2e-4;
+    cfg.warmup_messages = 1000;
+    cfg.measured_messages = 10000;
+    cfg.drain_messages = 1000;
+    const auto r = sim.Run(cfg);
+    std::printf("  %-28s %8.1f us  (ICN2 max util %.2f)\n", c.name,
+                r.latency.Mean(), r.icn2_util.Max(r.duration));
+  }
+  std::printf(
+      "\nconclusion (paper §4): the ICN2 is the system bottleneck; raising\n"
+      "its bandwidth moves the saturation point, while the same ECN1\n"
+      "improvement mostly trims constant latency.\n");
+  return 0;
+}

@@ -1,0 +1,249 @@
+#include "cli/cli.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <ostream>
+#include <stdexcept>
+
+#include "cli/config_parser.h"
+#include "common/table.h"
+#include "harness/sweep.h"
+#include "model/latency_model.h"
+#include "sim/coc_system_sim.h"
+
+namespace coc {
+namespace {
+
+constexpr const char* kUsage = R"(usage:
+  coc_cli info       <system>
+  coc_cli model      <system> --rate R [--locality P]
+  coc_cli sim        <system> --rate R [--messages N] [--seed S]
+                     [--pattern uniform|hotspot|local|permutation]
+                     [--condis cut-through|store-forward]
+  coc_cli sweep      <system> --max-rate R [--points N] [--no-sim]
+  coc_cli bottleneck <system> --rate R
+
+<system> is a config file (see src/cli/config_parser.h) or preset:1120,
+preset:544, preset:small, preset:tiny — optionally preset:NAME:M:dm.
+)";
+
+/// Minimal --flag/value parser; flags without a value are boolean.
+class Flags {
+ public:
+  Flags(const std::vector<std::string>& args, std::size_t first) {
+    for (std::size_t i = first; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      if (a.rfind("--", 0) != 0) {
+        throw std::invalid_argument("unexpected argument: " + a);
+      }
+      const std::string key = a.substr(2);
+      if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+        values_[key] = args[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  double Number(const std::string& key, std::optional<double> fallback = {}) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      if (fallback) return *fallback;
+      throw std::invalid_argument("missing required flag --" + key);
+    }
+    used_.insert(key);
+    try {
+      return std::stod(it->second);
+    } catch (...) {
+      throw std::invalid_argument("--" + key + " expects a number, got '" +
+                                  it->second + "'");
+    }
+  }
+
+  std::string Text(const std::string& key, const std::string& fallback) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.insert(key);
+    return it->second;
+  }
+
+  bool Present(const std::string& key) {
+    const bool has = values_.count(key) != 0;
+    if (has) used_.insert(key);
+    return has;
+  }
+
+  /// Rejects unknown flags (typo protection).
+  void CheckAllUsed() const {
+    for (const auto& [key, value] : values_) {
+      if (used_.count(key) == 0) {
+        throw std::invalid_argument("unknown flag --" + key);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> used_;
+};
+
+void PrintSystem(const SystemConfig& sys, std::ostream& out) {
+  out << "clusters: " << sys.num_clusters() << ", nodes: " << sys.TotalNodes()
+      << ", m: " << sys.m() << ", ICN2 depth: " << sys.icn2_depth()
+      << (sys.icn2_exact_fit() ? "" : " (partial occupancy)") << "\n";
+  out << "message: " << sys.message().length_flits << " flits x "
+      << FormatDouble(sys.message().flit_bytes) << " bytes\n";
+  Table t({"cluster", "n_i", "N_i", "U^(i)", "ICN1 BW", "ECN1 BW"});
+  for (int i = 0; i < sys.num_clusters(); ++i) {
+    t.AddRow({std::to_string(i), std::to_string(sys.cluster(i).n),
+              std::to_string(sys.NodesInCluster(i)),
+              FormatDouble(sys.OutgoingProbability(i), 4),
+              FormatDouble(sys.cluster(i).icn1.bandwidth),
+              FormatDouble(sys.cluster(i).ecn1.bandwidth)});
+  }
+  out << t.ToString();
+}
+
+int CmdInfo(const SystemConfig& sys, Flags& flags, std::ostream& out) {
+  flags.CheckAllUsed();
+  PrintSystem(sys, out);
+  return 0;
+}
+
+int CmdModel(const SystemConfig& sys, Flags& flags, std::ostream& out) {
+  const double rate = flags.Number("rate");
+  ModelOptions opts;
+  if (flags.Present("locality")) {
+    opts.locality_fraction = flags.Number("locality");
+  }
+  flags.CheckAllUsed();
+  LatencyModel model(sys, opts);
+  const auto r = model.Evaluate(rate);
+  out << "lambda_g = " << FormatSci(rate) << "\n";
+  if (r.saturated) {
+    out << "mean latency: saturated (model invalid at this rate)\n";
+  } else {
+    out << "mean latency: " << FormatDouble(r.mean_latency, 2) << " us\n";
+  }
+  Table t({"cluster", "U^(i)", "L_in", "W_in", "L_out", "W_d", "blended"});
+  for (std::size_t i = 0; i < r.clusters.size(); ++i) {
+    const auto& cl = r.clusters[i];
+    t.AddRow({std::to_string(i), FormatDouble(cl.u, 3),
+              FormatDouble(cl.intra.l_in, 2), FormatDouble(cl.intra.w_in, 2),
+              FormatDouble(cl.inter.l_out, 2), FormatDouble(cl.inter.w_d, 2),
+              FormatDouble(cl.blended, 2)});
+  }
+  out << t.ToString();
+  out << "saturation rate: " << FormatSci(model.SaturationRate(1.0)) << "\n";
+  return 0;
+}
+
+int CmdSim(const SystemConfig& sys, Flags& flags, std::ostream& out) {
+  SimConfig cfg = DefaultSimBudget(flags.Number("rate"));
+  cfg.seed = static_cast<std::uint64_t>(flags.Number("seed", 1));
+  if (flags.Present("messages")) {
+    cfg.measured_messages = static_cast<std::int64_t>(flags.Number("messages"));
+    cfg.warmup_messages = cfg.measured_messages / 10;
+    cfg.drain_messages = cfg.measured_messages / 10;
+  }
+  const std::string pattern = flags.Text("pattern", "uniform");
+  if (pattern == "uniform") {
+    cfg.pattern = TrafficPattern::kUniform;
+  } else if (pattern == "hotspot") {
+    cfg.pattern = TrafficPattern::kHotspot;
+  } else if (pattern == "local") {
+    cfg.pattern = TrafficPattern::kClusterLocal;
+  } else if (pattern == "permutation") {
+    cfg.pattern = TrafficPattern::kPermutation;
+  } else {
+    throw std::invalid_argument("unknown --pattern '" + pattern + "'");
+  }
+  const std::string condis = flags.Text("condis", "cut-through");
+  if (condis == "cut-through") {
+    cfg.condis_mode = CondisMode::kCutThrough;
+  } else if (condis == "store-forward") {
+    cfg.condis_mode = CondisMode::kStoreForward;
+  } else {
+    throw std::invalid_argument("unknown --condis '" + condis + "'");
+  }
+  flags.CheckAllUsed();
+
+  CocSystemSim sim(sys);
+  const auto r = sim.Run(cfg);
+  out << "delivered " << r.delivered << " messages over "
+      << FormatDouble(r.duration, 1) << " us simulated time\n";
+  out << "mean latency: " << FormatDouble(r.latency.Mean(), 2) << " +/- "
+      << FormatDouble(r.latency.HalfWidth95(), 2) << " us  (min "
+      << FormatDouble(r.latency.Min(), 2) << ", max "
+      << FormatDouble(r.latency.Max(), 2) << ")\n";
+  out << "intra: " << FormatDouble(r.intra_latency.Mean(), 2) << " us ("
+      << r.intra_latency.Count() << " msgs), inter: "
+      << FormatDouble(r.inter_latency.Mean(), 2) << " us ("
+      << r.inter_latency.Count() << " msgs)\n";
+  out << "utilization (mean/max): ICN1 "
+      << FormatDouble(r.icn1_util.Mean(r.duration), 3) << "/"
+      << FormatDouble(r.icn1_util.Max(r.duration), 3) << ", ECN1 "
+      << FormatDouble(r.ecn1_util.Mean(r.duration), 3) << "/"
+      << FormatDouble(r.ecn1_util.Max(r.duration), 3) << ", ICN2 "
+      << FormatDouble(r.icn2_util.Mean(r.duration), 3) << "/"
+      << FormatDouble(r.icn2_util.Max(r.duration), 3) << "\n";
+  return 0;
+}
+
+int CmdSweep(const SystemConfig& sys, Flags& flags, std::ostream& out) {
+  SweepSpec spec;
+  const double max_rate = flags.Number("max-rate");
+  const int points = static_cast<int>(flags.Number("points", 8));
+  spec.rates = LinearRates(max_rate, points);
+  spec.run_sim = !flags.Present("no-sim");
+  spec.sim_base = DefaultSimBudget();
+  spec.sim_abort_latency = 3000;
+  flags.CheckAllUsed();
+  const auto pts = RunSweep(sys, spec);
+  out << FormatSweepTable("mean message latency (us)", pts);
+  out << FormatSweepPlot("analysis vs simulation", pts);
+  return 0;
+}
+
+int CmdBottleneck(const SystemConfig& sys, Flags& flags, std::ostream& out) {
+  const double rate = flags.Number("rate");
+  flags.CheckAllUsed();
+  LatencyModel model(sys);
+  const auto b = model.Bottleneck(rate);
+  Table t({"resource", "utilization"});
+  t.AddRow({"concentrator/dispatcher", FormatDouble(b.condis_rho, 4)});
+  t.AddRow({"inter-cluster source queue", FormatDouble(b.inter_source_rho, 4)});
+  t.AddRow({"intra-cluster source queue", FormatDouble(b.intra_source_rho, 4)});
+  out << t.ToString();
+  out << "binding resource: " << b.binding << "\n";
+  out << "saturation rate: " << FormatSci(model.SaturationRate(1.0)) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.size() < 2) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string& command = args[0];
+  try {
+    const SystemConfig sys = LoadSystem(args[1]);
+    Flags flags(args, 2);
+    if (command == "info") return CmdInfo(sys, flags, out);
+    if (command == "model") return CmdModel(sys, flags, out);
+    if (command == "sim") return CmdSim(sys, flags, out);
+    if (command == "sweep") return CmdSweep(sys, flags, out);
+    if (command == "bottleneck") return CmdBottleneck(sys, flags, out);
+    err << "unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace coc

@@ -1,0 +1,32 @@
+// Command-line front end for the library: model evaluation, simulation,
+// sweeps, and bottleneck analysis over systems described in text files or
+// built-in presets. Kept as a library so every command is unit-testable;
+// tools/coc_cli.cc is the thin binary wrapper.
+//
+// Usage:
+//   coc_cli info   <system>
+//   coc_cli model  <system> --rate R [--locality P]
+//   coc_cli sim    <system> --rate R [--messages N] [--seed S]
+//                  [--pattern uniform|hotspot|local|permutation]
+//                  [--condis cut-through|store-forward]
+//   coc_cli sweep  <system> --max-rate R [--points N] [--no-sim]
+//   coc_cli bottleneck <system> --rate R
+//
+// <system> is a config file path (see config_parser.h) or "preset:1120",
+// "preset:544", "preset:small", "preset:tiny", optionally with a message
+// format suffix "preset:1120:64:512" (M flits : flit bytes).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace coc {
+
+/// Runs one CLI invocation; `args` excludes the program name. Writes
+/// human-readable output to `out` and diagnostics to `err`; returns the
+/// process exit code (0 on success, 1 on input errors, 2 on usage errors).
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace coc

@@ -1,0 +1,199 @@
+#include "cli/config_parser.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "system/presets.h"
+
+namespace coc {
+namespace {
+
+struct Section {
+  std::string kind;  // "system", "network", "clusters"
+  std::string name;  // network name; empty otherwise
+  std::map<std::string, std::string> values;
+  int line = 0;
+};
+
+[[noreturn]] void Fail(int line, const std::string& what) {
+  throw std::invalid_argument("config line " + std::to_string(line) + ": " +
+                              what);
+}
+
+std::string Trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<Section> Tokenize(const std::string& text) {
+  std::vector<Section> sections;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = raw;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') Fail(line_no, "unterminated section header");
+      const std::string header = Trim(line.substr(1, line.size() - 2));
+      const auto space = header.find(' ');
+      Section s;
+      s.kind = space == std::string::npos ? header : header.substr(0, space);
+      s.name = space == std::string::npos ? "" : Trim(header.substr(space + 1));
+      s.line = line_no;
+      if (s.kind != "system" && s.kind != "network" && s.kind != "clusters") {
+        Fail(line_no, "unknown section kind '" + s.kind + "'");
+      }
+      if (s.kind == "network" && s.name.empty()) {
+        Fail(line_no, "[network ...] needs a name");
+      }
+      sections.push_back(std::move(s));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) Fail(line_no, "expected 'key = value'");
+    if (sections.empty()) Fail(line_no, "key outside of any section");
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) Fail(line_no, "empty key or value");
+    if (!sections.back().values.emplace(key, value).second) {
+      Fail(line_no, "duplicate key '" + key + "'");
+    }
+  }
+  return sections;
+}
+
+double ToDouble(const Section& s, const std::string& key) {
+  const auto it = s.values.find(key);
+  if (it == s.values.end()) {
+    Fail(s.line, "section is missing key '" + key + "'");
+  }
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("");
+    return v;
+  } catch (...) {
+    Fail(s.line, "key '" + key + "' is not a number: " + it->second);
+  }
+}
+
+int ToInt(const Section& s, const std::string& key) {
+  const double v = ToDouble(s, key);
+  const int i = static_cast<int>(v);
+  if (static_cast<double>(i) != v) {
+    Fail(s.line, "key '" + key + "' must be an integer");
+  }
+  return i;
+}
+
+std::string ToName(const Section& s, const std::string& key) {
+  const auto it = s.values.find(key);
+  if (it == s.values.end()) {
+    Fail(s.line, "section is missing key '" + key + "'");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+SystemConfig ParseSystemConfig(const std::string& text) {
+  const auto sections = Tokenize(text);
+
+  const Section* system = nullptr;
+  std::map<std::string, NetworkCharacteristics> networks;
+  std::map<std::string, int> network_lines;
+  std::vector<const Section*> cluster_sections;
+  for (const auto& s : sections) {
+    if (s.kind == "system") {
+      if (system != nullptr) Fail(s.line, "duplicate [system] section");
+      system = &s;
+    } else if (s.kind == "network") {
+      if (networks.count(s.name) != 0) {
+        Fail(s.line, "duplicate network '" + s.name + "'");
+      }
+      NetworkCharacteristics net{ToDouble(s, "bandwidth"),
+                                 ToDouble(s, "network_latency"),
+                                 ToDouble(s, "switch_latency")};
+      net.Validate();
+      networks.emplace(s.name, net);
+      network_lines.emplace(s.name, s.line);
+    } else {
+      cluster_sections.push_back(&s);
+    }
+  }
+  if (system == nullptr) {
+    throw std::invalid_argument("config: missing [system] section");
+  }
+  if (cluster_sections.empty()) {
+    throw std::invalid_argument("config: no [clusters] sections");
+  }
+
+  auto net_by_name = [&](const Section& s,
+                         const std::string& key) -> NetworkCharacteristics {
+    const std::string name = ToName(s, key);
+    const auto it = networks.find(name);
+    if (it == networks.end()) {
+      Fail(s.line, "unknown network '" + name + "' for key '" + key + "'");
+    }
+    return it->second;
+  };
+
+  std::vector<ClusterConfig> clusters;
+  for (const Section* cs : cluster_sections) {
+    const int count =
+        cs->values.count("count") != 0 ? ToInt(*cs, "count") : 1;
+    if (count < 1) Fail(cs->line, "count must be >= 1");
+    const ClusterConfig cluster{ToInt(*cs, "n"), net_by_name(*cs, "icn1"),
+                                net_by_name(*cs, "ecn1")};
+    for (int i = 0; i < count; ++i) clusters.push_back(cluster);
+  }
+
+  const MessageFormat msg{ToInt(*system, "message_flits"),
+                          ToDouble(*system, "flit_bytes")};
+  return SystemConfig(ToInt(*system, "m"), std::move(clusters),
+                      net_by_name(*system, "icn2"), msg);
+}
+
+SystemConfig LoadSystem(const std::string& path_or_preset) {
+  if (path_or_preset.rfind("preset:", 0) == 0) {
+    std::string rest = path_or_preset.substr(7);
+    MessageFormat msg{32, 256};
+    const auto colon = rest.find(':');
+    if (colon != std::string::npos) {
+      const std::string fmt = rest.substr(colon + 1);
+      rest = rest.substr(0, colon);
+      const auto colon2 = fmt.find(':');
+      if (colon2 == std::string::npos) {
+        throw std::invalid_argument(
+            "preset message format must be preset:NAME:M:dm");
+      }
+      msg.length_flits = std::stoi(fmt.substr(0, colon2));
+      msg.flit_bytes = std::stod(fmt.substr(colon2 + 1));
+    }
+    if (rest == "1120") return MakeSystem1120(msg);
+    if (rest == "544") return MakeSystem544(msg);
+    if (rest == "small") return MakeSmallSystem(msg);
+    if (rest == "tiny") return MakeTinySystem(msg);
+    throw std::invalid_argument("unknown preset '" + rest +
+                                "' (use 1120, 544, small or tiny)");
+  }
+  std::ifstream in(path_or_preset);
+  if (!in) {
+    throw std::invalid_argument("cannot open config file: " + path_or_preset);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseSystemConfig(buf.str());
+}
+
+}  // namespace coc

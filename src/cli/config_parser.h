@@ -1,0 +1,46 @@
+// Text description format for cluster-of-clusters systems, used by the
+// coc_cli tool so systems can be described without recompiling.
+//
+// Format (INI-like; '#' starts a comment):
+//
+//   [system]
+//   m = 8                  # switch arity (even, >= 4)
+//   icn2 = net1            # name of a [network ...] section
+//   message_flits = 32
+//   flit_bytes = 256
+//
+//   [network net1]
+//   bandwidth = 500        # bytes/us
+//   network_latency = 0.01
+//   switch_latency = 0.02
+//
+//   [network net2]
+//   bandwidth = 250
+//   network_latency = 0.05
+//   switch_latency = 0.01
+//
+//   [clusters]             # repeatable; each adds `count` clusters
+//   count = 12
+//   n = 1
+//   icn1 = net1
+//   ecn1 = net2
+//
+// Alternatively the string "preset:1120", "preset:544", "preset:small" or
+// "preset:tiny" selects a built-in configuration (message format given by
+// the optional "preset:NAME:M:dm" suffix).
+#pragma once
+
+#include <string>
+
+#include "system/system_config.h"
+
+namespace coc {
+
+/// Parses the text format above. Throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+SystemConfig ParseSystemConfig(const std::string& text);
+
+/// Loads a system from a file path or a "preset:..." specifier.
+SystemConfig LoadSystem(const std::string& path_or_preset);
+
+}  // namespace coc

@@ -1,0 +1,59 @@
+#include "common/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace coc {
+
+std::string RenderAsciiPlot(const std::vector<PlotSeries>& series, int width,
+                            int height, const std::string& title) {
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series) {
+    for (auto [x, y] : s.points) {
+      if (!std::isfinite(x) || !std::isfinite(y)) continue;
+      any = true;
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (!any) return "(no finite points)\n";
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (const auto& s : series) {
+    for (auto [x, y] : s.points) {
+      if (!std::isfinite(x) || !std::isfinite(y)) continue;
+      int cx = static_cast<int>(std::lround((x - xmin) / (xmax - xmin) *
+                                            (width - 1)));
+      int cy = static_cast<int>(std::lround((y - ymin) / (ymax - ymin) *
+                                            (height - 1)));
+      cx = std::clamp(cx, 0, width - 1);
+      cy = std::clamp(cy, 0, height - 1);
+      grid[static_cast<std::size_t>(height - 1 - cy)]
+          [static_cast<std::size_t>(cx)] = s.glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << '\n';
+  out << FormatDouble(ymax, 2) << '\n';
+  for (const auto& line : grid) out << '|' << line << '\n';
+  out << '+' << std::string(static_cast<std::size_t>(width), '-') << '\n';
+  out << FormatDouble(ymin, 2) << "  x: [" << FormatSci(xmin) << ", "
+      << FormatSci(xmax) << "]\n";
+  for (const auto& s : series)
+    out << "  " << s.glyph << " = " << s.name << '\n';
+  return out.str();
+}
+
+}  // namespace coc

@@ -1,0 +1,24 @@
+// Tiny ASCII scatter/line plot so figure benches can show curve *shape*
+// directly in the terminal, next to the numeric series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace coc {
+
+/// One named series of (x, y) points. Points with non-finite y are skipped
+/// (the analytical model reports +inf past saturation).
+struct PlotSeries {
+  std::string name;
+  char glyph = '*';
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Renders series onto a width x height character grid with min/max axis
+/// labels. Later series overwrite earlier ones on glyph collisions.
+std::string RenderAsciiPlot(const std::vector<PlotSeries>& series,
+                            int width = 72, int height = 20,
+                            const std::string& title = "");
+
+}  // namespace coc

@@ -1,0 +1,103 @@
+// Deterministic pseudo-random number generation for simulation experiments.
+//
+// The simulator must be reproducible run-to-run (the paper's validation
+// methodology gathers statistics over a fixed number of messages), so we use
+// an explicitly seeded xoshiro256** generator rather than std::random_device.
+// xoshiro256** is a small, fast, high-quality generator well suited to
+// discrete-event simulation workloads.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace coc {
+
+/// SplitMix64 — used to expand a single 64-bit seed into the 256-bit state of
+/// xoshiro256**. Also usable standalone for hashing-style mixing.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit value of the stream.
+  constexpr std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** PRNG (Blackman & Vigna). Satisfies the essentials of
+/// UniformRandomBitGenerator so it can also be plugged into <random>
+/// distributions when convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Raw 64 random bits.
+  std::uint64_t operator()() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] — safe as an argument to log().
+  double NextDoubleOpenLow() { return 1.0 - NextDouble(); }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection
+  /// method (unbiased).
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (-bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Exponentially distributed variate with the given rate (mean 1/rate).
+  /// Used for Poisson-process inter-arrival times (paper assumption 1).
+  double NextExponential(double rate) {
+    return -std::log(NextDoubleOpenLow()) / rate;
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace coc

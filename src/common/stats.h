@@ -1,0 +1,115 @@
+// Streaming statistics accumulators used by the simulator's metrics layer and
+// by the validation harness (mean latency, variance, confidence intervals).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace coc {
+
+/// Numerically stable streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Merges another accumulator into this one (parallel reduction friendly).
+  void Merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const auto na = static_cast<double>(n_), nb = static_cast<double>(o.n_);
+    const double nt = na + nb;
+    mean_ += delta * nb / nt;
+    m2_ += o.m2_ + delta * delta * na * nb / nt;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+  std::uint64_t Count() const { return n_; }
+  double Mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double Variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double StdDev() const { return std::sqrt(Variance()); }
+  double Min() const { return n_ ? min_ : 0.0; }
+  double Max() const { return n_ ? max_ : 0.0; }
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double HalfWidth95() const {
+    return n_ > 1 ? 1.96 * StdDev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples are clamped into
+/// the first/last bin. Used for latency distribution inspection in examples.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  void Add(double x) {
+    const auto bins = counts_.size();
+    double t = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins));
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+  }
+
+  std::size_t BinCount() const { return counts_.size(); }
+  std::uint64_t BinValue(std::size_t i) const { return counts_[i]; }
+  std::uint64_t Total() const { return total_; }
+  double BinLow(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+  double BinHigh(std::size_t i) const { return BinLow(i + 1); }
+
+  /// Approximate quantile (linear within the owning bin).
+  double Quantile(double q) const {
+    if (total_ == 0) return lo_;
+    const double target = q * static_cast<double>(total_);
+    double acc = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      const double next = acc + static_cast<double>(counts_[i]);
+      if (next >= target) {
+        const double frac =
+            counts_[i] ? (target - acc) / static_cast<double>(counts_[i]) : 0.0;
+        return BinLow(i) + frac * (BinHigh(i) - BinLow(i));
+      }
+      acc = next;
+    }
+    return hi_;
+  }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace coc

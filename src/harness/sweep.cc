@@ -1,0 +1,211 @@
+#include "harness/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "common/ascii_plot.h"
+#include "common/table.h"
+
+namespace coc {
+
+std::vector<double> LinearRates(double max, int count) {
+  std::vector<double> rates;
+  rates.reserve(static_cast<std::size_t>(count));
+  for (int i = 1; i <= count; ++i) {
+    rates.push_back(max * static_cast<double>(i) / count);
+  }
+  return rates;
+}
+
+std::vector<SweepPoint> RunSweep(const SystemConfig& sys,
+                                 const SweepSpec& spec) {
+  LatencyModel model(sys, spec.model_opts);
+  std::optional<CocSystemSim> sim;
+  if (spec.run_sim) sim.emplace(sys, spec.slot_policy);
+
+  std::vector<SweepPoint> points;
+  bool sim_alive = spec.run_sim;
+  for (double rate : spec.rates) {
+    SweepPoint p;
+    p.lambda_g = rate;
+    const ModelResult mr = model.Evaluate(rate);
+    p.model_latency = mr.mean_latency;
+    p.model_saturated = mr.saturated;
+    if (sim_alive) {
+      SimConfig cfg = spec.sim_base;
+      cfg.lambda_g = rate;
+      const SimResult sr = sim->Run(cfg);
+      p.sim_latency = sr.latency.Mean();
+      p.sim_ci95 = sr.latency.HalfWidth95();
+      p.sim_intra = sr.intra_latency.Mean();
+      p.sim_inter = sr.inter_latency.Mean();
+      p.sim_icn2_max_util = sr.icn2_util.Max(sr.duration);
+      if (spec.sim_abort_latency > 0 &&
+          *p.sim_latency > spec.sim_abort_latency) {
+        sim_alive = false;  // saturated: skip the remaining sim points
+      }
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<SweepPoint> RunSweepParallel(const SystemConfig& sys,
+                                         const SweepSpec& spec, int threads) {
+  if (threads <= 1 || spec.rates.size() <= 1 || !spec.run_sim) {
+    return RunSweep(sys, spec);
+  }
+  LatencyModel model(sys, spec.model_opts);
+  const CocSystemSim sim(sys, spec.slot_policy);
+
+  std::vector<SweepPoint> points(spec.rates.size());
+  for (std::size_t i = 0; i < spec.rates.size(); ++i) {
+    points[i].lambda_g = spec.rates[i];
+    const ModelResult mr = model.Evaluate(spec.rates[i]);
+    points[i].model_latency = mr.mean_latency;
+    points[i].model_saturated = mr.saturated;
+  }
+
+  std::atomic<std::size_t> next{0};
+  // Best-effort cut-off: the lowest-index point observed saturated; points
+  // after it skip their simulation.
+  std::atomic<std::size_t> abort_after{points.size()};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= points.size()) return;
+      if (i > abort_after.load()) continue;
+      SimConfig cfg = spec.sim_base;
+      cfg.lambda_g = points[i].lambda_g;
+      const SimResult sr = sim.Run(cfg);
+      points[i].sim_latency = sr.latency.Mean();
+      points[i].sim_ci95 = sr.latency.HalfWidth95();
+      points[i].sim_intra = sr.intra_latency.Mean();
+      points[i].sim_inter = sr.inter_latency.Mean();
+      points[i].sim_icn2_max_util = sr.icn2_util.Max(sr.duration);
+      if (spec.sim_abort_latency > 0 &&
+          *points[i].sim_latency > spec.sim_abort_latency) {
+        std::size_t cur = abort_after.load();
+        while (i < cur && !abort_after.compare_exchange_weak(cur, i)) {
+        }
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  const int n = std::min<int>(threads, static_cast<int>(points.size()));
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  // Enforce the cut-off ordering: drop sim results after the first
+  // saturated point so the output matches the serial semantics.
+  const std::size_t cut = abort_after.load();
+  for (std::size_t i = cut + 1; i < points.size(); ++i) {
+    points[i].sim_latency.reset();
+    points[i].sim_ci95 = points[i].sim_intra = points[i].sim_inter = 0;
+    points[i].sim_icn2_max_util = 0;
+  }
+  return points;
+}
+
+std::string FormatSweepTable(const std::string& label,
+                             const std::vector<SweepPoint>& points) {
+  Table t({"lambda_g", "analysis", "simulation", "sim_ci95", "sim_intra",
+           "sim_inter", "err_%"});
+  for (const auto& p : points) {
+    std::string sim = "-", ci = "-", intra = "-", inter = "-", err = "-";
+    if (p.sim_latency) {
+      sim = FormatDouble(*p.sim_latency, 1);
+      ci = FormatDouble(p.sim_ci95, 1);
+      intra = FormatDouble(p.sim_intra, 1);
+      inter = FormatDouble(p.sim_inter, 1);
+      if (std::isfinite(p.model_latency) && *p.sim_latency > 0) {
+        err = FormatDouble(
+            100.0 * (p.model_latency - *p.sim_latency) / *p.sim_latency, 1);
+      }
+    }
+    t.AddRow({FormatSci(p.lambda_g), FormatDouble(p.model_latency, 1), sim, ci,
+              intra, inter, err});
+  }
+  std::ostringstream out;
+  out << label << '\n' << t.ToString();
+  return out.str();
+}
+
+std::string FormatSweepPlot(const std::string& title,
+                            const std::vector<SweepPoint>& points) {
+  // Cap the y-range the way the paper's axes do: saturated simulation
+  // points (orders of magnitude above the steady-state region) would
+  // otherwise squash the informative part of the curve.
+  double max_model = 0;
+  for (const auto& p : points) {
+    if (std::isfinite(p.model_latency)) {
+      max_model = std::max(max_model, p.model_latency);
+    }
+  }
+  const double cap = 4.0 * max_model;
+  PlotSeries analysis{"analysis (model)", '*', {}};
+  PlotSeries simulation{"simulation (points above 4x max analysis omitted)",
+                        'o', {}};
+  for (const auto& p : points) {
+    analysis.points.emplace_back(p.lambda_g, p.model_latency);
+    if (p.sim_latency && (cap <= 0 || *p.sim_latency <= cap)) {
+      simulation.points.emplace_back(p.lambda_g, *p.sim_latency);
+    }
+  }
+  return RenderAsciiPlot({analysis, simulation}, 72, 18, title);
+}
+
+ReplicatedResult RunReplicated(const CocSystemSim& sim, const SimConfig& cfg,
+                               int replications) {
+  ReplicatedResult out;
+  SimConfig c = cfg;
+  for (int i = 0; i < replications; ++i) {
+    c.seed = cfg.seed + static_cast<std::uint64_t>(i);
+    out.means.Add(sim.Run(c).latency.Mean());
+  }
+  return out;
+}
+
+std::string FormatSweepCsv(const std::vector<SweepPoint>& points) {
+  Table t({"lambda_g", "analysis", "simulation", "sim_ci95", "sim_intra",
+           "sim_inter"});
+  for (const auto& p : points) {
+    t.AddRow({FormatSci(p.lambda_g, 6), FormatDouble(p.model_latency, 4),
+              p.sim_latency ? FormatDouble(*p.sim_latency, 4) : "",
+              p.sim_latency ? FormatDouble(p.sim_ci95, 4) : "",
+              p.sim_latency ? FormatDouble(p.sim_intra, 4) : "",
+              p.sim_latency ? FormatDouble(p.sim_inter, 4) : ""});
+  }
+  return t.ToCsv();
+}
+
+std::string MaybeWriteCsv(const std::string& name, const std::string& csv) {
+  const char* dir = std::getenv("COC_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return "";
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  std::fwrite(csv.data(), 1, csv.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+SimConfig DefaultSimBudget(double lambda_g) {
+  const char* full = std::getenv("COC_FULL");
+  if (full != nullptr && full[0] == '1') {
+    return SimConfig::PaperProtocol(lambda_g);
+  }
+  SimConfig cfg;
+  cfg.lambda_g = lambda_g;
+  cfg.warmup_messages = 2000;
+  cfg.measured_messages = 20000;
+  cfg.drain_messages = 2000;
+  return cfg;
+}
+
+}  // namespace coc

@@ -1,0 +1,93 @@
+// Sweep harness: evaluates the analytical model and (optionally) the
+// simulator over a grid of traffic generation rates — the x-axis of every
+// figure in the paper's evaluation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "model/latency_model.h"
+#include "sim/coc_system_sim.h"
+#include "sim/sim_config.h"
+#include "system/system_config.h"
+
+namespace coc {
+
+/// One operating point of a sweep.
+struct SweepPoint {
+  double lambda_g = 0;
+  double model_latency = 0;       ///< +inf past analytical saturation
+  bool model_saturated = false;
+  std::optional<double> sim_latency;  ///< empty if the sim was not run
+  double sim_ci95 = 0;
+  double sim_intra = 0;
+  double sim_inter = 0;
+  double sim_icn2_max_util = 0;
+};
+
+/// Sweep specification. The simulator phases/seed/C-D discipline come from
+/// `sim_base` (its lambda_g is overwritten per point).
+struct SweepSpec {
+  std::vector<double> rates;
+  bool run_sim = true;
+  SimConfig sim_base;
+  ModelOptions model_opts;
+  Icn2SlotPolicy slot_policy = Icn2SlotPolicy::kClusterMajor;
+  /// Once a simulated point's mean latency exceeds this, later sim points
+  /// are skipped (the run is saturated and each further point costs the
+  /// same wall time for no information). 0 disables the cut-off.
+  double sim_abort_latency = 0;
+};
+
+/// Evenly spaced rate grid (count points over (0, max], excluding 0).
+std::vector<double> LinearRates(double max, int count);
+
+/// Runs the sweep; points come back in rate order.
+std::vector<SweepPoint> RunSweep(const SystemConfig& sys, const SweepSpec& spec);
+
+/// Parallel variant: simulation points are independent (CocSystemSim::Run is
+/// const and self-contained), so they are distributed over `threads` worker
+/// threads. Results are bit-identical to RunSweep for the same spec, except
+/// that the sim_abort_latency cut-off is best-effort (a point may already be
+/// running when an earlier point saturates). threads <= 1 falls back to the
+/// serial path.
+std::vector<SweepPoint> RunSweepParallel(const SystemConfig& sys,
+                                         const SweepSpec& spec, int threads);
+
+/// Renders a sweep as an aligned table. `label` names the system/message
+/// configuration in the header line.
+std::string FormatSweepTable(const std::string& label,
+                             const std::vector<SweepPoint>& points);
+
+/// Renders model + simulation series as an ASCII chart (finite points only).
+std::string FormatSweepPlot(const std::string& title,
+                            const std::vector<SweepPoint>& points);
+
+/// Aggregate of independent simulation replications at one operating point.
+struct ReplicatedResult {
+  RunningStats means;  ///< one sample per replication (its mean latency)
+  /// Mean of means and its 95% half-width — the honest interval when
+  /// within-run samples are autocorrelated (they are, under load).
+  double MeanLatency() const { return means.Mean(); }
+  double HalfWidth95() const { return means.HalfWidth95(); }
+};
+
+/// Runs `replications` simulations differing only in seed (base seed from
+/// cfg, incremented per replication) and aggregates their mean latencies.
+ReplicatedResult RunReplicated(const CocSystemSim& sim, const SimConfig& cfg,
+                               int replications);
+
+/// Renders a sweep as CSV (same columns as FormatSweepTable).
+std::string FormatSweepCsv(const std::vector<SweepPoint>& points);
+
+/// Writes `csv` to $COC_CSV_DIR/<name>.csv when that environment variable is
+/// set; returns the path written to, or an empty string when disabled.
+std::string MaybeWriteCsv(const std::string& name, const std::string& csv);
+
+/// Environment-controlled simulation budget: the paper-faithful
+/// 10k/100k/10k protocol when COC_FULL=1, a CI-friendly 2k/20k/2k otherwise.
+SimConfig DefaultSimBudget(double lambda_g = 1e-4);
+
+}  // namespace coc

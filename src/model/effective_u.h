@@ -1,0 +1,24 @@
+// Effective outgoing probability U^(i) under the configured traffic model:
+// the paper's Eq. (2) for uniform destinations, or the cluster-locality
+// extension (ModelOptions::locality_fraction).
+#pragma once
+
+#include "model/model_options.h"
+#include "system/system_config.h"
+
+namespace coc {
+
+inline double EffectiveU(const SystemConfig& sys, int i,
+                         const ModelOptions& opts) {
+  if (opts.locality_fraction.has_value()) {
+    // Mirror the simulator's kClusterLocal edge cases: a single-node
+    // cluster cannot keep traffic local; a single-cluster system cannot
+    // send any away.
+    if (sys.NodesInCluster(i) <= 1) return 1.0;
+    if (sys.NodesInCluster(i) == sys.TotalNodes()) return 0.0;
+    return 1.0 - *opts.locality_fraction;
+  }
+  return sys.OutgoingProbability(i);
+}
+
+}  // namespace coc

@@ -1,0 +1,174 @@
+#include "model/inter_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "model/effective_u.h"
+#include "model/mg1.h"
+#include "model/stage_recursion.h"
+
+namespace coc {
+namespace {
+
+/// Eq. (23) reconstruction: the ICN2 message rate seen from pair (i, j).
+double LambdaIcn2(const SystemConfig& sys, int i, int j, double lambda_g,
+                  const ModelOptions& opts) {
+  const double ni = static_cast<double>(sys.NodesInCluster(i));
+  const double nj = static_cast<double>(sys.NodesInCluster(j));
+  const double ui = EffectiveU(sys, i, opts);
+  const double uj = EffectiveU(sys, j, opts);
+  switch (opts.lambda_i2) {
+    case ModelOptions::LambdaI2::kPairMean:
+      return lambda_g * (ni * ui + nj * uj) / 2.0;
+    case ModelOptions::LambdaI2::kHarmonic:
+      return lambda_g * ni * nj * (ui + uj) / (ni + nj);
+  }
+  return 0;
+}
+
+}  // namespace
+
+InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
+                                 double lambda_g,
+                                 const HopDistribution& icn2_hops,
+                                 const ModelOptions& opts) {
+  const ClusterConfig& ci = sys.cluster(i);
+  const ClusterConfig& cj = sys.cluster(j);
+  const MessageFormat& msg = sys.message();
+  const double m_flits = msg.length_flits;
+
+  const double t_cs_ei = ci.ecn1.TCs(msg.flit_bytes);
+  const double t_cn_ei = ci.ecn1.TCn(msg.flit_bytes);
+  const double t_cs_ej = cj.ecn1.TCs(msg.flit_bytes);
+  const double t_cn_ej = cj.ecn1.TCn(msg.flit_bytes);
+  const double t_cs_i2 = sys.icn2().TCs(msg.flit_bytes);
+
+  const double ni = static_cast<double>(sys.NodesInCluster(i));
+  const double nj = static_cast<double>(sys.NodesInCluster(j));
+  const double ui = EffectiveU(sys, i, opts);
+  const double uj = EffectiveU(sys, j, opts);
+
+  const HopDistribution hops_i(sys.m(), ci.n);
+  const HopDistribution hops_j(sys.m(), cj.n);
+
+  // Eq. (22): message rate carried by the pair's ECN1 networks.
+  const double lambda_ecn = lambda_g * (ni * ui + nj * uj);
+  // Eq. (23) reconstruction (see ModelOptions::LambdaI2).
+  const double lambda_i2 = LambdaIcn2(sys, i, j, lambda_g, opts);
+
+  // Eq. (24): per-channel rate of the ECN1 networks. Journeys in an ECN1 are
+  // ascending- or descending-only (spine-tapped C/D), hence one-way mean.
+  const double eta_e_src = lambda_ecn * hops_i.MeanLinksOneWay() /
+                           (4.0 * ci.n * ni);
+  const double eta_e_dst =
+      opts.ecn_eta == ModelOptions::EcnEta::kPerSide
+          ? lambda_ecn * hops_j.MeanLinksOneWay() / (4.0 * cj.n * nj)
+          : eta_e_src;
+  // Eq. (25): per-channel rate in ICN2.
+  const double eta_i2_raw = lambda_i2 * icn2_hops.MeanLinksRoundTrip() /
+                            (4.0 * sys.icn2_depth());
+  // Eqs. (27)-(28): relaxing factor for the bandwidth discontinuity at the
+  // ECN1 -> ICN2 boundary (see ModelOptions::RelaxingFactor).
+  double delta = 1.0;
+  switch (opts.relaxing_factor) {
+    case ModelOptions::RelaxingFactor::kInverseCapacity:
+      delta = sys.icn2().beta() / ci.ecn1.beta();
+      break;
+    case ModelOptions::RelaxingFactor::kAsPrinted:
+      delta = ci.ecn1.beta() / sys.icn2().beta();
+      break;
+    case ModelOptions::RelaxingFactor::kOff:
+      break;
+  }
+  const double eta_i2 = eta_i2_raw * delta;
+
+  InterPairResult out;
+
+  // Eqs. (20)-(21), (26)-(30): average the merged pipeline's stage-0 service
+  // time over the (r, v, l) journey distribution.
+  double t_ex = 0;
+  double e_ex = 0;
+  for (int r = 1; r <= hops_i.n(); ++r) {
+    for (int v = 1; v <= hops_j.n(); ++v) {
+      for (int l = 1; l <= icn2_hops.n(); ++l) {
+        const double p = hops_i.P(r) * hops_j.P(v) * icn2_hops.P(l);
+        const int stage_count = r + 2 * l + v - 1;  // K
+        std::vector<StageSpec> interior;
+        interior.reserve(static_cast<std::size_t>(stage_count - 1));
+        for (int k = 0; k < stage_count - 1; ++k) {
+          if (k < r) {
+            interior.push_back(StageSpec{m_flits * t_cs_ei, eta_e_src});
+          } else if (k < r + 2 * l - 1) {
+            interior.push_back(StageSpec{m_flits * t_cs_i2, eta_i2});
+          } else {
+            interior.push_back(StageSpec{m_flits * t_cs_ej, eta_e_dst});
+          }
+        }
+        const double t0 = StageRecursionT0(interior, m_flits * t_cn_ej,
+                                           eta_e_dst,
+                                           opts.include_last_stage_wait);
+        t_ex += p * t0;
+        // Eq. (34): tail drain over the r + 2l + v links.
+        e_ex += p * ((r - 1) * t_cs_ei + 2.0 * l * t_cs_i2 +
+                     (v - 1) * t_cs_ej + t_cn_ei + t_cn_ej);
+      }
+    }
+  }
+  out.t_ex = t_ex;
+  out.e_ex = e_ex;
+
+  // Eq. (31): source-queue M/G/1 with the Eq. (17)-style variance
+  // approximation (minimum first-stage service is M t_cn of ECN1(i)).
+  const double lambda_src =
+      opts.source_queue_rate == ModelOptions::SourceQueueRate::kPerNode
+          ? lambda_g * ui
+          : lambda_ecn;
+  const double sigma = t_ex - m_flits * t_cn_ei;
+  out.w_ex = MG1Wait(lambda_src, t_ex, sigma * sigma);
+
+  // Eqs. (36)-(37): concentrate/dispatch buffer as M/G/1 with deterministic
+  // service and the same style of variance approximation. kSupplyLimited
+  // accounts for cut-through C/Ds whose ICN2 injection link is occupied at
+  // the (possibly slower) ECN1 flit-supply rate.
+  const double x_cd =
+      opts.condis_service == ModelOptions::CondisService::kIcn2Rate
+          ? m_flits * t_cs_i2
+          : m_flits * std::max(t_cs_i2, t_cs_ei);
+  const double sigma_cd = m_flits * (t_cs_i2 - t_cs_ei);
+  out.w_c = MG1Wait(lambda_i2, x_cd, sigma_cd * sigma_cd);
+  out.condis_rho = lambda_i2 * x_cd;
+  out.source_rho = lambda_src * t_ex;
+
+  out.l_ex = out.w_ex + out.t_ex + out.e_ex;
+  out.saturated = !std::isfinite(out.l_ex) || !std::isfinite(out.w_c);
+  return out;
+}
+
+InterResult ComputeInter(const SystemConfig& sys, int i, double lambda_g,
+                         const HopDistribution& icn2_hops,
+                         const ModelOptions& opts) {
+  InterResult out;
+  const int c = sys.num_clusters();
+  if (c < 2) return out;
+
+  // Eqs. (35) and (38): arithmetic averages over destination clusters.
+  double l_ex_sum = 0;
+  double w_d_sum = 0;
+  for (int j = 0; j < c; ++j) {
+    if (j == i) continue;
+    const InterPairResult pair =
+        ComputeInterPair(sys, i, j, lambda_g, icn2_hops, opts);
+    l_ex_sum += pair.l_ex;
+    w_d_sum += 2.0 * pair.w_c;  // concentrate + dispatch buffers
+    out.max_condis_rho = std::max(out.max_condis_rho, pair.condis_rho);
+    out.max_source_rho = std::max(out.max_source_rho, pair.source_rho);
+    out.saturated = out.saturated || pair.saturated;
+  }
+  out.l_ex = l_ex_sum / (c - 1);
+  out.w_d = w_d_sum / (c - 1);
+  out.l_out = out.l_ex + out.w_d;  // Eq. (39)
+  return out;
+}
+
+}  // namespace coc

@@ -1,0 +1,52 @@
+// Inter-cluster mean message latency (paper §3.2, Eqs. 20-39).
+//
+// An inter-cluster message from cluster i to cluster j crosses the merged
+// wormhole unit ECN1(i) -> ICN2 -> ECN1(j): r links ascending in ECN1(i) to
+// the spine-tapped concentrator, 2l links across ICN2, and v links descending
+// from the dispatcher in ECN1(j), with (r, v, l) independently distributed
+// per Eq. (6). The concentrator and dispatcher additionally impose M/G/1
+// waiting (Eqs. 36-38).
+#pragma once
+
+#include "model/hop_distribution.h"
+#include "model/model_options.h"
+#include "system/system_config.h"
+
+namespace coc {
+
+/// Latency decomposition of the (i, j) cluster pair.
+struct InterPairResult {
+  double t_ex = 0;  ///< mean merged-network latency (Eq. 20)
+  double w_ex = 0;  ///< mean source-queue waiting (Eq. 31); +inf if saturated
+  double e_ex = 0;  ///< mean tail drain (Eqs. 33-34)
+  double l_ex = 0;  ///< W_ex + T_ex + E_ex (Eq. 32)
+  double w_c = 0;   ///< one concentrate/dispatch buffer wait (Eq. 37)
+  double condis_rho = 0;  ///< C/D server utilization lambda_I2 * x_cd
+  double source_rho = 0;  ///< source-queue utilization lambda * T_ex
+  bool saturated = false;
+};
+
+/// Aggregated inter-cluster latency from cluster i's point of view.
+struct InterResult {
+  double l_ex = 0;  ///< Eq. (35): mean over destination clusters
+  double w_d = 0;   ///< Eq. (38): mean concentrator+dispatcher waiting
+  double l_out = 0; ///< Eq. (39); +inf if saturated
+  double max_condis_rho = 0;  ///< hottest C/D utilization over partners
+  double max_source_rho = 0;  ///< hottest source-queue utilization
+  bool saturated = false;
+};
+
+/// Evaluates Eqs. 20-34, 36-37 for the ordered pair (i, j), i != j.
+/// `icn2_hops` is the ICN2 journey distribution (Eq. 6 for exact-fit
+/// occupancy, empirical census otherwise).
+InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
+                                 double lambda_g,
+                                 const HopDistribution& icn2_hops,
+                                 const ModelOptions& opts);
+
+/// Evaluates Eqs. 35, 38, 39 for cluster i (averaging over all j != i).
+InterResult ComputeInter(const SystemConfig& sys, int i, double lambda_g,
+                         const HopDistribution& icn2_hops,
+                         const ModelOptions& opts);
+
+}  // namespace coc

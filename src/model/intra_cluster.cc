@@ -1,0 +1,72 @@
+#include "model/intra_cluster.h"
+
+#include <cmath>
+#include <vector>
+
+#include "model/hop_distribution.h"
+#include "model/effective_u.h"
+#include "model/mg1.h"
+#include "model/stage_recursion.h"
+
+namespace coc {
+
+IntraResult ComputeIntra(const SystemConfig& sys, int i, double lambda_g,
+                         const ModelOptions& opts) {
+  const ClusterConfig& cluster = sys.cluster(i);
+  const auto n_i = cluster.n;
+  const auto big_n_i = static_cast<double>(sys.NodesInCluster(i));
+  const double u_i = EffectiveU(sys, i, opts);
+  const MessageFormat& msg = sys.message();
+  const double m_flits = msg.length_flits;
+  const double t_cn = cluster.icn1.TCn(msg.flit_bytes);
+  const double t_cs = cluster.icn1.TCs(msg.flit_bytes);
+
+  const HopDistribution hops(sys.m(), n_i);
+
+  IntraResult out;
+
+  // Eq. (7): total message rate received by ICN1(i); Eq. (10): per-channel
+  // rate using the paper's 4 n N channel-count convention.
+  const double lambda_icn1 = big_n_i * lambda_g * (1.0 - u_i);
+  out.eta = lambda_icn1 * hops.MeanLinksRoundTrip() / (4.0 * n_i * big_n_i);
+
+  // Eqs. (5),(13),(14): network latency averaged over journey lengths. A
+  // 2h-link journey has K = 2h-1 stages; all interior stages are
+  // switch-to-switch transfers of the same network.
+  double t_in = 0;
+  for (int h = 1; h <= n_i; ++h) {
+    const int stage_count = 2 * h - 1;
+    const std::vector<StageSpec> interior(
+        static_cast<std::size_t>(stage_count - 1),
+        StageSpec{m_flits * t_cs, out.eta});
+    const double t_h = StageRecursionT0(interior, m_flits * t_cn, out.eta,
+                                        opts.include_last_stage_wait);
+    t_in += hops.P(h) * t_h;
+  }
+  out.t_in = t_in;
+
+  // Eqs. (15)-(18): the source's ICN1 injection channel as an M/G/1 queue.
+  // Arrival rate: this node's intra-cluster message rate. Service: T_in with
+  // the Draper-Ghosh variance approximation sigma = T_in - M t_cn (Eq. 17).
+  const double lambda_src =
+      opts.source_queue_rate == ModelOptions::SourceQueueRate::kPerNode
+          ? lambda_g * (1.0 - u_i)
+          : lambda_icn1;
+  const double sigma = t_in - m_flits * t_cn;
+  out.w_in = MG1Wait(lambda_src, t_in, sigma * sigma);
+  out.source_rho = lambda_src * t_in;
+
+  // Eq. (19): the tail flit pipelines over 2h links behind the header:
+  // 2(h-1) switch links plus the two node links.
+  double e_in = 0;
+  for (int h = 1; h <= n_i; ++h) {
+    e_in += hops.P(h) * (2.0 * (h - 1) * t_cs + 2.0 * t_cn);
+  }
+  out.e_in = e_in;
+
+  out.saturated = !std::isfinite(out.w_in);
+  out.l_in = out.w_in + out.t_in + out.e_in;
+  return out;
+}
+
+}  // namespace coc

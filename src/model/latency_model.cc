@@ -1,0 +1,96 @@
+#include "model/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/effective_u.h"
+#include "topology/m_port_n_tree.h"
+
+namespace coc {
+namespace {
+
+/// ICN2 journey distribution: Eq. (6) when the concentrators fill the tree
+/// exactly; otherwise the exact NCA census of the occupied slots (averaged
+/// over sources), which degenerates to Eq. (6) at full occupancy.
+HopDistribution MakeIcn2Hops(const SystemConfig& sys) {
+  if (sys.icn2_exact_fit()) {
+    return HopDistribution(sys.m(), sys.icn2_depth());
+  }
+  const MPortNTree tree(sys.m(), sys.icn2_depth());
+  const auto c = static_cast<std::int64_t>(sys.num_clusters());
+  std::vector<double> weights(static_cast<std::size_t>(sys.icn2_depth()), 0.0);
+  for (std::int64_t src = 0; src < c; ++src) {
+    for (std::int64_t dst = 0; dst < c; ++dst) {
+      if (src == dst) continue;
+      weights[static_cast<std::size_t>(tree.NcaLevel(src, dst) - 1)] += 1.0;
+    }
+  }
+  if (c < 2) weights[0] = 1.0;  // degenerate single-cluster system
+  return HopDistribution(weights);
+}
+
+}  // namespace
+
+LatencyModel::LatencyModel(const SystemConfig& sys, ModelOptions opts)
+    : sys_(sys), opts_(opts), icn2_hops_(MakeIcn2Hops(sys)) {}
+
+ModelResult LatencyModel::Evaluate(double lambda_g) const {
+  ModelResult result;
+  result.clusters.reserve(static_cast<std::size_t>(sys_.num_clusters()));
+
+  double weighted = 0;
+  const double total_nodes = static_cast<double>(sys_.TotalNodes());
+  for (int i = 0; i < sys_.num_clusters(); ++i) {
+    ClusterLatency cl;
+    cl.u = EffectiveU(sys_, i, opts_);
+    cl.intra = ComputeIntra(sys_, i, lambda_g, opts_);
+    cl.inter = ComputeInter(sys_, i, lambda_g, icn2_hops_, opts_);
+    // Eq. (1). A component with zero traffic share cannot saturate the
+    // blend (e.g. L_out in a single-cluster system where U = 0).
+    cl.blended = 0;
+    if (cl.u > 0) cl.blended += cl.u * cl.inter.l_out;
+    if (cl.u < 1) cl.blended += (1.0 - cl.u) * cl.intra.l_in;
+    weighted += static_cast<double>(sys_.NodesInCluster(i)) / total_nodes *
+                cl.blended;
+    result.saturated = result.saturated || !std::isfinite(cl.blended);
+    result.clusters.push_back(cl);
+  }
+  result.mean_latency = weighted;
+  return result;
+}
+
+BottleneckReport LatencyModel::Bottleneck(double lambda_g) const {
+  const ModelResult r = Evaluate(lambda_g);
+  BottleneckReport report;
+  for (const auto& cl : r.clusters) {
+    report.condis_rho = std::max(report.condis_rho, cl.inter.max_condis_rho);
+    report.inter_source_rho =
+        std::max(report.inter_source_rho, cl.inter.max_source_rho);
+    report.intra_source_rho =
+        std::max(report.intra_source_rho, cl.intra.source_rho);
+  }
+  report.binding = "concentrator/dispatcher";
+  if (report.inter_source_rho > report.condis_rho) {
+    report.binding = "inter-cluster source queue";
+  }
+  if (report.intra_source_rho >
+      std::max(report.condis_rho, report.inter_source_rho)) {
+    report.binding = "intra-cluster source queue";
+  }
+  return report;
+}
+
+double LatencyModel::SaturationRate(double upper_bound, double rel_tol) const {
+  double lo = 0.0;
+  double hi = upper_bound;
+  if (!Evaluate(hi).saturated) return hi;
+  // Tolerance is relative to the current bracket top, so a generous upper
+  // bound still resolves small saturation rates.
+  for (int iter = 0; iter < 200 && (hi - lo) > rel_tol * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (Evaluate(mid).saturated ? hi : lo) = mid;
+  }
+  return lo;
+}
+
+}  // namespace coc

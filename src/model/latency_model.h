@@ -1,0 +1,74 @@
+// Top-level analytical latency model — the paper's primary contribution.
+//
+// Combines the intra-cluster (§3.1) and inter-cluster (§3.2) components:
+//   l^(i)    = U^(i) L_out^(i) + (1 - U^(i)) L_in^(i)          (Eq. 1)
+//   Latency  = sum_i (N_i / N) l^(i)                           (Eq. 3)
+// The model is a fixed algebraic evaluation per operating point (no
+// iteration), valid below saturation; saturated points report +infinity.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/inter_cluster.h"
+#include "model/intra_cluster.h"
+#include "model/model_options.h"
+#include "system/system_config.h"
+
+namespace coc {
+
+/// Per-cluster latency decomposition at one operating point.
+struct ClusterLatency {
+  double u = 0;        ///< U^(i), Eq. (2)
+  IntraResult intra;   ///< Eqs. 4-19
+  InterResult inter;   ///< Eqs. 20-39
+  double blended = 0;  ///< Eq. (1); +inf if a needed component saturated
+};
+
+/// Full model output at one generation rate.
+struct ModelResult {
+  std::vector<ClusterLatency> clusters;
+  double mean_latency = 0;  ///< Eq. (3); +inf past saturation
+  bool saturated = false;
+};
+
+/// Which queueing resource the model predicts saturates first — the
+/// machinery behind the paper's §4 observation that "the inter-cluster
+/// networks, especially ICN2, are the bottlenecks of the system".
+struct BottleneckReport {
+  double condis_rho = 0;        ///< hottest concentrator/dispatcher
+  double inter_source_rho = 0;  ///< hottest ECN1 source queue
+  double intra_source_rho = 0;  ///< hottest ICN1 source queue
+  /// One of "concentrator/dispatcher", "inter-cluster source queue",
+  /// "intra-cluster source queue".
+  const char* binding = "";
+};
+
+/// Evaluates the analytical model for a fixed system over generation rates.
+class LatencyModel {
+ public:
+  explicit LatencyModel(const SystemConfig& sys, ModelOptions opts = {});
+
+  const SystemConfig& system() const { return sys_; }
+  const ModelOptions& options() const { return opts_; }
+
+  /// Mean message latency and per-cluster decomposition at per-node
+  /// generation rate lambda_g (messages per microsecond per node).
+  ModelResult Evaluate(double lambda_g) const;
+
+  /// Utilization of the system's queueing resources at one operating point
+  /// and which of them binds (reaches rho = 1 first as lambda_g grows).
+  BottleneckReport Bottleneck(double lambda_g) const;
+
+  /// Largest rate (within relative tolerance) at which the model is still
+  /// finite — the analytical saturation point, found by bisection over
+  /// [0, upper_bound].
+  double SaturationRate(double upper_bound, double rel_tol = 1e-3) const;
+
+ private:
+  SystemConfig sys_;
+  ModelOptions opts_;
+  HopDistribution icn2_hops_;
+};
+
+}  // namespace coc

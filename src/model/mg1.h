@@ -1,0 +1,21 @@
+// M/G/1 queueing primitives (Kleinrock vol. 2, paper Eqs. 15-16).
+#pragma once
+
+#include <limits>
+
+namespace coc {
+
+/// Pollaczek-Khinchine mean waiting time
+///     W = lambda (x_bar^2 + sigma^2) / (2 (1 - rho)),   rho = lambda x_bar.
+/// Returns +infinity at or beyond saturation (rho >= 1) — the model reports
+/// such operating points as saturated rather than extrapolating.
+inline double MG1Wait(double lambda, double mean_service,
+                      double service_variance) {
+  if (lambda <= 0) return 0.0;
+  const double rho = lambda * mean_service;
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  return lambda * (mean_service * mean_service + service_variance) /
+         (2.0 * (1.0 - rho));
+}
+
+}  // namespace coc

@@ -1,0 +1,44 @@
+// Backward per-stage waiting-time recursion shared by the intra-cluster
+// (Eqs. 13-14) and inter-cluster (Eqs. 26-29) pipelines.
+//
+// A 2h-link wormhole journey sees K stages (the switches between source and
+// destination, numbered 0 next to the source through K-1 next to the
+// destination). The destination always accepts flits, so stage K-1's channel
+// service time is the bare transfer time M t_cn. An interior channel is held
+// longer: its service time is its transfer time plus the waiting incurred at
+// every later stage,
+//     T_k = transfer_k + sum_{s=k+1}^{K-1} W_s,   W_s = 1/2 eta_s T_s^2,
+// and the network latency of the journey is T_0.
+#pragma once
+
+#include <vector>
+
+namespace coc {
+
+/// One interior stage of the pipeline: the per-message transfer time
+/// (M * t_cs of the owning network) and the per-channel message rate eta
+/// (possibly scaled by the Eq. 28 relaxing factor).
+struct StageSpec {
+  double transfer_time;
+  double eta;
+};
+
+/// Evaluates the recursion. `interior` holds stages 0..K-2 in order;
+/// `final_service` is stage K-1's service time (M t_cn) and `final_eta` its
+/// channel rate (its W term is included iff include_final_wait, Eq. 14 as
+/// printed). Returns T_0; with no interior stages this is final_service.
+inline double StageRecursionT0(const std::vector<StageSpec>& interior,
+                               double final_service, double final_eta,
+                               bool include_final_wait) {
+  double t_last = final_service;
+  double wait_suffix =
+      include_final_wait ? 0.5 * final_eta * t_last * t_last : 0.0;
+  for (auto it = interior.rbegin(); it != interior.rend(); ++it) {
+    const double t_k = it->transfer_time + wait_suffix;
+    wait_suffix += 0.5 * it->eta * t_k * t_k;
+    t_last = t_k;
+  }
+  return t_last;
+}
+
+}  // namespace coc

@@ -1,0 +1,249 @@
+#include "sim/coc_system_sim.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "sim/traffic.h"
+#include "sim/wormhole_engine.h"
+
+namespace coc {
+namespace {
+
+constexpr std::uint64_t kTagMeasured = 1;
+constexpr std::uint64_t kTagInter = 2;
+constexpr int kTagClusterShift = 2;  // bits [2..) carry the source cluster
+
+}  // namespace
+
+CocSystemSim::CocSystemSim(const SystemConfig& sys, Icn2SlotPolicy slot_policy)
+    : sys_(sys) {
+  // Clusters sharing a depth share one immutable topology object; channel id
+  // ranges (and per-flit times) stay per-cluster.
+  std::map<int, const MPortNTree*> by_depth;
+  auto tree_for = [&](int n) -> const MPortNTree* {
+    auto it = by_depth.find(n);
+    if (it != by_depth.end()) return it->second;
+    owned_trees_.push_back(std::make_unique<MPortNTree>(sys_.m(), n));
+    by_depth[n] = owned_trees_.back().get();
+    return owned_trees_.back().get();
+  };
+
+  const int c = sys_.num_clusters();
+  icn1_tree_.resize(static_cast<std::size_t>(c));
+  ecn1_tree_.resize(static_cast<std::size_t>(c));
+  icn1_offset_.resize(static_cast<std::size_t>(c));
+  ecn1_offset_.resize(static_cast<std::size_t>(c));
+  for (int i = 0; i < c; ++i) {
+    const ClusterConfig& cluster = sys_.cluster(i);
+    const MPortNTree* tree = tree_for(cluster.n);
+    icn1_tree_[static_cast<std::size_t>(i)] = tree;
+    ecn1_tree_[static_cast<std::size_t>(i)] = tree;
+    icn1_offset_[static_cast<std::size_t>(i)] =
+        RegisterTree(*tree, cluster.icn1, NetClass::kIcn1);
+    ecn1_offset_[static_cast<std::size_t>(i)] =
+        RegisterTree(*tree, cluster.ecn1, NetClass::kEcn1);
+  }
+  icn2_tree_ = std::make_unique<MPortNTree>(sys_.m(), sys_.icn2_depth());
+  icn2_offset_ = RegisterTree(*icn2_tree_, sys_.icn2(), NetClass::kIcn2);
+
+  // C/D slot assignment. Interleaving strides consecutive clusters across
+  // the leaf switches (k = m/2 slots per leaf): with C slots and C/k leaves,
+  // cluster i -> slot (i mod C/k) * k + i / (C/k), a bijection whenever the
+  // cluster count fills whole leaves; otherwise fall back to identity.
+  icn2_slot_.resize(static_cast<std::size_t>(c));
+  const std::int64_t k = sys_.k();
+  const std::int64_t leaves = c / k;
+  const bool can_interleave =
+      slot_policy == Icn2SlotPolicy::kInterleaved && leaves > 0 &&
+      c % k == 0 && c <= icn2_tree_->num_nodes();
+  for (std::int64_t i = 0; i < c; ++i) {
+    icn2_slot_[static_cast<std::size_t>(i)] =
+        can_interleave ? (i % leaves) * k + i / leaves : i;
+  }
+}
+
+std::int32_t CocSystemSim::RegisterTree(const MPortNTree& tree,
+                                        const NetworkCharacteristics& net,
+                                        NetClass net_class) {
+  const auto offset = static_cast<std::int32_t>(flit_time_.size());
+  const double dm = sys_.message().flit_bytes;
+  for (std::int64_t ch = 0; ch < tree.num_channels(); ++ch) {
+    const ChannelKind kind = tree.Channel(ch).kind;
+    const bool node_link = kind == ChannelKind::kNodeToSwitch ||
+                           kind == ChannelKind::kSwitchToNode;
+    flit_time_.push_back(node_link ? net.TCn(dm) : net.TCs(dm));
+    channel_class_.push_back(net_class);
+  }
+  return offset;
+}
+
+std::string CocSystemSim::DescribeChannel(std::int32_t id) const {
+  if (id < 0 || id >= num_channels()) return "invalid channel";
+  // Locate the owning tree by offset ranges (registration order: per
+  // cluster ICN1 then ECN1, finally ICN2).
+  std::string prefix;
+  const MPortNTree* tree = nullptr;
+  std::int64_t local = 0;
+  if (id >= icn2_offset_) {
+    prefix = "ICN2";
+    tree = icn2_tree_.get();
+    local = id - icn2_offset_;
+  } else {
+    for (int i = sys_.num_clusters() - 1; i >= 0; --i) {
+      if (id >= ecn1_offset_[static_cast<std::size_t>(i)]) {
+        prefix = "cluster " + std::to_string(i) + " ECN1";
+        tree = ecn1_tree_[static_cast<std::size_t>(i)];
+        local = id - ecn1_offset_[static_cast<std::size_t>(i)];
+        break;
+      }
+      if (id >= icn1_offset_[static_cast<std::size_t>(i)]) {
+        prefix = "cluster " + std::to_string(i) + " ICN1";
+        tree = icn1_tree_[static_cast<std::size_t>(i)];
+        local = id - icn1_offset_[static_cast<std::size_t>(i)];
+        break;
+      }
+    }
+  }
+  const ChannelInfo& info = tree->Channel(local);
+  auto endpoint = [](const Endpoint& e) {
+    return e.is_node ? "node " + std::to_string(e.index)
+                     : "switch L" + std::to_string(e.level) + "#" +
+                           std::to_string(e.index);
+  };
+  return prefix + " " + endpoint(info.from) + " -> " + endpoint(info.to);
+}
+
+std::vector<std::int32_t> CocSystemSim::BuildPath(
+    std::int64_t src, std::int64_t dst, std::uint64_t ascent_entropy) const {
+  if (src == dst) throw std::invalid_argument("src == dst");
+  const int ci = sys_.ClusterOfNode(src);
+  const int cj = sys_.ClusterOfNode(dst);
+  const std::int64_t ls = src - sys_.ClusterBase(ci);
+  const std::int64_t ld = dst - sys_.ClusterBase(cj);
+
+  std::vector<std::int32_t> path;
+  if (ci == cj) {
+    for (auto ch : icn1_tree_[static_cast<std::size_t>(ci)]->RouteWithEntropy(
+             ls, ld, ascent_entropy)) {
+      path.push_back(icn1_offset_[static_cast<std::size_t>(ci)] +
+                     static_cast<std::int32_t>(ch));
+    }
+    return path;
+  }
+  // Spine-tapped inter-cluster route: ECN1(i) ascent to the concentrator,
+  // the ICN2 journey between the two C/D node slots, ECN1(j) descent. The
+  // ECN1 ascent is pinned to the spine (taps live there); only the ICN2 leg
+  // can use ascent entropy.
+  for (auto ch :
+       ecn1_tree_[static_cast<std::size_t>(ci)]->AscendToSpine(ls, 0)) {
+    path.push_back(ecn1_offset_[static_cast<std::size_t>(ci)] +
+                   static_cast<std::int32_t>(ch));
+  }
+  for (auto ch : icn2_tree_->RouteWithEntropy(
+           icn2_slot_[static_cast<std::size_t>(ci)],
+           icn2_slot_[static_cast<std::size_t>(cj)], ascent_entropy)) {
+    path.push_back(icn2_offset_ + static_cast<std::int32_t>(ch));
+  }
+  for (auto ch :
+       ecn1_tree_[static_cast<std::size_t>(cj)]->DescendFromSpine(ld, 0)) {
+    path.push_back(ecn1_offset_[static_cast<std::size_t>(cj)] +
+                   static_cast<std::int32_t>(ch));
+  }
+  return path;
+}
+
+SimResult CocSystemSim::Run(const SimConfig& cfg) const {
+  const std::int64_t total =
+      cfg.warmup_messages + cfg.measured_messages + cfg.drain_messages;
+  const auto traffic = GenerateTraffic(sys_, cfg, total);
+
+  WormholeEngine engine(flit_time_);
+  const int flits = sys_.message().length_flits;
+  // Independent stream for routing entropy so traffic draws stay identical
+  // across ascent policies (paired-comparison friendly).
+  Rng route_rng(cfg.seed ^ 0xc0ffee5eedULL);
+  for (std::int64_t idx = 0; idx < total; ++idx) {
+    const TrafficEvent& ev = traffic[static_cast<std::size_t>(idx)];
+    const int ci = sys_.ClusterOfNode(ev.src);
+    const int cj = sys_.ClusterOfNode(ev.dst);
+    const std::uint64_t entropy =
+        cfg.ascent == SimConfig::AscentPolicy::kRandomized ? route_rng() : 0;
+    auto path = BuildPath(ev.src, ev.dst, entropy);
+    std::vector<std::int32_t> depth(path.size(), 1);
+    std::vector<std::int32_t> store_forward;
+    std::uint64_t tag = static_cast<std::uint64_t>(ci) << kTagClusterShift;
+    if (idx >= cfg.warmup_messages &&
+        idx < cfg.warmup_messages + cfg.measured_messages) {
+      tag |= kTagMeasured;
+    }
+    if (ci != cj) {
+      tag |= kTagInter;
+      // Concentrate and dispatch buffers sit after the ECN1(i) ascent and
+      // after the ICN2 egress link respectively.
+      const std::int64_t ls = ev.src - sys_.ClusterBase(ci);
+      const int nca_src =
+          ecn1_tree_[static_cast<std::size_t>(ci)]->NcaLevel(ls, 0);
+      const std::size_t r = static_cast<std::size_t>(nca_src == 0 ? 1 : nca_src);
+      const std::size_t icn2_links =
+          2 * static_cast<std::size_t>(icn2_tree_->NcaLevel(
+                  icn2_slot_[static_cast<std::size_t>(ci)],
+                  icn2_slot_[static_cast<std::size_t>(cj)]));
+      depth[r - 1] = cfg.condis_buffer_flits;
+      depth[r + icn2_links - 1] = cfg.condis_buffer_flits;
+      if (cfg.condis_mode == CondisMode::kStoreForward) {
+        if (cfg.condis_buffer_flits != 0) {
+          throw std::invalid_argument(
+              "store-and-forward C/D requires unbounded condis buffers");
+        }
+        // The message concentrates fully before re-injection, so the ICN2
+        // injection channel (position r) and the ECN1(j) descent entry
+        // (position r + 2l) are held only at their own networks' rates —
+        // matching the model's Eq. (36)-(38) M/G/1 service times.
+        store_forward.push_back(static_cast<std::int32_t>(r));
+        store_forward.push_back(static_cast<std::int32_t>(r + icn2_links));
+      }
+    }
+    engine.AddMessage(ev.time, std::move(path), std::move(depth), flits, tag,
+                      store_forward);
+  }
+
+  SimResult result;
+  result.per_cluster.resize(static_cast<std::size_t>(sys_.num_clusters()));
+  engine.Run([&result](const WormholeEngine::Delivery& d) {
+    if (d.user_tag & kTagMeasured) {
+      const double latency = d.deliver_time - d.gen_time;
+      result.latency.Add(latency);
+      ((d.user_tag & kTagInter) ? result.inter_latency : result.intra_latency)
+          .Add(latency);
+      result.per_cluster[static_cast<std::size_t>(d.user_tag >>
+                                                  kTagClusterShift)]
+          .Add(latency);
+    }
+  });
+  result.delivered = engine.delivered_count();
+  result.duration = engine.end_time();
+
+  for (std::int64_t ch = 0; ch < num_channels(); ++ch) {
+    NetworkUtilization* util = nullptr;
+    switch (channel_class_[static_cast<std::size_t>(ch)]) {
+      case NetClass::kIcn1:
+        util = &result.icn1_util;
+        break;
+      case NetClass::kEcn1:
+        util = &result.ecn1_util;
+        break;
+      case NetClass::kIcn2:
+        util = &result.icn2_util;
+        break;
+    }
+    const double busy = engine.ChannelBusyTime(static_cast<std::int32_t>(ch));
+    util->busy_time += busy;
+    util->max_busy_time = std::max(util->max_busy_time, busy);
+    util->channels += 1;
+  }
+  return result;
+}
+
+}  // namespace coc

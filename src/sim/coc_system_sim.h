@@ -1,0 +1,101 @@
+// Discrete-event simulation of the full cluster-of-clusters system
+// (the paper's §4 validation substrate, rebuilt from scratch).
+//
+// Instantiates one m-port n_i-tree per cluster for ICN1(i) and another for
+// ECN1(i), plus the global ICN2 m-port n_c-tree whose node slots host the
+// concentrator/dispatchers. Intra-cluster messages take the up*/down* ICN1
+// route; inter-cluster messages take the spine-tapped path
+//     ECN1(i) ascent (r links) -> ICN2 (2l links) -> ECN1(j) descent (v links)
+// which matches the analytical model's link accounting exactly (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/sim_config.h"
+#include "system/system_config.h"
+#include "topology/m_port_n_tree.h"
+
+namespace coc {
+
+/// How clusters' concentrator/dispatchers are assigned to ICN2 node slots.
+/// The paper does not specify an assignment; it matters because slots under
+/// one ICN2 leaf switch share that leaf's uplinks.
+enum class Icn2SlotPolicy : std::uint8_t {
+  /// Slot = cluster index, the paper's implicit reading. In the Table 1
+  /// organizations this packs equally-sized clusters under shared ICN2
+  /// leaves, which keeps their (heavy) mutual traffic leaf-local — measured
+  /// in bench/ablation_attach, it outperforms interleaving under the
+  /// default cut-through C/D discipline. Default.
+  kClusterMajor,
+  /// Stride clusters across leaf switches so adjacent (equally-sized)
+  /// clusters land under different leaves; spreads per-leaf load at the
+  /// cost of forcing heavy pairs through the root stage (ablation).
+  kInterleaved,
+};
+
+/// Builds the network once; each Run draws fresh traffic and replays the
+/// full warm-up / measurement / drain protocol.
+class CocSystemSim {
+ public:
+  explicit CocSystemSim(const SystemConfig& sys,
+                        Icn2SlotPolicy slot_policy = Icn2SlotPolicy::kClusterMajor);
+
+  /// ICN2 node slot hosting cluster i's concentrator/dispatcher.
+  std::int64_t Icn2Slot(int cluster) const {
+    return icn2_slot_[static_cast<std::size_t>(cluster)];
+  }
+
+  /// Runs one experiment and returns latency statistics over the measured
+  /// window plus channel utilization over the whole run.
+  SimResult Run(const SimConfig& cfg) const;
+
+  /// Channel sequence (global channel ids) a message from global node src to
+  /// global node dst traverses; exposed for tests and path-length audits.
+  /// `ascent_entropy` perturbs the ICN1/ICN2 ascent up-port choices
+  /// (0 = the paper's deterministic routing).
+  std::vector<std::int32_t> BuildPath(std::int64_t src, std::int64_t dst,
+                                      std::uint64_t ascent_entropy = 0) const;
+
+  /// Per-flit transmission time of every global channel, indexed by id.
+  const std::vector<double>& channel_flit_times() const { return flit_time_; }
+
+  /// Total number of global channels across all networks.
+  std::int64_t num_channels() const {
+    return static_cast<std::int64_t>(flit_time_.size());
+  }
+
+  /// Human-readable description of a global channel id, e.g.
+  /// "cluster 31 ECN1 switch L2 -> L3" or "ICN2 node 5 -> switch L1".
+  /// Used by the bottleneck example and diagnostics.
+  std::string DescribeChannel(std::int32_t id) const;
+
+ private:
+  enum class NetClass : std::uint8_t { kIcn1, kEcn1, kIcn2 };
+
+  // Appends a tree's channels to the global table with the given
+  // characteristics; returns the global id offset of the tree's channels.
+  std::int32_t RegisterTree(const MPortNTree& tree,
+                            const NetworkCharacteristics& net,
+                            NetClass net_class);
+
+  SystemConfig sys_;
+  // One ICN1 and one ECN1 topology object per distinct depth n_i (clusters
+  // with equal n_i share the immutable topology object but have their own
+  // channel id ranges).
+  std::vector<const MPortNTree*> icn1_tree_;  // per cluster, borrowed
+  std::vector<const MPortNTree*> ecn1_tree_;  // per cluster, borrowed
+  std::vector<std::unique_ptr<MPortNTree>> owned_trees_;
+  std::unique_ptr<MPortNTree> icn2_tree_;
+  std::vector<std::int32_t> icn1_offset_;  // per cluster
+  std::vector<std::int32_t> ecn1_offset_;  // per cluster
+  std::int32_t icn2_offset_ = 0;
+  std::vector<std::int64_t> icn2_slot_;  // cluster -> ICN2 node slot
+  std::vector<double> flit_time_;
+  std::vector<NetClass> channel_class_;
+};
+
+}  // namespace coc

@@ -1,0 +1,46 @@
+// Simulation outputs: latency statistics and channel-class utilization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace coc {
+
+/// Aggregated utilization of one network class (all ICN1s, all ECN1s, or the
+/// ICN2): total flit-transmission busy time over total channel-time.
+struct NetworkUtilization {
+  double busy_time = 0;       ///< sum over channels of transmitting time, us
+  double max_busy_time = 0;   ///< busiest single channel's transmitting time
+  std::int64_t channels = 0;  ///< number of channels in the class
+  /// Mean utilization in [0, 1] given the simulated makespan.
+  double Mean(double duration) const {
+    return (channels > 0 && duration > 0)
+               ? busy_time / (static_cast<double>(channels) * duration)
+               : 0.0;
+  }
+  /// Utilization of the hottest channel in the class — the quantity that
+  /// actually pins the saturation point.
+  double Max(double duration) const {
+    return duration > 0 ? max_busy_time / duration : 0.0;
+  }
+};
+
+/// Result of one simulation run.
+struct SimResult {
+  RunningStats latency;        ///< measured-window message latency (us)
+  RunningStats intra_latency;  ///< intra-cluster subset
+  RunningStats inter_latency;  ///< inter-cluster subset
+  /// Latency by *source* cluster — the simulated counterpart of the model's
+  /// per-cluster blend l^(i) (Eq. 1).
+  std::vector<RunningStats> per_cluster;
+  std::int64_t delivered = 0;  ///< total delivered messages (all phases)
+  double duration = 0;         ///< simulated time until last delivery, us
+
+  NetworkUtilization icn1_util;
+  NetworkUtilization ecn1_util;
+  NetworkUtilization icn2_util;
+};
+
+}  // namespace coc

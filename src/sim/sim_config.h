@@ -1,0 +1,79 @@
+// Configuration of a simulation experiment (paper §4 methodology).
+#pragma once
+
+#include <cstdint>
+
+namespace coc {
+
+/// Synthetic traffic patterns. kUniform is the paper's assumption 2; the
+/// others implement the paper's stated future work (non-uniform traffic).
+enum class TrafficPattern : std::uint8_t {
+  kUniform,        ///< destination uniform over the other N-1 nodes
+  kHotspot,        ///< with probability hotspot_fraction -> fixed hot node,
+                   ///< otherwise uniform
+  kClusterLocal,   ///< with probability locality_fraction -> own cluster,
+                   ///< otherwise uniform over remote nodes
+  kPermutation,    ///< fixed random derangement of the nodes
+};
+
+/// How the concentrator/dispatcher devices forward messages between the
+/// ECN1 networks and ICN2. The paper is ambiguous: §3.2 computes the merged
+/// pipeline "as a merge unit" under wormhole (= cut-through), while
+/// Eqs. (36)-(38) model the C/D as an M/G/1 server with deterministic
+/// service M t_cs(ICN2) (= store-and-forward). The two differ measurably:
+/// cut-through reproduces the paper's 4-8% light-load accuracy claim but
+/// the ICN2 injection link inherits the slower ECN1 flit supply rate, while
+/// store-and-forward reproduces the model's saturation point but adds
+/// ~2 M t_cs of serialization at light load (see EXPERIMENTS.md).
+enum class CondisMode : std::uint8_t {
+  kCutThrough,    ///< wormhole continues through the C/D (default)
+  kStoreForward,  ///< the C/D accumulates the message before re-injecting
+};
+
+/// One simulation run. The paper gathers statistics over 100k messages after
+/// a 10k warm-up, with a 10k drain tail; those are the COC_FULL defaults —
+/// the ctest/bench default is a lighter budget with the same structure.
+struct SimConfig {
+  double lambda_g = 1e-4;  ///< per-node Poisson generation rate (msgs/us)
+
+  std::int64_t warmup_messages = 2000;    ///< generated, not measured (head)
+  std::int64_t measured_messages = 20000; ///< latency statistics window
+  std::int64_t drain_messages = 2000;     ///< generated, not measured (tail)
+
+  std::uint64_t seed = 1;
+
+  /// C/D forwarding discipline (see CondisMode).
+  CondisMode condis_mode = CondisMode::kCutThrough;
+
+  /// Ascent-phase routing. The paper uses deterministic routing; the
+  /// randomized variant (Valiant-style oblivious up-port choice) is the
+  /// load-balancing ablation for adversarial traffic patterns. It applies
+  /// to ICN1 routes and the ICN2 leg; ECN1 ascents are pinned to the
+  /// concentrator spine by construction.
+  enum class AscentPolicy : std::uint8_t { kDeterministic, kRandomized };
+  AscentPolicy ascent = AscentPolicy::kDeterministic;
+
+  /// Input-buffer depth (flits) of the concentrator/dispatcher taps. 0 means
+  /// unbounded (deep concentrate/dispatch buffers, matching the model's
+  /// M/G/1 treatment); 1 reduces the C/D to a plain wormhole switch
+  /// (ablation). kStoreForward requires 0.
+  int condis_buffer_flits = 0;
+
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  double hotspot_fraction = 0.1;   ///< kHotspot: share of traffic to hot node
+  std::int64_t hotspot_node = 0;   ///< kHotspot: global id of the hot node
+  double locality_fraction = 0.8;  ///< kClusterLocal: share kept in-cluster
+
+  /// Paper-faithful phase sizes (10k / 100k / 10k).
+  static SimConfig PaperProtocol(double lambda, std::uint64_t seed = 1) {
+    SimConfig c;
+    c.lambda_g = lambda;
+    c.warmup_messages = 10000;
+    c.measured_messages = 100000;
+    c.drain_messages = 10000;
+    c.seed = seed;
+    return c;
+  }
+};
+
+}  // namespace coc

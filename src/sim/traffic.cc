@@ -1,0 +1,119 @@
+#include "sim/traffic.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace coc {
+namespace {
+
+/// Uniform destination over the other N-1 nodes (paper assumption 2).
+std::int64_t UniformDest(Rng& rng, std::int64_t n, std::int64_t src) {
+  const auto d = static_cast<std::int64_t>(
+      rng.NextBounded(static_cast<std::uint64_t>(n - 1)));
+  return d >= src ? d + 1 : d;
+}
+
+/// Uniform destination within [base, base+size) excluding src.
+std::int64_t UniformWithin(Rng& rng, std::int64_t base, std::int64_t size,
+                           std::int64_t src) {
+  const auto local_src = src - base;
+  const auto d = static_cast<std::int64_t>(
+      rng.NextBounded(static_cast<std::uint64_t>(size - 1)));
+  return base + (d >= local_src ? d + 1 : d);
+}
+
+/// Uniform destination outside [base, base+size).
+std::int64_t UniformOutside(Rng& rng, std::int64_t n, std::int64_t base,
+                            std::int64_t size) {
+  const auto d = static_cast<std::int64_t>(
+      rng.NextBounded(static_cast<std::uint64_t>(n - size)));
+  return d >= base ? d + size : d;
+}
+
+/// A random derangement (fixed-point-free permutation) by repeated shuffling.
+std::vector<std::int64_t> Derangement(Rng& rng, std::int64_t n) {
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), std::int64_t{0});
+  bool ok = false;
+  while (!ok) {
+    for (std::int64_t i = n - 1; i > 0; --i) {
+      const auto j = static_cast<std::int64_t>(
+          rng.NextBounded(static_cast<std::uint64_t>(i + 1)));
+      std::swap(perm[static_cast<std::size_t>(i)],
+                perm[static_cast<std::size_t>(j)]);
+    }
+    ok = true;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (perm[static_cast<std::size_t>(i)] == i) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  return perm;
+}
+
+}  // namespace
+
+std::vector<TrafficEvent> GenerateTraffic(const SystemConfig& sys,
+                                          const SimConfig& cfg,
+                                          std::int64_t count) {
+  if (sys.TotalNodes() < 2) {
+    throw std::invalid_argument("traffic needs at least two nodes");
+  }
+  if (cfg.lambda_g <= 0) {
+    throw std::invalid_argument("lambda_g must be > 0");
+  }
+  Rng rng(cfg.seed);
+  const std::int64_t n = sys.TotalNodes();
+  const double system_rate = cfg.lambda_g * static_cast<double>(n);
+
+  std::vector<std::int64_t> perm;
+  if (cfg.pattern == TrafficPattern::kPermutation) {
+    perm = Derangement(rng, n);
+  }
+
+  std::vector<TrafficEvent> events;
+  events.reserve(static_cast<std::size_t>(count));
+  double t = 0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    t += rng.NextExponential(system_rate);
+    const auto src = static_cast<std::int64_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(n)));
+    std::int64_t dst = 0;
+    switch (cfg.pattern) {
+      case TrafficPattern::kUniform:
+        dst = UniformDest(rng, n, src);
+        break;
+      case TrafficPattern::kHotspot:
+        if (rng.NextDouble() < cfg.hotspot_fraction &&
+            cfg.hotspot_node != src) {
+          dst = cfg.hotspot_node;
+        } else {
+          dst = UniformDest(rng, n, src);
+        }
+        break;
+      case TrafficPattern::kClusterLocal: {
+        const int c = sys.ClusterOfNode(src);
+        const auto base = sys.ClusterBase(c);
+        const auto size = sys.NodesInCluster(c);
+        const bool can_stay = size > 1;
+        const bool can_leave = size < n;
+        if (can_stay &&
+            (!can_leave || rng.NextDouble() < cfg.locality_fraction)) {
+          dst = UniformWithin(rng, base, size, src);
+        } else {
+          dst = UniformOutside(rng, n, base, size);
+        }
+        break;
+      }
+      case TrafficPattern::kPermutation:
+        dst = perm[static_cast<std::size_t>(src)];
+        break;
+    }
+    events.push_back(TrafficEvent{t, src, dst});
+  }
+  return events;
+}
+
+}  // namespace coc

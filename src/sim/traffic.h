@@ -1,0 +1,33 @@
+// Synthetic workload generation (paper §4 and assumption 1-2, plus the
+// non-uniform patterns named as future work in §5).
+//
+// Per-node independent Poisson processes with rate lambda_g superpose to a
+// system-wide Poisson process with rate N lambda_g whose arrivals are
+// attributed to uniformly random source nodes — the generator draws the
+// superposed process directly, which is statistically identical and lets the
+// total message count be controlled exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/sim_config.h"
+#include "system/system_config.h"
+
+namespace coc {
+
+/// One generated message (before routing).
+struct TrafficEvent {
+  double time;
+  std::int64_t src;  // global node id
+  std::int64_t dst;  // global node id, != src
+};
+
+/// Draws the full arrival sequence for a run: `count` messages, time-ordered.
+/// Destinations follow the configured pattern; sources are uniform.
+std::vector<TrafficEvent> GenerateTraffic(const SystemConfig& sys,
+                                          const SimConfig& cfg,
+                                          std::int64_t count);
+
+}  // namespace coc

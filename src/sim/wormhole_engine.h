@@ -1,0 +1,124 @@
+// Flit-level discrete-event wormhole engine.
+//
+// Topology-agnostic: a message is a sequence of channels (its precomputed
+// deterministic route) plus per-position input-buffer depths; the engine
+// enforces wormhole flow control exactly (paper assumption 6):
+//
+//   * a message's header acquires channels hop by hop; channels are granted
+//     FIFO and held exclusively until the tail flit passes;
+//   * flit f starts on channel k only when (a) it has fully crossed channel
+//     k-1, (b) channel k finished flit f-1, and (c) the single-flit input
+//     buffer at channel k's downstream has room (its previous occupant
+//     started on channel k+1);
+//   * when blocked, the message stalls in place holding every acquired
+//     channel (no virtual channels);
+//   * channel k is released when the tail starts on channel k+1 (for
+//     unit buffers; deeper buffers release on tail arrival, modelling the
+//     store-and-forward concentrate/dispatch buffers).
+//
+// Every flit transmission is one heap event, so the schedule is exact up to
+// the documented buffer-handoff approximation (DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace coc {
+
+class WormholeEngine {
+ public:
+  /// One delivered message, reported through the Run() callback.
+  struct Delivery {
+    std::int64_t msg;
+    double gen_time;
+    double deliver_time;
+    std::uint64_t user_tag;
+  };
+
+  /// Creates an engine over a fixed set of channels with the given per-flit
+  /// transmission times.
+  explicit WormholeEngine(std::vector<double> channel_flit_times);
+
+  /// Registers a message to be injected at gen_time. `path` is the channel
+  /// sequence from source to destination (non-empty). `depth_after[k]` is
+  /// the input-buffer depth (flits) at the downstream end of path[k];
+  /// 0 means unbounded. `store_forward` lists path positions whose channel
+  /// the header may only request after the *whole* message has accumulated
+  /// in that position's input buffer — this models the concentrator/
+  /// dispatcher devices, which concentrate a message before re-injecting it
+  /// (the buffer feeding a store-and-forward position must be unbounded).
+  /// `user_tag` is opaque round-trip data for the caller. All messages must
+  /// be added before Run(). Returns the message id.
+  std::int64_t AddMessage(double gen_time, std::vector<std::int32_t> path,
+                          std::vector<std::int32_t> depth_after, int flits,
+                          std::uint64_t user_tag,
+                          const std::vector<std::int32_t>& store_forward = {});
+
+  /// Runs the simulation to completion (all registered messages delivered),
+  /// invoking on_deliver once per message in delivery-time order.
+  void Run(const std::function<void(const Delivery&)>& on_deliver);
+
+  /// Total time channel `ch` spent transmitting flits (for utilization).
+  double ChannelBusyTime(std::int32_t ch) const {
+    return busy_time_[static_cast<std::size_t>(ch)];
+  }
+
+  std::int64_t delivered_count() const { return delivered_; }
+  /// Simulated time of the last delivery.
+  double end_time() const { return end_time_; }
+
+ private:
+  struct MsgState {
+    double gen_time;
+    std::uint64_t user_tag;
+    std::vector<std::int32_t> path;
+    std::vector<std::int32_t> depth_after;
+    std::vector<std::uint8_t> sent;     // flits started per position
+    std::vector<std::uint8_t> arrived;  // flits arrived per position
+    std::vector<std::uint8_t> granted;  // channel ownership per position
+    std::vector<std::uint8_t> store_forward;  // request only after full arrival
+    std::int16_t header_pos = 0;        // position being requested/acquired
+    std::int16_t flits = 0;
+  };
+
+  struct ChannelState {
+    std::int64_t owner = -1;
+    std::deque<std::int64_t> waiters;
+  };
+
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    std::int64_t msg;
+    std::int16_t pos;   // path position; -1 for generation events
+    std::int16_t flit;  // arriving flit; ignored for generation events
+
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  void Schedule(double time, std::int64_t msg, std::int16_t pos,
+                std::int16_t flit);
+  void Request(std::int64_t msg, int pos, double now);
+  void ReleaseChannel(std::int32_t ch, double now);
+  /// Attempts to start the next flit of `msg` on path position `pos`;
+  /// cascades upstream when a buffer slot frees.
+  void TrySend(std::int64_t msg, int pos, double now);
+  void OnArrive(const Event& e);
+
+  std::vector<double> flit_time_;
+  std::vector<double> busy_time_;
+  std::vector<ChannelState> channels_;
+  std::vector<MsgState> messages_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  const std::function<void(const Delivery&)>* on_deliver_ = nullptr;
+  std::uint64_t seq_ = 0;
+  std::int64_t delivered_ = 0;
+  double end_time_ = 0;
+};
+
+}  // namespace coc

@@ -1,0 +1,64 @@
+// Network characteristics and message format (paper Table 2 and §3 Eqs. 11-12).
+//
+// Unit system: time in microseconds, bandwidth in bytes/us (numerically equal
+// to MB/s), so beta = 1/bandwidth is the transmission time of one byte. Only
+// ratios matter for curve shape; Table 2's numbers are used verbatim.
+#pragma once
+
+#include <stdexcept>
+
+namespace coc {
+
+/// Per-network physical parameters (paper Table 2 rows).
+struct NetworkCharacteristics {
+  double bandwidth = 0;        ///< bytes per microsecond (== MB/s)
+  double network_latency = 0;  ///< alpha_n: wire/NIC latency per node link, us
+  double switch_latency = 0;   ///< alpha_s: switch traversal latency, us
+
+  /// beta_n: transmission time of one byte (inverse bandwidth), us/byte.
+  double beta() const { return 1.0 / bandwidth; }
+
+  /// t_cn (Eq. 11): per-flit time of a node<->switch link. The 0.5 factor
+  /// splits the network latency between the two node links of a path.
+  double TCn(double flit_bytes) const {
+    return 0.5 * network_latency + flit_bytes * beta();
+  }
+
+  /// t_cs (Eq. 12): per-flit time of a switch<->switch link.
+  double TCs(double flit_bytes) const {
+    return switch_latency + flit_bytes * beta();
+  }
+
+  void Validate() const {
+    if (bandwidth <= 0) throw std::invalid_argument("bandwidth must be > 0");
+    if (network_latency < 0 || switch_latency < 0) {
+      throw std::invalid_argument("latencies must be >= 0");
+    }
+  }
+
+  friend bool operator==(const NetworkCharacteristics&,
+                         const NetworkCharacteristics&) = default;
+};
+
+/// Fixed-length message format (paper assumption 7).
+struct MessageFormat {
+  int length_flits = 32;    ///< M: message length in flits
+  double flit_bytes = 256;  ///< d_m: flit length in bytes
+
+  void Validate() const {
+    if (length_flits < 1) throw std::invalid_argument("M must be >= 1");
+    if (flit_bytes <= 0) throw std::invalid_argument("d_m must be > 0");
+  }
+
+  friend bool operator==(const MessageFormat&, const MessageFormat&) = default;
+};
+
+/// Paper Table 2, row "Net.1": bandwidth 500, network latency 0.01, switch
+/// latency 0.02. Used for ICN1 and ICN2 in the validation experiments.
+inline NetworkCharacteristics Net1() { return {500.0, 0.01, 0.02}; }
+
+/// Paper Table 2, row "Net.2": bandwidth 250, network latency 0.05, switch
+/// latency 0.01. Used for ECN1 in the validation experiments.
+inline NetworkCharacteristics Net2() { return {250.0, 0.05, 0.01}; }
+
+}  // namespace coc

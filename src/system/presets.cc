@@ -1,0 +1,51 @@
+#include "system/presets.h"
+
+namespace coc {
+namespace {
+
+std::vector<ClusterConfig> UniformClusters(int count, int n,
+                                           NetworkCharacteristics icn1,
+                                           NetworkCharacteristics ecn1) {
+  std::vector<ClusterConfig> clusters(static_cast<std::size_t>(count));
+  for (auto& c : clusters) c = ClusterConfig{n, icn1, ecn1};
+  return clusters;
+}
+
+}  // namespace
+
+SystemConfig MakeSystem1120(MessageFormat message) {
+  std::vector<ClusterConfig> clusters;
+  clusters.reserve(32);
+  for (int i = 0; i < 32; ++i) {
+    const int n = i <= 11 ? 1 : (i <= 27 ? 2 : 3);
+    clusters.push_back(ClusterConfig{n, Net1(), Net2()});
+  }
+  return SystemConfig(/*m=*/8, std::move(clusters), /*icn2=*/Net1(), message);
+}
+
+SystemConfig MakeSystem544(MessageFormat message) {
+  std::vector<ClusterConfig> clusters;
+  clusters.reserve(16);
+  for (int i = 0; i < 16; ++i) {
+    const int n = i <= 7 ? 3 : (i <= 10 ? 4 : 5);
+    clusters.push_back(ClusterConfig{n, Net1(), Net2()});
+  }
+  return SystemConfig(/*m=*/4, std::move(clusters), /*icn2=*/Net1(), message);
+}
+
+SystemConfig MakeSmallSystem(MessageFormat message) {
+  std::vector<ClusterConfig> clusters;
+  clusters.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    const int n = i < 3 ? 1 : (i < 6 ? 2 : 3);
+    clusters.push_back(ClusterConfig{n, Net1(), Net2()});
+  }
+  return SystemConfig(/*m=*/4, std::move(clusters), /*icn2=*/Net1(), message);
+}
+
+SystemConfig MakeTinySystem(MessageFormat message) {
+  return SystemConfig(/*m=*/4, UniformClusters(4, 2, Net1(), Net2()),
+                      /*icn2=*/Net1(), message);
+}
+
+}  // namespace coc

@@ -1,0 +1,26 @@
+// The paper's validation configurations (Tables 1 and 2) as ready-made
+// SystemConfig factories, plus small systems for tests and examples.
+#pragma once
+
+#include "system/system_config.h"
+
+namespace coc {
+
+/// Paper Table 1, row 1: N=1120, C=32, m=8; n_i = 1 for i in [0,11],
+/// n_i = 2 for i in [12,27], n_i = 3 for i in [28,31].
+/// Networks per Table 2: ICN1 = ICN2 = Net.1, ECN1 = Net.2.
+SystemConfig MakeSystem1120(MessageFormat message);
+
+/// Paper Table 1, row 2: N=544, C=16, m=4; n_i = 3 for i in [0,7],
+/// n_i = 4 for i in [8,10], n_i = 5 for i in [11,15]. Networks as above.
+SystemConfig MakeSystem544(MessageFormat message);
+
+/// A small heterogeneous system (C=8, m=4, mixed n_i in {1,2,3}) that keeps
+/// exact ICN2 fit; used by tests, examples, and fast validation sweeps.
+SystemConfig MakeSmallSystem(MessageFormat message);
+
+/// A homogeneous two-network system (C=4, m=4, all n_i equal) for
+/// quickstart-style demos.
+SystemConfig MakeTinySystem(MessageFormat message);
+
+}  // namespace coc

@@ -1,0 +1,60 @@
+#include "system/system_config.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coc {
+
+SystemConfig::SystemConfig(int m, std::vector<ClusterConfig> clusters,
+                           NetworkCharacteristics icn2, MessageFormat message)
+    : m_(m),
+      clusters_(std::move(clusters)),
+      icn2_(icn2),
+      message_(message) {
+  if (m_ < 4 || m_ % 2 != 0) {
+    throw std::invalid_argument("switch arity m must be even and >= 4");
+  }
+  if (clusters_.empty()) {
+    throw std::invalid_argument("system needs at least one cluster");
+  }
+  icn2_.Validate();
+  message_.Validate();
+
+  const int k = m_ / 2;
+  cluster_sizes_.reserve(clusters_.size());
+  cluster_bases_.reserve(clusters_.size());
+  for (const auto& c : clusters_) {
+    if (c.n < 1) throw std::invalid_argument("cluster depth n_i must be >= 1");
+    c.icn1.Validate();
+    c.ecn1.Validate();
+    std::int64_t size = 2;
+    for (int j = 0; j < c.n; ++j) size *= k;
+    cluster_bases_.push_back(total_nodes_);
+    cluster_sizes_.push_back(size);
+    total_nodes_ += size;
+  }
+
+  const auto c_count = static_cast<std::int64_t>(clusters_.size());
+  std::int64_t slots = 2 * k;
+  icn2_depth_ = 1;
+  while (slots < c_count) {
+    slots *= k;
+    ++icn2_depth_;
+  }
+  icn2_exact_fit_ = (slots == c_count);
+}
+
+double SystemConfig::OutgoingProbability(int i) const {
+  if (total_nodes_ <= 1) return 0.0;
+  const double ni = static_cast<double>(NodesInCluster(i));
+  const double n = static_cast<double>(total_nodes_);
+  return 1.0 - (ni - 1.0) / (n - 1.0);
+}
+
+int SystemConfig::ClusterOfNode(std::int64_t global_node) const {
+  const auto it = std::upper_bound(cluster_bases_.begin(),
+                                   cluster_bases_.end(), global_node);
+  return static_cast<int>(it - cluster_bases_.begin()) - 1;
+}
+
+}  // namespace coc

@@ -1,0 +1,84 @@
+// Description of a heterogeneous cluster-of-clusters system (paper §2, Fig. 1).
+//
+// The system has C clusters sharing the switch arity m. Cluster i is an
+// m-port n_i-tree with N_i = 2(m/2)^{n_i} nodes and owns two networks:
+// ICN1(i) for intra-cluster traffic and ECN1(i) for inter-cluster access.
+// A global m-port n_c-tree (ICN2) connects the per-cluster
+// concentrator/dispatchers, which occupy its node slots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "system/network_characteristics.h"
+
+namespace coc {
+
+/// Per-cluster description: tree depth and the characteristics of its two
+/// networks (paper assumption 5: networks may differ per cluster).
+struct ClusterConfig {
+  int n = 1;  ///< tree depth n_i; cluster size N_i = 2(m/2)^{n_i}
+  NetworkCharacteristics icn1;  ///< intra-cluster network
+  NetworkCharacteristics ecn1;  ///< inter-cluster access network
+};
+
+/// Full system description plus derived quantities used by both the
+/// analytical model and the simulator.
+class SystemConfig {
+ public:
+  /// Validates and precomputes sizes. Throws std::invalid_argument on
+  /// malformed input (odd m, empty cluster list, non-positive rates...).
+  SystemConfig(int m, std::vector<ClusterConfig> clusters,
+               NetworkCharacteristics icn2, MessageFormat message);
+
+  int m() const { return m_; }
+  int k() const { return m_ / 2; }
+  /// Number of clusters C.
+  int num_clusters() const { return static_cast<int>(clusters_.size()); }
+  const ClusterConfig& cluster(int i) const {
+    return clusters_[static_cast<std::size_t>(i)];
+  }
+  const NetworkCharacteristics& icn2() const { return icn2_; }
+  const MessageFormat& message() const { return message_; }
+
+  /// N_i = 2(m/2)^{n_i}.
+  std::int64_t NodesInCluster(int i) const {
+    return cluster_sizes_[static_cast<std::size_t>(i)];
+  }
+  /// Total system size N = sum N_i.
+  std::int64_t TotalNodes() const { return total_nodes_; }
+
+  /// ICN2 tree depth n_c: the smallest depth whose m-port n_c-tree has at
+  /// least C node slots. Equals the paper's exact-fit C = 2(m/2)^{n_c} for
+  /// the validation organizations; partial occupancy is allowed for
+  /// exploratory configurations (the model then uses the exact NCA census of
+  /// the occupied slots instead of Eq. 6).
+  int icn2_depth() const { return icn2_depth_; }
+  /// Whether C fills the ICN2 tree exactly (paper's assumption).
+  bool icn2_exact_fit() const { return icn2_exact_fit_; }
+
+  /// U^(i), Eq. (2): probability a message from cluster i leaves the cluster
+  /// (uniform destinations over the other N-1 nodes).
+  double OutgoingProbability(int i) const;
+
+  /// Global node numbering: cluster-major, i.e. node g belongs to the
+  /// cluster whose [base, base+N_i) interval contains g.
+  std::int64_t ClusterBase(int i) const {
+    return cluster_bases_[static_cast<std::size_t>(i)];
+  }
+  /// Maps a global node id to its cluster index.
+  int ClusterOfNode(std::int64_t global_node) const;
+
+ private:
+  int m_;
+  std::vector<ClusterConfig> clusters_;
+  NetworkCharacteristics icn2_;
+  MessageFormat message_;
+  std::vector<std::int64_t> cluster_sizes_;
+  std::vector<std::int64_t> cluster_bases_;
+  std::int64_t total_nodes_ = 0;
+  int icn2_depth_ = 1;
+  bool icn2_exact_fit_ = false;
+};
+
+}  // namespace coc

@@ -1,0 +1,224 @@
+#include "topology/m_port_n_tree.h"
+
+#include <stdexcept>
+
+namespace coc {
+namespace {
+
+constexpr int kMaxDigits = 32;
+
+}  // namespace
+
+MPortNTree::MPortNTree(int m, int n) : m_(m), n_(n), k_(m / 2) {
+  if (m < 4 || m % 2 != 0) {
+    throw std::invalid_argument("m-port n-tree requires even m >= 4");
+  }
+  if (n < 1 || n > 20) {
+    throw std::invalid_argument("m-port n-tree requires 1 <= n <= 20");
+  }
+  pow_k_.resize(static_cast<std::size_t>(n_) + 1);
+  pow_k_[0] = 1;
+  for (int i = 1; i <= n_; ++i) pow_k_[static_cast<std::size_t>(i)] = pow_k_[static_cast<std::size_t>(i - 1)] * k_;
+  num_nodes_ = 2 * pow_k_[static_cast<std::size_t>(n_)];
+  num_switches_ = (2 * n_ - 1) * pow_k_[static_cast<std::size_t>(n_ - 1)];
+
+  // Channel id layout: [node up | node down | level 1 up | level 1 down |
+  // level 2 up | ...]. Each switch level contributes N channels per
+  // direction (2 k^{n-1} switches * k up-ports).
+  level_channel_base_.assign(static_cast<std::size_t>(n_), 0);
+  std::int64_t base = 2 * num_nodes_;
+  for (int l = 1; l <= n_ - 1; ++l) {
+    level_channel_base_[static_cast<std::size_t>(l)] = base;
+    base += 2 * num_nodes_;
+  }
+  channels_.resize(static_cast<std::size_t>(base));
+
+  int digits[kMaxDigits];
+  for (std::int64_t node = 0; node < num_nodes_; ++node) {
+    NodeDigits(node, digits);
+    const std::int64_t leaf = SwitchIndex(1, digits, 0);
+    channels_[static_cast<std::size_t>(NodeUpChannel(node))] = ChannelInfo{
+        ChannelKind::kNodeToSwitch, Endpoint{true, 0, node},
+        Endpoint{false, 1, leaf}};
+    channels_[static_cast<std::size_t>(NodeDownChannel(node))] = ChannelInfo{
+        ChannelKind::kSwitchToNode, Endpoint{false, 1, leaf},
+        Endpoint{true, 0, node}};
+  }
+  for (int l = 1; l <= n_ - 1; ++l) {
+    const std::int64_t count = SwitchesAtLevel(l);
+    const std::int64_t rep = pow_k_[static_cast<std::size_t>(l - 1)];
+    for (std::int64_t sw = 0; sw < count; ++sw) {
+      const std::int64_t h_idx = sw / rep;
+      const std::int64_t r = sw % rep;
+      for (int u = 0; u < k_; ++u) {
+        const std::int64_t r_parent = r + static_cast<std::int64_t>(u) * rep;
+        const std::int64_t parent =
+            (l + 1 == n_) ? r_parent : (h_idx / k_) * (rep * k_) + r_parent;
+        channels_[static_cast<std::size_t>(UpChannel(l, sw, u))] = ChannelInfo{
+            ChannelKind::kSwitchUp, Endpoint{false, l, sw},
+            Endpoint{false, l + 1, parent}};
+        channels_[static_cast<std::size_t>(DownChannel(l, sw, u))] =
+            ChannelInfo{ChannelKind::kSwitchDown, Endpoint{false, l + 1, parent},
+                        Endpoint{false, l, sw}};
+      }
+    }
+  }
+}
+
+std::int64_t MPortNTree::SwitchesAtLevel(int level) const {
+  if (level < 1 || level > n_) return 0;
+  return (level == n_ ? 1 : 2) * pow_k_[static_cast<std::size_t>(n_ - 1)];
+}
+
+void MPortNTree::NodeDigits(std::int64_t node, int* digits) const {
+  const std::int64_t top_weight = pow_k_[static_cast<std::size_t>(n_ - 1)];
+  digits[n_ - 1] = static_cast<int>(node / top_weight);
+  std::int64_t rest = node % top_weight;
+  for (int j = 0; j < n_ - 1; ++j) {
+    digits[j] = static_cast<int>(rest % k_);
+    rest /= k_;
+  }
+}
+
+std::int64_t MPortNTree::SwitchIndex(int level, const int* node_digits,
+                                     std::int64_t r_packed) const {
+  if (level == n_) return r_packed;
+  // H packs (p_{n-1}, ..., p_level) with p_{n-1} as the most significant
+  // digit (range 2k) and the rest base k.
+  std::int64_t h_idx = node_digits[n_ - 1];
+  for (int j = n_ - 2; j >= level; --j) h_idx = h_idx * k_ + node_digits[j];
+  return h_idx * pow_k_[static_cast<std::size_t>(level - 1)] + r_packed;
+}
+
+std::int64_t MPortNTree::UpChannel(int level, std::int64_t sw, int u) const {
+  return level_channel_base_[static_cast<std::size_t>(level)] +
+         sw * k_ + u;
+}
+
+std::int64_t MPortNTree::DownChannel(int level, std::int64_t sw, int u) const {
+  return level_channel_base_[static_cast<std::size_t>(level)] + num_nodes_ +
+         sw * k_ + u;
+}
+
+std::int64_t MPortNTree::NodeUpChannel(std::int64_t node) const { return node; }
+
+std::int64_t MPortNTree::NodeDownChannel(std::int64_t node) const {
+  return num_nodes_ + node;
+}
+
+int MPortNTree::NcaLevel(std::int64_t src, std::int64_t dst) const {
+  if (src == dst) return 0;
+  int p[kMaxDigits], q[kMaxDigits];
+  NodeDigits(src, p);
+  NodeDigits(dst, q);
+  for (int j = n_ - 1; j >= 0; --j) {
+    if (p[j] != q[j]) return j + 1;
+  }
+  return 0;
+}
+
+std::vector<std::int64_t> MPortNTree::Route(std::int64_t src,
+                                            std::int64_t dst) const {
+  return RouteWithEntropy(src, dst, 0);
+}
+
+std::vector<std::int64_t> MPortNTree::RouteWithEntropy(
+    std::int64_t src, std::int64_t dst, std::uint64_t entropy) const {
+  std::vector<std::int64_t> path;
+  const int h = NcaLevel(src, dst);
+  if (h == 0) return path;
+  path.reserve(static_cast<std::size_t>(2 * h));
+
+  int p[kMaxDigits], q[kMaxDigits];
+  NodeDigits(src, p);
+  NodeDigits(dst, q);
+
+  // Ascent: node -> leaf, then up through levels 1..h-1 choosing up-port
+  // u_j = q_{j-1} (deterministic destination-digit ascent), perturbed by
+  // the base-k digits of `entropy` for the randomized variant.
+  path.push_back(NodeUpChannel(src));
+  std::int64_t r = 0;  // replication tuple accumulated so far, packed
+  std::uint64_t e = entropy;
+  for (int j = 1; j <= h - 1; ++j) {
+    const std::int64_t sw = SwitchIndex(j, p, r);
+    const int u = (q[j - 1] + static_cast<int>(e % static_cast<std::uint64_t>(
+                                  k_))) % k_;
+    e /= static_cast<std::uint64_t>(k_);
+    path.push_back(UpChannel(j, sw, u));
+    r += static_cast<std::int64_t>(u) * pow_k_[static_cast<std::size_t>(j - 1)];
+  }
+  // Descent: from the NCA at level h down along destination digits. The
+  // down channel from level l to l-1 is identified by the child switch and
+  // the child's up-port, which is the top digit of the parent's packed R.
+  for (int l = h; l >= 2; --l) {
+    const std::int64_t rep = pow_k_[static_cast<std::size_t>(l - 2)];
+    const int u = static_cast<int>(r / rep);
+    r %= rep;
+    const std::int64_t child = SwitchIndex(l - 1, q, r);
+    path.push_back(DownChannel(l - 1, child, u));
+  }
+  path.push_back(NodeDownChannel(dst));
+  return path;
+}
+
+std::vector<std::int64_t> MPortNTree::AscendToSpine(std::int64_t src,
+                                                    std::int64_t anchor) const {
+  // Exit level r: the NCA level between src and the anchor's spine, with a
+  // message from the anchor's own leaf exiting at level 1.
+  const int nca = NcaLevel(src, anchor);
+  const int r_level = nca == 0 ? 1 : nca;
+
+  int p[kMaxDigits], a[kMaxDigits];
+  NodeDigits(src, p);
+  NodeDigits(anchor, a);
+
+  std::vector<std::int64_t> path;
+  path.reserve(static_cast<std::size_t>(r_level));
+  path.push_back(NodeUpChannel(src));
+  std::int64_t r = 0;
+  for (int j = 1; j <= r_level - 1; ++j) {
+    const std::int64_t sw = SwitchIndex(j, p, r);
+    const int u = a[j - 1];
+    path.push_back(UpChannel(j, sw, u));
+    r += static_cast<std::int64_t>(u) * pow_k_[static_cast<std::size_t>(j - 1)];
+  }
+  return path;
+}
+
+std::vector<std::int64_t> MPortNTree::DescendFromSpine(
+    std::int64_t dst, std::int64_t anchor) const {
+  const int nca = NcaLevel(dst, anchor);
+  const int v_level = nca == 0 ? 1 : nca;
+
+  int q[kMaxDigits], a[kMaxDigits];
+  NodeDigits(dst, q);
+  NodeDigits(anchor, a);
+
+  // The spine switch at level v has replication tuple (a_0 .. a_{v-2}).
+  std::int64_t r = 0;
+  for (int t = 0; t <= v_level - 2; ++t) {
+    r += static_cast<std::int64_t>(a[t]) * pow_k_[static_cast<std::size_t>(t)];
+  }
+  std::vector<std::int64_t> path;
+  path.reserve(static_cast<std::size_t>(v_level));
+  for (int l = v_level; l >= 2; --l) {
+    const std::int64_t rep = pow_k_[static_cast<std::size_t>(l - 2)];
+    const int u = static_cast<int>(r / rep);
+    r %= rep;
+    const std::int64_t child = SwitchIndex(l - 1, q, r);
+    path.push_back(DownChannel(l - 1, child, u));
+  }
+  path.push_back(NodeDownChannel(dst));
+  return path;
+}
+
+std::vector<std::int64_t> MPortNTree::NcaCensus(std::int64_t src) const {
+  std::vector<std::int64_t> census(static_cast<std::size_t>(n_), 0);
+  for (std::int64_t dst = 0; dst < num_nodes_; ++dst) {
+    if (dst == src) continue;
+    ++census[static_cast<std::size_t>(NcaLevel(src, dst) - 1)];
+  }
+  return census;
+}
+
+}  // namespace coc

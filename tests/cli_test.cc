@@ -1,0 +1,245 @@
+// Tests for the CLI layer: config parsing (happy path and every rejection
+// branch), preset loading, and each command's output through string streams.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+#include "cli/config_parser.h"
+#include "gtest/gtest.h"
+
+namespace coc {
+namespace {
+
+constexpr const char* kValidConfig = R"(
+# a heterogeneous two-tier system
+[system]
+m = 4
+icn2 = fast
+message_flits = 16
+flit_bytes = 64
+
+[network fast]
+bandwidth = 500
+network_latency = 0.01
+switch_latency = 0.02
+
+[network slow]
+bandwidth = 250
+network_latency = 0.05
+switch_latency = 0.01
+
+[clusters]
+count = 2
+n = 1
+icn1 = fast
+ecn1 = slow
+
+[clusters]
+count = 2
+n = 2
+icn1 = fast
+ecn1 = slow
+)";
+
+TEST(ConfigParser, ParsesValidConfig) {
+  const auto sys = ParseSystemConfig(kValidConfig);
+  EXPECT_EQ(sys.m(), 4);
+  EXPECT_EQ(sys.num_clusters(), 4);
+  EXPECT_EQ(sys.NodesInCluster(0), 4);   // n=1: 2*2
+  EXPECT_EQ(sys.NodesInCluster(2), 8);   // n=2: 2*4
+  EXPECT_EQ(sys.TotalNodes(), 24);
+  EXPECT_EQ(sys.message().length_flits, 16);
+  EXPECT_DOUBLE_EQ(sys.message().flit_bytes, 64);
+  EXPECT_DOUBLE_EQ(sys.cluster(0).ecn1.bandwidth, 250);
+  EXPECT_DOUBLE_EQ(sys.icn2().bandwidth, 500);
+}
+
+TEST(ConfigParser, CommentsAndWhitespaceIgnored) {
+  const auto sys = ParseSystemConfig(
+      "[system]\n  m = 4   # arity\nicn2=n\nmessage_flits=8\nflit_bytes=32\n"
+      "[network n]\nbandwidth=100\nnetwork_latency=0\nswitch_latency=0\n"
+      "[clusters]\nn=1\nicn1=n\necn1=n\n");
+  EXPECT_EQ(sys.num_clusters(), 1);
+}
+
+struct BadCase {
+  const char* name;
+  const char* text;
+  const char* expect;  // substring of the error message
+};
+
+class ConfigErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(ConfigErrors, RejectedWithDiagnostic) {
+  try {
+    ParseSystemConfig(GetParam().text);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(GetParam().expect),
+              std::string::npos)
+        << "actual: " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConfigErrors,
+    ::testing::Values(
+        BadCase{"NoSystem",
+                "[network n]\nbandwidth=1\nnetwork_latency=0\n"
+                "switch_latency=0\n[clusters]\nn=1\nicn1=n\necn1=n\n",
+                "missing [system]"},
+        BadCase{"NoClusters",
+                "[system]\nm=4\nicn2=n\nmessage_flits=8\nflit_bytes=32\n"
+                "[network n]\nbandwidth=1\nnetwork_latency=0\n"
+                "switch_latency=0\n",
+                "no [clusters]"},
+        BadCase{"UnknownSection", "[galaxy]\nx = 1\n", "unknown section"},
+        BadCase{"UnnamedNetwork", "[network]\nbandwidth = 1\n", "needs a name"},
+        BadCase{"KeyOutsideSection", "m = 4\n", "outside of any section"},
+        BadCase{"MissingEquals", "[system]\nm 4\n", "expected 'key = value'"},
+        BadCase{"DuplicateKey", "[system]\nm = 4\nm = 8\n", "duplicate key"},
+        BadCase{"BadNumber",
+                "[system]\nm = four\nicn2=n\nmessage_flits=8\nflit_bytes=32\n"
+                "[network n]\nbandwidth=1\nnetwork_latency=0\n"
+                "switch_latency=0\n[clusters]\nn=1\nicn1=n\necn1=n\n",
+                "not a number"},
+        BadCase{"UnknownNetworkRef",
+                "[system]\nm=4\nicn2=ghost\nmessage_flits=8\nflit_bytes=32\n"
+                "[network n]\nbandwidth=1\nnetwork_latency=0\n"
+                "switch_latency=0\n[clusters]\nn=1\nicn1=n\necn1=n\n",
+                "unknown network 'ghost'"},
+        BadCase{"UnterminatedHeader", "[system\nm = 4\n", "unterminated"},
+        BadCase{"NonIntegerFlits",
+                "[system]\nm=4\nicn2=n\nmessage_flits=8.5\nflit_bytes=32\n"
+                "[network n]\nbandwidth=1\nnetwork_latency=0\n"
+                "switch_latency=0\n[clusters]\nn=1\nicn1=n\necn1=n\n",
+                "must be an integer"}),
+    [](const ::testing::TestParamInfo<BadCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ConfigParser, PresetsLoad) {
+  EXPECT_EQ(LoadSystem("preset:1120").TotalNodes(), 1120);
+  EXPECT_EQ(LoadSystem("preset:544").TotalNodes(), 544);
+  EXPECT_EQ(LoadSystem("preset:small").num_clusters(), 8);
+  EXPECT_EQ(LoadSystem("preset:tiny").num_clusters(), 4);
+  const auto custom = LoadSystem("preset:1120:64:512");
+  EXPECT_EQ(custom.message().length_flits, 64);
+  EXPECT_DOUBLE_EQ(custom.message().flit_bytes, 512);
+  EXPECT_THROW(LoadSystem("preset:bogus"), std::invalid_argument);
+  EXPECT_THROW(LoadSystem("/no/such/file.conf"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Command layer.
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun RunCommand(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = RunCli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const auto r = RunCommand({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandIsUsageError) {
+  const auto r = RunCommand({"frobnicate", "preset:tiny"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, InfoPrintsOrganization) {
+  const auto r = RunCommand({"info", "preset:544"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("nodes: 544"), std::string::npos);
+  EXPECT_NE(r.out.find("U^(i)"), std::string::npos);
+}
+
+TEST(Cli, ModelReportsLatencyAndSaturation) {
+  const auto r = RunCommand({"model", "preset:tiny:16:64", "--rate", "1e-4"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("mean latency:"), std::string::npos);
+  EXPECT_NE(r.out.find("saturation rate:"), std::string::npos);
+}
+
+TEST(Cli, ModelWithLocalityExtension) {
+  const auto base = RunCommand({"model", "preset:tiny:16:64", "--rate", "1e-4"});
+  const auto local = RunCommand({"model", "preset:tiny:16:64", "--rate", "1e-4",
+                          "--locality", "0.9"});
+  EXPECT_EQ(local.code, 0) << local.err;
+  EXPECT_NE(base.out, local.out);
+}
+
+TEST(Cli, ModelMissingRateFails) {
+  const auto r = RunCommand({"model", "preset:tiny"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--rate"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  const auto r = RunCommand({"model", "preset:tiny", "--rate", "1e-4", "--bogus"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown flag --bogus"), std::string::npos);
+}
+
+TEST(Cli, SimRunsAndReportsUtilization) {
+  const auto r = RunCommand({"sim", "preset:tiny:8:32", "--rate", "1e-4",
+                      "--messages", "2000", "--seed", "3"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("delivered"), std::string::npos);
+  EXPECT_NE(r.out.find("utilization"), std::string::npos);
+}
+
+TEST(Cli, SimPatternAndCondisFlags) {
+  for (const char* pattern : {"uniform", "hotspot", "local", "permutation"}) {
+    const auto r = RunCommand({"sim", "preset:tiny:8:32", "--rate", "1e-4",
+                        "--messages", "1000", "--pattern", pattern});
+    EXPECT_EQ(r.code, 0) << pattern << ": " << r.err;
+  }
+  const auto sf = RunCommand({"sim", "preset:tiny:8:32", "--rate", "1e-4",
+                       "--messages", "1000", "--condis", "store-forward"});
+  EXPECT_EQ(sf.code, 0) << sf.err;
+  const auto bad = RunCommand({"sim", "preset:tiny:8:32", "--rate", "1e-4",
+                        "--pattern", "zipf"});
+  EXPECT_EQ(bad.code, 1);
+}
+
+TEST(Cli, SweepEmitsTableAndPlot) {
+  const auto r = RunCommand({"sweep", "preset:tiny:8:32", "--max-rate", "1e-3",
+                      "--points", "3", "--no-sim"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("analysis"), std::string::npos);
+  EXPECT_NE(r.out.find("lambda_g"), std::string::npos);
+}
+
+TEST(Cli, BottleneckNamesBindingResource) {
+  const auto r = RunCommand({"bottleneck", "preset:1120", "--rate", "1e-4"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("binding resource: concentrator/dispatcher"),
+            std::string::npos);
+}
+
+TEST(Cli, ConfigFileRoundTrip) {
+  const std::string path = "/tmp/coc_cli_test_system.conf";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(kValidConfig, f);
+  std::fclose(f);
+  const auto r = RunCommand({"info", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("nodes: 24"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace coc

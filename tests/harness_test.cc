@@ -1,0 +1,160 @@
+// Tests for the sweep harness: grid construction, model/sim sweep output,
+// formatting, CSV emission, and the environment-controlled sim budget.
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+#include "harness/sweep.h"
+#include "system/presets.h"
+
+namespace coc {
+namespace {
+
+TEST(Harness, LinearRatesExcludeZeroIncludeMax) {
+  const auto rates = LinearRates(1e-3, 4);
+  ASSERT_EQ(rates.size(), 4u);
+  EXPECT_GT(rates.front(), 0.0);
+  EXPECT_DOUBLE_EQ(rates.back(), 1e-3);
+  for (std::size_t i = 1; i < rates.size(); ++i) {
+    EXPECT_GT(rates[i], rates[i - 1]);
+  }
+}
+
+TEST(Harness, ModelOnlySweep) {
+  const auto sys = MakeTinySystem(MessageFormat{16, 64});
+  SweepSpec spec;
+  spec.rates = LinearRates(2e-4, 3);
+  spec.run_sim = false;
+  const auto pts = RunSweep(sys, spec);
+  ASSERT_EQ(pts.size(), 3u);
+  for (const auto& p : pts) {
+    EXPECT_FALSE(p.sim_latency.has_value());
+    EXPECT_GT(p.model_latency, 0.0);
+  }
+}
+
+TEST(Harness, SweepWithSimPopulatesAllFields) {
+  const auto sys = MakeTinySystem(MessageFormat{16, 64});
+  SweepSpec spec;
+  spec.rates = {1e-4};
+  spec.sim_base.warmup_messages = 200;
+  spec.sim_base.measured_messages = 2000;
+  spec.sim_base.drain_messages = 200;
+  const auto pts = RunSweep(sys, spec);
+  ASSERT_EQ(pts.size(), 1u);
+  ASSERT_TRUE(pts[0].sim_latency.has_value());
+  EXPECT_GT(*pts[0].sim_latency, 0.0);
+  EXPECT_GT(pts[0].sim_ci95, 0.0);
+  EXPECT_GT(pts[0].sim_inter, pts[0].sim_intra);
+}
+
+TEST(Harness, AbortLatencySkipsLaterSimPoints) {
+  const auto sys = MakeTinySystem(MessageFormat{16, 64});
+  SweepSpec spec;
+  spec.rates = {1e-4, 2e-4, 3e-4};
+  spec.sim_base.warmup_messages = 100;
+  spec.sim_base.measured_messages = 1000;
+  spec.sim_base.drain_messages = 100;
+  spec.sim_abort_latency = 1e-9;  // aborts after the very first point
+  const auto pts = RunSweep(sys, spec);
+  EXPECT_TRUE(pts[0].sim_latency.has_value());
+  EXPECT_FALSE(pts[1].sim_latency.has_value());
+  EXPECT_FALSE(pts[2].sim_latency.has_value());
+  // The model series continues regardless.
+  EXPECT_GT(pts[2].model_latency, 0.0);
+}
+
+TEST(Harness, ParallelSweepMatchesSerial) {
+  const auto sys = MakeTinySystem(MessageFormat{16, 64});
+  SweepSpec spec;
+  spec.rates = LinearRates(5e-4, 4);
+  spec.sim_base.warmup_messages = 200;
+  spec.sim_base.measured_messages = 2000;
+  spec.sim_base.drain_messages = 200;
+  const auto serial = RunSweep(sys, spec);
+  const auto parallel = RunSweepParallel(sys, spec, 4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel[i].model_latency, serial[i].model_latency);
+    ASSERT_EQ(parallel[i].sim_latency.has_value(),
+              serial[i].sim_latency.has_value());
+    if (serial[i].sim_latency) {
+      // Same seed + deterministic engine => bit-identical results.
+      EXPECT_DOUBLE_EQ(*parallel[i].sim_latency, *serial[i].sim_latency);
+    }
+  }
+}
+
+TEST(Harness, ParallelSweepHonorsAbortCutoff) {
+  const auto sys = MakeTinySystem(MessageFormat{16, 64});
+  SweepSpec spec;
+  spec.rates = LinearRates(5e-4, 5);
+  spec.sim_base.warmup_messages = 100;
+  spec.sim_base.measured_messages = 1000;
+  spec.sim_base.drain_messages = 100;
+  spec.sim_abort_latency = 1e-9;  // first point trips the cut-off
+  const auto pts = RunSweepParallel(sys, spec, 4);
+  EXPECT_TRUE(pts[0].sim_latency.has_value());
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_FALSE(pts[i].sim_latency.has_value()) << i;
+  }
+}
+
+TEST(Harness, FormatsContainSeriesAndLabel) {
+  const auto sys = MakeTinySystem(MessageFormat{16, 64});
+  SweepSpec spec;
+  spec.rates = LinearRates(1e-4, 2);
+  spec.run_sim = false;
+  const auto pts = RunSweep(sys, spec);
+  const auto table = FormatSweepTable("my-label", pts);
+  EXPECT_NE(table.find("my-label"), std::string::npos);
+  EXPECT_NE(table.find("analysis"), std::string::npos);
+  const auto plot = FormatSweepPlot("plot-title", pts);
+  EXPECT_NE(plot.find("plot-title"), std::string::npos);
+  const auto csv = FormatSweepCsv(pts);
+  EXPECT_NE(csv.find("lambda_g,analysis"), std::string::npos);
+}
+
+TEST(Harness, ReplicatedRunsAggregateIndependentSeeds) {
+  const auto sys = MakeTinySystem(MessageFormat{16, 64});
+  const CocSystemSim sim(sys);
+  SimConfig cfg;
+  cfg.lambda_g = 2e-4;
+  cfg.warmup_messages = 200;
+  cfg.measured_messages = 2000;
+  cfg.drain_messages = 200;
+  const auto r = RunReplicated(sim, cfg, 4);
+  EXPECT_EQ(r.means.Count(), 4u);
+  EXPECT_GT(r.MeanLatency(), 0.0);
+  EXPECT_GT(r.HalfWidth95(), 0.0);       // distinct seeds => variance
+  EXPECT_GT(r.means.Min(), 0.0);
+  EXPECT_LT(r.means.Max() - r.means.Min(),
+            0.2 * r.MeanLatency());      // but not wildly different
+}
+
+TEST(Harness, MaybeWriteCsvRespectsEnv) {
+  unsetenv("COC_CSV_DIR");
+  EXPECT_EQ(MaybeWriteCsv("x", "a,b\n"), "");
+  setenv("COC_CSV_DIR", "/tmp", 1);
+  const auto path = MaybeWriteCsv("coc_harness_test", "a,b\n1,2\n");
+  EXPECT_EQ(path, "/tmp/coc_harness_test.csv");
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+  unsetenv("COC_CSV_DIR");
+}
+
+TEST(Harness, DefaultSimBudgetHonorsCocFull) {
+  unsetenv("COC_FULL");
+  const auto fast = DefaultSimBudget(1e-4);
+  EXPECT_EQ(fast.measured_messages, 20000);
+  setenv("COC_FULL", "1", 1);
+  const auto full = DefaultSimBudget(1e-4);
+  EXPECT_EQ(full.warmup_messages, 10000);
+  EXPECT_EQ(full.measured_messages, 100000);
+  EXPECT_EQ(full.drain_messages, 10000);
+  unsetenv("COC_FULL");
+}
+
+}  // namespace
+}  // namespace coc

@@ -1,0 +1,318 @@
+// Structural and routing invariants of the m-port n-tree substrate.
+//
+// The key property-style test is NcaCensusMatchesClosedForm: the exact
+// destination census by NCA level must equal the closed-form counts behind
+// the paper's Eq. (6) for *every* source node — this pins the topology and
+// the analytical hop distribution to each other.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "topology/m_port_n_tree.h"
+
+namespace coc {
+namespace {
+
+struct TreeCase {
+  int m;
+  int n;
+};
+
+class TreeTest : public ::testing::TestWithParam<TreeCase> {};
+
+std::int64_t PowI(std::int64_t b, int e) {
+  std::int64_t r = 1;
+  while (e-- > 0) r *= b;
+  return r;
+}
+
+TEST_P(TreeTest, NodeAndSwitchCountsMatchDefinition) {
+  const auto [m, n] = GetParam();
+  MPortNTree t(m, n);
+  const std::int64_t k = m / 2;
+  EXPECT_EQ(t.num_nodes(), 2 * PowI(k, n));
+  EXPECT_EQ(t.num_switches(), (2 * n - 1) * PowI(k, n - 1));
+  std::int64_t total = 0;
+  for (int l = 1; l <= n; ++l) total += t.SwitchesAtLevel(l);
+  EXPECT_EQ(total, t.num_switches());
+  EXPECT_EQ(t.SwitchesAtLevel(n), PowI(k, n - 1));
+  EXPECT_EQ(t.SwitchesAtLevel(0), 0);
+  EXPECT_EQ(t.SwitchesAtLevel(n + 1), 0);
+}
+
+TEST_P(TreeTest, ChannelCountIsTwoNTimesNodes) {
+  const auto [m, n] = GetParam();
+  MPortNTree t(m, n);
+  EXPECT_EQ(t.num_channels(), 2 * n * t.num_nodes());
+}
+
+TEST_P(TreeTest, ChannelEndpointsAreConsistent) {
+  const auto [m, n] = GetParam();
+  MPortNTree t(m, n);
+  for (std::int64_t c = 0; c < t.num_channels(); ++c) {
+    const ChannelInfo& info = t.Channel(c);
+    switch (info.kind) {
+      case ChannelKind::kNodeToSwitch:
+        EXPECT_TRUE(info.from.is_node);
+        EXPECT_FALSE(info.to.is_node);
+        EXPECT_EQ(info.to.level, 1);
+        break;
+      case ChannelKind::kSwitchToNode:
+        EXPECT_FALSE(info.from.is_node);
+        EXPECT_TRUE(info.to.is_node);
+        EXPECT_EQ(info.from.level, 1);
+        break;
+      case ChannelKind::kSwitchUp:
+        EXPECT_FALSE(info.from.is_node);
+        EXPECT_FALSE(info.to.is_node);
+        EXPECT_EQ(info.to.level, info.from.level + 1);
+        break;
+      case ChannelKind::kSwitchDown:
+        EXPECT_FALSE(info.from.is_node);
+        EXPECT_FALSE(info.to.is_node);
+        EXPECT_EQ(info.to.level, info.from.level - 1);
+        break;
+    }
+    EXPECT_GE(info.from.index, 0);
+    EXPECT_GE(info.to.index, 0);
+  }
+}
+
+TEST_P(TreeTest, NcaLevelIsSymmetricAndBounded) {
+  const auto [m, n] = GetParam();
+  MPortNTree t(m, n);
+  const std::int64_t stride = std::max<std::int64_t>(1, t.num_nodes() / 37);
+  for (std::int64_t a = 0; a < t.num_nodes(); a += stride) {
+    EXPECT_EQ(t.NcaLevel(a, a), 0);
+    for (std::int64_t b = 0; b < t.num_nodes(); b += stride) {
+      if (a == b) continue;
+      const int h = t.NcaLevel(a, b);
+      EXPECT_GE(h, 1);
+      EXPECT_LE(h, n);
+      EXPECT_EQ(h, t.NcaLevel(b, a));
+    }
+  }
+}
+
+TEST_P(TreeTest, NcaCensusMatchesClosedForm) {
+  const auto [m, n] = GetParam();
+  MPortNTree t(m, n);
+  const std::int64_t k = m / 2;
+  // Closed-form destination counts by NCA level (basis of Eq. 6):
+  // h < n: k^h - k^{h-1};   h = n: 2k^n - k^{n-1}.
+  const std::int64_t stride = std::max<std::int64_t>(1, t.num_nodes() / 11);
+  for (std::int64_t src = 0; src < t.num_nodes(); src += stride) {
+    const auto census = t.NcaCensus(src);
+    ASSERT_EQ(census.size(), static_cast<std::size_t>(n));
+    for (int h = 1; h < n; ++h) {
+      EXPECT_EQ(census[static_cast<std::size_t>(h - 1)],
+                PowI(k, h) - PowI(k, h - 1))
+          << "src=" << src << " h=" << h;
+    }
+    EXPECT_EQ(census[static_cast<std::size_t>(n - 1)],
+              2 * PowI(k, n) - PowI(k, n - 1))
+        << "src=" << src;
+    EXPECT_EQ(std::accumulate(census.begin(), census.end(), std::int64_t{0}),
+              t.num_nodes() - 1);
+  }
+}
+
+// Validates one route end to end: correct length, contiguous endpoints,
+// ascend-then-descend phase structure, correct terminals.
+void CheckRoute(const MPortNTree& t, std::int64_t src, std::int64_t dst) {
+  const auto path = t.Route(src, dst);
+  const int h = t.NcaLevel(src, dst);
+  ASSERT_EQ(path.size(), static_cast<std::size_t>(2 * h));
+  const ChannelInfo& first = t.Channel(path.front());
+  const ChannelInfo& last = t.Channel(path.back());
+  EXPECT_EQ(first.kind, ChannelKind::kNodeToSwitch);
+  EXPECT_EQ(first.from.index, src);
+  EXPECT_EQ(last.kind, ChannelKind::kSwitchToNode);
+  EXPECT_EQ(last.to.index, dst);
+  bool descending = false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const ChannelInfo& cur = t.Channel(path[i]);
+    const ChannelInfo& nxt = t.Channel(path[i + 1]);
+    EXPECT_EQ(cur.to, nxt.from) << "discontinuity at hop " << i;
+    if (nxt.kind == ChannelKind::kSwitchDown ||
+        nxt.kind == ChannelKind::kSwitchToNode) {
+      descending = true;
+    } else {
+      EXPECT_FALSE(descending) << "route ascends after descending (not "
+                                  "up*/down*) at hop "
+                               << i;
+    }
+  }
+  // Peak level must be the NCA level.
+  int peak = 0;
+  for (auto c : path) peak = std::max(peak, t.Channel(c).to.level);
+  EXPECT_EQ(peak, h);
+}
+
+TEST_P(TreeTest, RoutesAreValidUpDownPaths) {
+  const auto [m, n] = GetParam();
+  MPortNTree t(m, n);
+  const std::int64_t stride = std::max<std::int64_t>(1, t.num_nodes() / 23);
+  for (std::int64_t a = 0; a < t.num_nodes(); a += stride) {
+    for (std::int64_t b = 0; b < t.num_nodes(); b += stride) {
+      if (a != b) CheckRoute(t, a, b);
+    }
+  }
+}
+
+TEST_P(TreeTest, EntropyRoutesAreValidAndZeroEntropyMatchesDefault) {
+  const auto [m, n] = GetParam();
+  MPortNTree t(m, n);
+  const std::int64_t a = 1 % t.num_nodes();
+  const std::int64_t b = t.num_nodes() - 1;
+  EXPECT_EQ(t.RouteWithEntropy(a, b, 0), t.Route(a, b));
+  std::uint64_t entropy = 0x9e3779b97f4a7c15ULL;
+  for (int trial = 0; trial < 8; ++trial) {
+    entropy = entropy * 6364136223846793005ULL + 1;
+    const auto path = t.RouteWithEntropy(a, b, entropy);
+    ASSERT_EQ(path.size(), t.Route(a, b).size());
+    // Contiguous, starts/ends correctly, up then down.
+    EXPECT_EQ(t.Channel(path.front()).from.index, a);
+    EXPECT_EQ(t.Channel(path.back()).to.index, b);
+    bool descending = false;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_EQ(t.Channel(path[i]).to, t.Channel(path[i + 1]).from);
+      const auto kind = t.Channel(path[i + 1]).kind;
+      if (kind == ChannelKind::kSwitchDown ||
+          kind == ChannelKind::kSwitchToNode) {
+        descending = true;
+      } else {
+        EXPECT_FALSE(descending);
+      }
+    }
+  }
+}
+
+TEST_P(TreeTest, EntropyDiversifiesAscentChannels) {
+  const auto [m, n] = GetParam();
+  if (n < 3) GTEST_SKIP() << "needs a multi-level ascent";
+  MPortNTree t(m, n);
+  const std::int64_t a = 0, b = t.num_nodes() - 1;
+  std::set<std::int64_t> second_hops;
+  for (std::uint64_t e = 0; e < 16; ++e) {
+    second_hops.insert(t.RouteWithEntropy(a, b, e)[1]);
+  }
+  EXPECT_GT(second_hops.size(), 1u);
+}
+
+TEST_P(TreeTest, RouteIsDeterministic) {
+  const auto [m, n] = GetParam();
+  MPortNTree t(m, n);
+  const std::int64_t a = 0, b = t.num_nodes() - 1;
+  EXPECT_EQ(t.Route(a, b), t.Route(a, b));
+}
+
+TEST_P(TreeTest, RouteToSelfIsEmpty) {
+  const auto [m, n] = GetParam();
+  MPortNTree t(m, n);
+  EXPECT_TRUE(t.Route(3 % t.num_nodes(), 3 % t.num_nodes()).empty());
+}
+
+TEST_P(TreeTest, SpineAscentValidAndMeetsDescent) {
+  const auto [m, n] = GetParam();
+  MPortNTree t(m, n);
+  const std::int64_t anchor = 0;
+  const std::int64_t stride = std::max<std::int64_t>(1, t.num_nodes() / 29);
+  for (std::int64_t src = 0; src < t.num_nodes(); src += stride) {
+    const auto up = t.AscendToSpine(src, anchor);
+    const int nca = t.NcaLevel(src, anchor);
+    const int r = nca == 0 ? 1 : nca;
+    ASSERT_EQ(up.size(), static_cast<std::size_t>(r));
+    EXPECT_EQ(t.Channel(up.front()).kind, ChannelKind::kNodeToSwitch);
+    EXPECT_EQ(t.Channel(up.front()).from.index, src);
+    for (std::size_t i = 0; i + 1 < up.size(); ++i) {
+      EXPECT_EQ(t.Channel(up[i]).to, t.Channel(up[i + 1]).from);
+      EXPECT_EQ(t.Channel(up[i + 1]).kind, ChannelKind::kSwitchUp);
+    }
+    // The exit switch of the ascent must be exactly where the descent to the
+    // same node re-enters the tree (both are the level-r spine switch).
+    const auto down = t.DescendFromSpine(src, anchor);
+    ASSERT_EQ(down.size(), static_cast<std::size_t>(r));
+    EXPECT_EQ(t.Channel(up.back()).to, t.Channel(down.front()).from);
+    EXPECT_EQ(t.Channel(down.back()).kind, ChannelKind::kSwitchToNode);
+    EXPECT_EQ(t.Channel(down.back()).to.index, src);
+    for (std::size_t i = 0; i + 1 < down.size(); ++i) {
+      EXPECT_EQ(t.Channel(down[i]).to, t.Channel(down[i + 1]).from);
+    }
+  }
+}
+
+TEST_P(TreeTest, AllPairsRoutingLoadIsPerfectlyBalanced) {
+  const auto [m, n] = GetParam();
+  MPortNTree t(m, n);
+  if (t.num_nodes() > 64) GTEST_SKIP() << "exhaustive all-pairs too large";
+  std::vector<std::int64_t> load(static_cast<std::size_t>(t.num_channels()), 0);
+  for (std::int64_t a = 0; a < t.num_nodes(); ++a) {
+    for (std::int64_t b = 0; b < t.num_nodes(); ++b) {
+      if (a == b) continue;
+      for (auto c : t.Route(a, b)) ++load[static_cast<std::size_t>(c)];
+    }
+  }
+  // Group loads by (kind, from-level); destination-digit routing must spread
+  // all-pairs traffic exactly evenly within each group.
+  std::map<std::pair<int, int>, std::pair<std::int64_t, std::int64_t>> minmax;
+  for (std::int64_t c = 0; c < t.num_channels(); ++c) {
+    const auto& info = t.Channel(c);
+    const auto key = std::make_pair(static_cast<int>(info.kind),
+                                    info.from.level);
+    const auto l = load[static_cast<std::size_t>(c)];
+    auto it = minmax.find(key);
+    if (it == minmax.end()) {
+      minmax[key] = {l, l};
+    } else {
+      it->second.first = std::min(it->second.first, l);
+      it->second.second = std::max(it->second.second, l);
+    }
+  }
+  for (const auto& [key, mm] : minmax) {
+    EXPECT_EQ(mm.first, mm.second)
+        << "unbalanced load for kind=" << key.first << " level=" << key.second;
+  }
+  // Node injection/ejection channels each carry exactly N-1 messages.
+  for (std::int64_t node = 0; node < t.num_nodes(); ++node) {
+    EXPECT_EQ(load[static_cast<std::size_t>(t.NodeUpChannel(node))],
+              t.num_nodes() - 1);
+    EXPECT_EQ(load[static_cast<std::size_t>(t.NodeDownChannel(node))],
+              t.num_nodes() - 1);
+  }
+}
+
+TEST(TreeValidation, RejectsBadParameters) {
+  EXPECT_THROW(MPortNTree(3, 2), std::invalid_argument);
+  EXPECT_THROW(MPortNTree(2, 2), std::invalid_argument);
+  EXPECT_THROW(MPortNTree(4, 0), std::invalid_argument);
+  EXPECT_THROW(MPortNTree(5, 1), std::invalid_argument);
+}
+
+TEST(TreeValidation, SingleLevelTreeIsOneSwitch) {
+  MPortNTree t(8, 1);
+  EXPECT_EQ(t.num_nodes(), 8);
+  EXPECT_EQ(t.num_switches(), 1);
+  // Every distinct pair routes node -> root -> node.
+  const auto path = t.Route(0, 7);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(t.Channel(path[0]).kind, ChannelKind::kNodeToSwitch);
+  EXPECT_EQ(t.Channel(path[1]).kind, ChannelKind::kSwitchToNode);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TreeTest,
+    ::testing::Values(TreeCase{4, 1}, TreeCase{4, 2}, TreeCase{4, 3},
+                      TreeCase{4, 4}, TreeCase{4, 5}, TreeCase{6, 2},
+                      TreeCase{6, 3}, TreeCase{8, 1}, TreeCase{8, 2},
+                      TreeCase{8, 3}, TreeCase{10, 2}, TreeCase{12, 2}),
+    [](const ::testing::TestParamInfo<TreeCase>& info) {
+      return "m" + std::to_string(info.param.m) + "n" +
+             std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace coc

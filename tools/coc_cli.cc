@@ -1,0 +1,12 @@
+// coc_cli — command-line front end for the cluster-of-clusters network
+// model and simulator. See src/cli/cli.h for the command reference.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return coc::RunCli(args, std::cout, std::cerr);
+}
