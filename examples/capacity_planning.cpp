@@ -10,6 +10,7 @@
 #include "common/table.h"
 #include "model/latency_model.h"
 #include "sim/coc_system_sim.h"
+#include "topology/m_port_n_tree.h"
 #include "system/system_config.h"
 
 namespace {

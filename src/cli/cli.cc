@@ -11,6 +11,7 @@
 #include "harness/sweep.h"
 #include "model/latency_model.h"
 #include "sim/coc_system_sim.h"
+#include "topology/topology_spec.h"
 
 namespace coc {
 namespace {
@@ -24,8 +25,13 @@ constexpr const char* kUsage = R"(usage:
   coc_cli sweep      <system> --max-rate R [--points N] [--no-sim]
   coc_cli bottleneck <system> --rate R
 
+Every command accepts --icn2-topology SPEC to override the global network's
+topology (SPEC: tree[:n], crossbar[:ports], mesh:RADIXxDIMS, torus:RADIXxDIMS).
+Per-cluster topologies are set in the config file ('topology =' keys).
+
 <system> is a config file (see src/cli/config_parser.h) or preset:1120,
-preset:544, preset:small, preset:tiny — optionally preset:NAME:M:dm.
+preset:544, preset:small, preset:tiny, preset:mixed — optionally
+preset:NAME:M:dm.
 )";
 
 /// Minimal --flag/value parser; flags without a value are boolean.
@@ -90,15 +96,15 @@ class Flags {
 
 void PrintSystem(const SystemConfig& sys, std::ostream& out) {
   out << "clusters: " << sys.num_clusters() << ", nodes: " << sys.TotalNodes()
-      << ", m: " << sys.m() << ", ICN2 depth: " << sys.icn2_depth()
+      << ", m: " << sys.m() << ", ICN2: " << sys.icn2_topology().Name()
       << (sys.icn2_exact_fit() ? "" : " (partial occupancy)") << "\n";
   out << "message: " << sys.message().length_flits << " flits x "
       << FormatDouble(sys.message().flit_bytes) << " bytes\n";
-  Table t({"cluster", "n_i", "N_i", "U^(i)", "ICN1 BW", "ECN1 BW"});
+  Table t({"cluster", "N_i", "U^(i)", "ICN1", "ECN1", "ICN1 BW", "ECN1 BW"});
   for (int i = 0; i < sys.num_clusters(); ++i) {
-    t.AddRow({std::to_string(i), std::to_string(sys.cluster(i).n),
-              std::to_string(sys.NodesInCluster(i)),
+    t.AddRow({std::to_string(i), std::to_string(sys.NodesInCluster(i)),
               FormatDouble(sys.OutgoingProbability(i), 4),
+              sys.icn1_topology(i).Name(), sys.ecn1_topology(i).Name(),
               FormatDouble(sys.cluster(i).icn1.bandwidth),
               FormatDouble(sys.cluster(i).ecn1.bandwidth)});
   }
@@ -231,8 +237,21 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   }
   const std::string& command = args[0];
   try {
-    const SystemConfig sys = LoadSystem(args[1]);
     Flags flags(args, 2);
+    SystemConfig sys = LoadSystem(args[1]);
+    if (flags.Present("icn2-topology")) {
+      // Rebuild the system with the overridden global-network topology;
+      // clusters round-trip unchanged (they carry their own specs).
+      const TopologySpec spec =
+          ParseTopologySpec(flags.Text("icn2-topology", ""));
+      std::vector<ClusterConfig> clusters;
+      clusters.reserve(static_cast<std::size_t>(sys.num_clusters()));
+      for (int i = 0; i < sys.num_clusters(); ++i) {
+        clusters.push_back(sys.cluster(i));
+      }
+      sys = SystemConfig(sys.m(), std::move(clusters), sys.icn2(),
+                         sys.message(), spec);
+    }
     if (command == "info") return CmdInfo(sys, flags, out);
     if (command == "model") return CmdModel(sys, flags, out);
     if (command == "sim") return CmdSim(sys, flags, out);

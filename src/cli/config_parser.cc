@@ -2,11 +2,13 @@
 
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "system/presets.h"
+#include "topology/topology_spec.h"
 
 namespace coc {
 namespace {
@@ -148,20 +150,51 @@ SystemConfig ParseSystemConfig(const std::string& text) {
     return it->second;
   };
 
+  auto topo_by_key = [](const Section& s,
+                        const std::string& key) -> std::optional<TopologySpec> {
+    const auto it = s.values.find(key);
+    if (it == s.values.end()) return std::nullopt;
+    try {
+      return ParseTopologySpec(it->second);
+    } catch (const std::exception& e) {
+      Fail(s.line, e.what());
+    }
+  };
+
   std::vector<ClusterConfig> clusters;
   for (const Section* cs : cluster_sections) {
     const int count =
         cs->values.count("count") != 0 ? ToInt(*cs, "count") : 1;
     if (count < 1) Fail(cs->line, "count must be >= 1");
-    const ClusterConfig cluster{ToInt(*cs, "n"), net_by_name(*cs, "icn1"),
-                                net_by_name(*cs, "ecn1")};
+    ClusterConfig cluster{cs->values.count("n") != 0 ? ToInt(*cs, "n") : 0,
+                          net_by_name(*cs, "icn1"), net_by_name(*cs, "ecn1")};
+    cluster.icn1_topo = topo_by_key(*cs, "topology");
+    cluster.ecn1_topo = topo_by_key(*cs, "ecn1_topology");
+    // A tree spec without its own depth falls back to the cluster's n; make
+    // sure a depth exists somewhere so the error carries this line number.
+    const auto depthless_tree = [](const std::optional<TopologySpec>& spec) {
+      return spec.has_value() && spec->type == TopologySpec::Type::kTree &&
+             spec->n == 0;
+    };
+    if (cluster.n == 0 &&
+        (!cluster.icn1_topo.has_value() || depthless_tree(cluster.icn1_topo))) {
+      Fail(cs->line,
+           "section needs 'n = DEPTH' or a topology with an explicit size "
+           "(e.g. topology = tree:2)");
+    }
+    if (cluster.n == 0 && depthless_tree(cluster.ecn1_topo)) {
+      Fail(cs->line,
+           "ecn1_topology = tree needs 'n = DEPTH' or an explicit depth "
+           "(e.g. tree:2)");
+    }
     for (int i = 0; i < count; ++i) clusters.push_back(cluster);
   }
 
   const MessageFormat msg{ToInt(*system, "message_flits"),
                           ToDouble(*system, "flit_bytes")};
   return SystemConfig(ToInt(*system, "m"), std::move(clusters),
-                      net_by_name(*system, "icn2"), msg);
+                      net_by_name(*system, "icn2"), msg,
+                      topo_by_key(*system, "icn2_topology"));
 }
 
 SystemConfig LoadSystem(const std::string& path_or_preset) {
@@ -184,8 +217,9 @@ SystemConfig LoadSystem(const std::string& path_or_preset) {
     if (rest == "544") return MakeSystem544(msg);
     if (rest == "small") return MakeSmallSystem(msg);
     if (rest == "tiny") return MakeTinySystem(msg);
+    if (rest == "mixed") return MakeMixedTopologySystem(msg);
     throw std::invalid_argument("unknown preset '" + rest +
-                                "' (use 1120, 544, small or tiny)");
+                                "' (use 1120, 544, small, tiny or mixed)");
   }
   std::ifstream in(path_or_preset);
   if (!in) {

@@ -25,9 +25,23 @@
 //   icn1 = net1
 //   ecn1 = net2
 //
-// Alternatively the string "preset:1120", "preset:544", "preset:small" or
-// "preset:tiny" selects a built-in configuration (message format given by
-// the optional "preset:NAME:M:dm" suffix).
+// Topologies default to the paper's m-port n-tree everywhere but are
+// pluggable per network (see src/topology/topology_spec.h for the spec
+// syntax):
+//
+//   [system]
+//   icn2_topology = crossbar        # optional; default tree, auto depth
+//   ...
+//   [clusters]
+//   topology = mesh:4x2             # ICN1 (defines the cluster node count;
+//                                   # 'n' may then be omitted)
+//   ecn1_topology = crossbar        # optional; default mirrors the ICN1 spec
+//   ...
+//
+// Alternatively the string "preset:1120", "preset:544", "preset:small",
+// "preset:tiny" or "preset:mixed" (heterogeneous topology families) selects
+// a built-in configuration (message format given by the optional
+// "preset:NAME:M:dm" suffix).
 #pragma once
 
 #include <string>

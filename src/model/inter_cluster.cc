@@ -7,6 +7,7 @@
 #include "model/effective_u.h"
 #include "model/mg1.h"
 #include "model/stage_recursion.h"
+#include "topology/topology.h"
 
 namespace coc {
 namespace {
@@ -31,7 +32,7 @@ double LambdaIcn2(const SystemConfig& sys, int i, int j, double lambda_g,
 
 InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
                                  double lambda_g,
-                                 const HopDistribution& icn2_hops,
+                                 const LinkDistribution& icn2_links,
                                  const ModelOptions& opts) {
   const ClusterConfig& ci = sys.cluster(i);
   const ClusterConfig& cj = sys.cluster(j);
@@ -49,8 +50,12 @@ InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
   const double ui = EffectiveU(sys, i, opts);
   const double uj = EffectiveU(sys, j, opts);
 
-  const HopDistribution hops_i(sys.m(), ci.n);
-  const HopDistribution hops_j(sys.m(), cj.n);
+  // Access-journey distributions of the two ECN1 networks (Eq. 6 for the
+  // paper's trees), cached on the topology instances.
+  const Topology& ecn1_i = sys.ecn1_topology(i);
+  const Topology& ecn1_j = sys.ecn1_topology(j);
+  const LinkDistribution& access_i = ecn1_i.AccessLinks();
+  const LinkDistribution& access_j = ecn1_j.AccessLinks();
 
   // Eq. (22): message rate carried by the pair's ECN1 networks.
   const double lambda_ecn = lambda_g * (ni * ui + nj * uj);
@@ -58,16 +63,19 @@ InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
   const double lambda_i2 = LambdaIcn2(sys, i, j, lambda_g, opts);
 
   // Eq. (24): per-channel rate of the ECN1 networks. Journeys in an ECN1 are
-  // ascending- or descending-only (spine-tapped C/D), hence one-way mean.
-  const double eta_e_src = lambda_ecn * hops_i.MeanLinksOneWay() /
-                           (4.0 * ci.n * ni);
+  // access journeys to/from the concentrator tap, hence the one-way mean.
+  const double eta_e_src = lambda_ecn * access_i.MeanLinks() /
+                           (ecn1_i.ChannelsPerNode() * ni);
   const double eta_e_dst =
       opts.ecn_eta == ModelOptions::EcnEta::kPerSide
-          ? lambda_ecn * hops_j.MeanLinksOneWay() / (4.0 * cj.n * nj)
+          ? lambda_ecn * access_j.MeanLinks() /
+                (ecn1_j.ChannelsPerNode() * nj)
           : eta_e_src;
-  // Eq. (25): per-channel rate in ICN2.
-  const double eta_i2_raw = lambda_i2 * icn2_hops.MeanLinksRoundTrip() /
-                            (4.0 * sys.icn2_depth());
+  // Eq. (25): per-channel rate in ICN2. lambda_i2 is a per-concentrator
+  // rate, so the node count cancels and only ChannelsPerNode() remains
+  // (4 n_c for the paper's ICN2 tree).
+  const double eta_i2_raw = lambda_i2 * icn2_links.MeanLinks() /
+                            sys.icn2_topology().ChannelsPerNode();
   // Eqs. (27)-(28): relaxing factor for the bandwidth discontinuity at the
   // ECN1 -> ICN2 boundary (see ModelOptions::RelaxingFactor).
   double delta = 1.0;
@@ -86,20 +94,26 @@ InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
   InterPairResult out;
 
   // Eqs. (20)-(21), (26)-(30): average the merged pipeline's stage-0 service
-  // time over the (r, v, l) journey distribution.
+  // time over the (r, v, d_l) journey distribution.
   double t_ex = 0;
   double e_ex = 0;
-  for (int r = 1; r <= hops_i.n(); ++r) {
-    for (int v = 1; v <= hops_j.n(); ++v) {
-      for (int l = 1; l <= icn2_hops.n(); ++l) {
-        const double p = hops_i.P(r) * hops_j.P(v) * icn2_hops.P(l);
-        const int stage_count = r + 2 * l + v - 1;  // K
+  for (int r = 1; r <= access_i.max_links(); ++r) {
+    const double p_r = access_i.P(r);
+    if (p_r == 0.0) continue;
+    for (int v = 1; v <= access_j.max_links(); ++v) {
+      const double p_v = access_j.P(v);
+      if (p_v == 0.0) continue;
+      for (int dl = 2; dl <= icn2_links.max_links(); ++dl) {
+        const double p_l = icn2_links.P(dl);
+        if (p_l == 0.0) continue;
+        const double p = p_r * p_v * p_l;
+        const int stage_count = r + dl + v - 1;  // K
         std::vector<StageSpec> interior;
         interior.reserve(static_cast<std::size_t>(stage_count - 1));
         for (int k = 0; k < stage_count - 1; ++k) {
           if (k < r) {
             interior.push_back(StageSpec{m_flits * t_cs_ei, eta_e_src});
-          } else if (k < r + 2 * l - 1) {
+          } else if (k < r + dl - 1) {
             interior.push_back(StageSpec{m_flits * t_cs_i2, eta_i2});
           } else {
             interior.push_back(StageSpec{m_flits * t_cs_ej, eta_e_dst});
@@ -109,8 +123,8 @@ InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
                                            eta_e_dst,
                                            opts.include_last_stage_wait);
         t_ex += p * t0;
-        // Eq. (34): tail drain over the r + 2l + v links.
-        e_ex += p * ((r - 1) * t_cs_ei + 2.0 * l * t_cs_i2 +
+        // Eq. (34): tail drain over the r + d_l + v links.
+        e_ex += p * ((r - 1) * t_cs_ei + static_cast<double>(dl) * t_cs_i2 +
                      (v - 1) * t_cs_ej + t_cn_ei + t_cn_ej);
       }
     }
@@ -146,7 +160,7 @@ InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
 }
 
 InterResult ComputeInter(const SystemConfig& sys, int i, double lambda_g,
-                         const HopDistribution& icn2_hops,
+                         const LinkDistribution& icn2_links,
                          const ModelOptions& opts) {
   InterResult out;
   const int c = sys.num_clusters();
@@ -158,7 +172,7 @@ InterResult ComputeInter(const SystemConfig& sys, int i, double lambda_g,
   for (int j = 0; j < c; ++j) {
     if (j == i) continue;
     const InterPairResult pair =
-        ComputeInterPair(sys, i, j, lambda_g, icn2_hops, opts);
+        ComputeInterPair(sys, i, j, lambda_g, icn2_links, opts);
     l_ex_sum += pair.l_ex;
     w_d_sum += 2.0 * pair.w_c;  // concentrate + dispatch buffers
     out.max_condis_rho = std::max(out.max_condis_rho, pair.condis_rho);

@@ -2,15 +2,16 @@
 //
 // An inter-cluster message from cluster i to cluster j crosses the merged
 // wormhole unit ECN1(i) -> ICN2 -> ECN1(j): r links ascending in ECN1(i) to
-// the spine-tapped concentrator, 2l links across ICN2, and v links descending
-// from the dispatcher in ECN1(j), with (r, v, l) independently distributed
-// per Eq. (6). The concentrator and dispatcher additionally impose M/G/1
-// waiting (Eqs. 36-38).
+// the concentrator tap, d_l links across ICN2, and v links from the
+// dispatcher tap down to the destination, with r and v following the ECN1
+// topologies' access distributions (Eq. 6 for the paper's trees) and d_l the
+// ICN2 journey distribution. The concentrator and dispatcher additionally
+// impose M/G/1 waiting (Eqs. 36-38).
 #pragma once
 
-#include "model/hop_distribution.h"
 #include "model/model_options.h"
 #include "system/system_config.h"
+#include "topology/link_distribution.h"
 
 namespace coc {
 
@@ -37,16 +38,16 @@ struct InterResult {
 };
 
 /// Evaluates Eqs. 20-34, 36-37 for the ordered pair (i, j), i != j.
-/// `icn2_hops` is the ICN2 journey distribution (Eq. 6 for exact-fit
-/// occupancy, empirical census otherwise).
+/// `icn2_links` is the ICN2 journey link distribution (the topology's
+/// closed form for exact-fit occupancy, empirical census otherwise).
 InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
                                  double lambda_g,
-                                 const HopDistribution& icn2_hops,
+                                 const LinkDistribution& icn2_links,
                                  const ModelOptions& opts);
 
 /// Evaluates Eqs. 35, 38, 39 for cluster i (averaging over all j != i).
 InterResult ComputeInter(const SystemConfig& sys, int i, double lambda_g,
-                         const HopDistribution& icn2_hops,
+                         const LinkDistribution& icn2_links,
                          const ModelOptions& opts);
 
 }  // namespace coc

@@ -3,17 +3,18 @@
 #include <cmath>
 #include <vector>
 
-#include "model/hop_distribution.h"
 #include "model/effective_u.h"
 #include "model/mg1.h"
 #include "model/stage_recursion.h"
+#include "topology/topology.h"
 
 namespace coc {
 
 IntraResult ComputeIntra(const SystemConfig& sys, int i, double lambda_g,
                          const ModelOptions& opts) {
   const ClusterConfig& cluster = sys.cluster(i);
-  const auto n_i = cluster.n;
+  const Topology& topo = sys.icn1_topology(i);
+  const LinkDistribution& links = topo.Links();
   const auto big_n_i = static_cast<double>(sys.NodesInCluster(i));
   const double u_i = EffectiveU(sys, i, opts);
   const MessageFormat& msg = sys.message();
@@ -21,27 +22,29 @@ IntraResult ComputeIntra(const SystemConfig& sys, int i, double lambda_g,
   const double t_cn = cluster.icn1.TCn(msg.flit_bytes);
   const double t_cs = cluster.icn1.TCs(msg.flit_bytes);
 
-  const HopDistribution hops(sys.m(), n_i);
-
   IntraResult out;
 
   // Eq. (7): total message rate received by ICN1(i); Eq. (10): per-channel
-  // rate using the paper's 4 n N channel-count convention.
+  // rate under the paper's directed-endpoint counting convention
+  // (ChannelsPerNode() = 4 n for the m-port n-tree).
   const double lambda_icn1 = big_n_i * lambda_g * (1.0 - u_i);
-  out.eta = lambda_icn1 * hops.MeanLinksRoundTrip() / (4.0 * n_i * big_n_i);
+  out.eta = lambda_icn1 * links.MeanLinks() /
+            (topo.ChannelsPerNode() * big_n_i);
 
   // Eqs. (5),(13),(14): network latency averaged over journey lengths. A
-  // 2h-link journey has K = 2h-1 stages; all interior stages are
+  // d-link journey has K = d-1 stages; all interior stages are
   // switch-to-switch transfers of the same network.
   double t_in = 0;
-  for (int h = 1; h <= n_i; ++h) {
-    const int stage_count = 2 * h - 1;
+  for (int d = 2; d <= links.max_links(); ++d) {
+    const double p = links.P(d);
+    if (p == 0.0) continue;
+    const int stage_count = d - 1;
     const std::vector<StageSpec> interior(
         static_cast<std::size_t>(stage_count - 1),
         StageSpec{m_flits * t_cs, out.eta});
-    const double t_h = StageRecursionT0(interior, m_flits * t_cn, out.eta,
+    const double t_d = StageRecursionT0(interior, m_flits * t_cn, out.eta,
                                         opts.include_last_stage_wait);
-    t_in += hops.P(h) * t_h;
+    t_in += p * t_d;
   }
   out.t_in = t_in;
 
@@ -56,11 +59,13 @@ IntraResult ComputeIntra(const SystemConfig& sys, int i, double lambda_g,
   out.w_in = MG1Wait(lambda_src, t_in, sigma * sigma);
   out.source_rho = lambda_src * t_in;
 
-  // Eq. (19): the tail flit pipelines over 2h links behind the header:
-  // 2(h-1) switch links plus the two node links.
+  // Eq. (19): the tail flit pipelines over the d links behind the header:
+  // d-2 switch links plus the two node links.
   double e_in = 0;
-  for (int h = 1; h <= n_i; ++h) {
-    e_in += hops.P(h) * (2.0 * (h - 1) * t_cs + 2.0 * t_cn);
+  for (int d = 2; d <= links.max_links(); ++d) {
+    const double p = links.P(d);
+    if (p == 0.0) continue;
+    e_in += p * (static_cast<double>(d - 2) * t_cs + 2.0 * t_cn);
   }
   out.e_in = e_in;
 

@@ -4,35 +4,37 @@
 #include <cmath>
 
 #include "model/effective_u.h"
-#include "topology/m_port_n_tree.h"
+#include "topology/topology.h"
 
 namespace coc {
 namespace {
 
-/// ICN2 journey distribution: Eq. (6) when the concentrators fill the tree
-/// exactly; otherwise the exact NCA census of the occupied slots (averaged
-/// over sources), which degenerates to Eq. (6) at full occupancy.
-HopDistribution MakeIcn2Hops(const SystemConfig& sys) {
+/// ICN2 journey distribution: the topology's closed form when the
+/// concentrators fill its node slots exactly; otherwise the exact journey
+/// census of the occupied slots (averaged over sources), which degenerates
+/// to the closed form at full occupancy.
+LinkDistribution MakeIcn2Links(const SystemConfig& sys) {
+  const Topology& topo = sys.icn2_topology();
   if (sys.icn2_exact_fit()) {
-    return HopDistribution(sys.m(), sys.icn2_depth());
+    return topo.Links();
   }
-  const MPortNTree tree(sys.m(), sys.icn2_depth());
   const auto c = static_cast<std::int64_t>(sys.num_clusters());
-  std::vector<double> weights(static_cast<std::size_t>(sys.icn2_depth()), 0.0);
+  std::vector<double> weights(
+      static_cast<std::size_t>(topo.Links().max_links()) + 1, 0.0);
   for (std::int64_t src = 0; src < c; ++src) {
     for (std::int64_t dst = 0; dst < c; ++dst) {
       if (src == dst) continue;
-      weights[static_cast<std::size_t>(tree.NcaLevel(src, dst) - 1)] += 1.0;
+      weights[topo.Route(src, dst).size()] += 1.0;
     }
   }
-  if (c < 2) weights[0] = 1.0;  // degenerate single-cluster system
-  return HopDistribution(weights);
+  if (c < 2) weights[2] = 1.0;  // degenerate single-cluster system
+  return LinkDistribution(weights);
 }
 
 }  // namespace
 
 LatencyModel::LatencyModel(const SystemConfig& sys, ModelOptions opts)
-    : sys_(sys), opts_(opts), icn2_hops_(MakeIcn2Hops(sys)) {}
+    : sys_(sys), opts_(opts), icn2_links_(MakeIcn2Links(sys_)) {}
 
 ModelResult LatencyModel::Evaluate(double lambda_g) const {
   ModelResult result;
@@ -44,7 +46,7 @@ ModelResult LatencyModel::Evaluate(double lambda_g) const {
     ClusterLatency cl;
     cl.u = EffectiveU(sys_, i, opts_);
     cl.intra = ComputeIntra(sys_, i, lambda_g, opts_);
-    cl.inter = ComputeInter(sys_, i, lambda_g, icn2_hops_, opts_);
+    cl.inter = ComputeInter(sys_, i, lambda_g, icn2_links_, opts_);
     // Eq. (1). A component with zero traffic share cannot saturate the
     // blend (e.g. L_out in a single-cluster system where U = 0).
     cl.blended = 0;

@@ -68,7 +68,7 @@ class LatencyModel {
  private:
   SystemConfig sys_;
   ModelOptions opts_;
-  HopDistribution icn2_hops_;
+  LinkDistribution icn2_links_;
 };
 
 }  // namespace coc

@@ -1,7 +1,6 @@
 #include "sim/coc_system_sim.h"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 
 #include "common/rng.h"
@@ -19,34 +18,22 @@ constexpr int kTagClusterShift = 2;  // bits [2..) carry the source cluster
 
 CocSystemSim::CocSystemSim(const SystemConfig& sys, Icn2SlotPolicy slot_policy)
     : sys_(sys) {
-  // Clusters sharing a depth share one immutable topology object; channel id
-  // ranges (and per-flit times) stay per-cluster.
-  std::map<int, const MPortNTree*> by_depth;
-  auto tree_for = [&](int n) -> const MPortNTree* {
-    auto it = by_depth.find(n);
-    if (it != by_depth.end()) return it->second;
-    owned_trees_.push_back(std::make_unique<MPortNTree>(sys_.m(), n));
-    by_depth[n] = owned_trees_.back().get();
-    return owned_trees_.back().get();
-  };
-
   const int c = sys_.num_clusters();
-  icn1_tree_.resize(static_cast<std::size_t>(c));
-  ecn1_tree_.resize(static_cast<std::size_t>(c));
+  icn1_topo_.resize(static_cast<std::size_t>(c));
+  ecn1_topo_.resize(static_cast<std::size_t>(c));
   icn1_offset_.resize(static_cast<std::size_t>(c));
   ecn1_offset_.resize(static_cast<std::size_t>(c));
   for (int i = 0; i < c; ++i) {
     const ClusterConfig& cluster = sys_.cluster(i);
-    const MPortNTree* tree = tree_for(cluster.n);
-    icn1_tree_[static_cast<std::size_t>(i)] = tree;
-    ecn1_tree_[static_cast<std::size_t>(i)] = tree;
-    icn1_offset_[static_cast<std::size_t>(i)] =
-        RegisterTree(*tree, cluster.icn1, NetClass::kIcn1);
-    ecn1_offset_[static_cast<std::size_t>(i)] =
-        RegisterTree(*tree, cluster.ecn1, NetClass::kEcn1);
+    icn1_topo_[static_cast<std::size_t>(i)] = &sys_.icn1_topology(i);
+    ecn1_topo_[static_cast<std::size_t>(i)] = &sys_.ecn1_topology(i);
+    icn1_offset_[static_cast<std::size_t>(i)] = RegisterNetwork(
+        sys_.icn1_topology(i), cluster.icn1, NetClass::kIcn1);
+    ecn1_offset_[static_cast<std::size_t>(i)] = RegisterNetwork(
+        sys_.ecn1_topology(i), cluster.ecn1, NetClass::kEcn1);
   }
-  icn2_tree_ = std::make_unique<MPortNTree>(sys_.m(), sys_.icn2_depth());
-  icn2_offset_ = RegisterTree(*icn2_tree_, sys_.icn2(), NetClass::kIcn2);
+  icn2_topo_ = &sys_.icn2_topology();
+  icn2_offset_ = RegisterNetwork(*icn2_topo_, sys_.icn2(), NetClass::kIcn2);
 
   // C/D slot assignment. Interleaving strides consecutive clusters across
   // the leaf switches (k = m/2 slots per leaf): with C slots and C/k leaves,
@@ -57,20 +44,20 @@ CocSystemSim::CocSystemSim(const SystemConfig& sys, Icn2SlotPolicy slot_policy)
   const std::int64_t leaves = c / k;
   const bool can_interleave =
       slot_policy == Icn2SlotPolicy::kInterleaved && leaves > 0 &&
-      c % k == 0 && c <= icn2_tree_->num_nodes();
+      c % k == 0 && c <= icn2_topo_->num_nodes();
   for (std::int64_t i = 0; i < c; ++i) {
     icn2_slot_[static_cast<std::size_t>(i)] =
         can_interleave ? (i % leaves) * k + i / leaves : i;
   }
 }
 
-std::int32_t CocSystemSim::RegisterTree(const MPortNTree& tree,
-                                        const NetworkCharacteristics& net,
-                                        NetClass net_class) {
+std::int32_t CocSystemSim::RegisterNetwork(const Topology& topo,
+                                           const NetworkCharacteristics& net,
+                                           NetClass net_class) {
   const auto offset = static_cast<std::int32_t>(flit_time_.size());
   const double dm = sys_.message().flit_bytes;
-  for (std::int64_t ch = 0; ch < tree.num_channels(); ++ch) {
-    const ChannelKind kind = tree.Channel(ch).kind;
+  for (std::int64_t ch = 0; ch < topo.num_channels(); ++ch) {
+    const ChannelKind kind = topo.Channel(ch).kind;
     const bool node_link = kind == ChannelKind::kNodeToSwitch ||
                            kind == ChannelKind::kSwitchToNode;
     flit_time_.push_back(node_link ? net.TCn(dm) : net.TCs(dm));
@@ -81,32 +68,32 @@ std::int32_t CocSystemSim::RegisterTree(const MPortNTree& tree,
 
 std::string CocSystemSim::DescribeChannel(std::int32_t id) const {
   if (id < 0 || id >= num_channels()) return "invalid channel";
-  // Locate the owning tree by offset ranges (registration order: per
+  // Locate the owning topology by offset ranges (registration order: per
   // cluster ICN1 then ECN1, finally ICN2).
   std::string prefix;
-  const MPortNTree* tree = nullptr;
+  const Topology* topo = nullptr;
   std::int64_t local = 0;
   if (id >= icn2_offset_) {
     prefix = "ICN2";
-    tree = icn2_tree_.get();
+    topo = icn2_topo_;
     local = id - icn2_offset_;
   } else {
     for (int i = sys_.num_clusters() - 1; i >= 0; --i) {
       if (id >= ecn1_offset_[static_cast<std::size_t>(i)]) {
         prefix = "cluster " + std::to_string(i) + " ECN1";
-        tree = ecn1_tree_[static_cast<std::size_t>(i)];
+        topo = ecn1_topo_[static_cast<std::size_t>(i)];
         local = id - ecn1_offset_[static_cast<std::size_t>(i)];
         break;
       }
       if (id >= icn1_offset_[static_cast<std::size_t>(i)]) {
         prefix = "cluster " + std::to_string(i) + " ICN1";
-        tree = icn1_tree_[static_cast<std::size_t>(i)];
+        topo = icn1_topo_[static_cast<std::size_t>(i)];
         local = id - icn1_offset_[static_cast<std::size_t>(i)];
         break;
       }
     }
   }
-  const ChannelInfo& info = tree->Channel(local);
+  const ChannelInfo& info = topo->Channel(local);
   auto endpoint = [](const Endpoint& e) {
     return e.is_node ? "node " + std::to_string(e.index)
                      : "switch L" + std::to_string(e.level) + "#" +
@@ -115,7 +102,7 @@ std::string CocSystemSim::DescribeChannel(std::int32_t id) const {
   return prefix + " " + endpoint(info.from) + " -> " + endpoint(info.to);
 }
 
-std::vector<std::int32_t> CocSystemSim::BuildPath(
+CocSystemSim::RoutedPath CocSystemSim::BuildRoutedPath(
     std::int64_t src, std::int64_t dst, std::uint64_t ascent_entropy) const {
   if (src == dst) throw std::invalid_argument("src == dst");
   const int ci = sys_.ClusterOfNode(src);
@@ -123,35 +110,42 @@ std::vector<std::int32_t> CocSystemSim::BuildPath(
   const std::int64_t ls = src - sys_.ClusterBase(ci);
   const std::int64_t ld = dst - sys_.ClusterBase(cj);
 
-  std::vector<std::int32_t> path;
+  RoutedPath out;
   if (ci == cj) {
-    for (auto ch : icn1_tree_[static_cast<std::size_t>(ci)]->RouteWithEntropy(
+    for (auto ch : icn1_topo_[static_cast<std::size_t>(ci)]->Route(
              ls, ld, ascent_entropy)) {
-      path.push_back(icn1_offset_[static_cast<std::size_t>(ci)] +
-                     static_cast<std::int32_t>(ch));
+      out.path.push_back(icn1_offset_[static_cast<std::size_t>(ci)] +
+                         static_cast<std::int32_t>(ch));
     }
-    return path;
+    return out;
   }
-  // Spine-tapped inter-cluster route: ECN1(i) ascent to the concentrator,
-  // the ICN2 journey between the two C/D node slots, ECN1(j) descent. The
-  // ECN1 ascent is pinned to the spine (taps live there); only the ICN2 leg
-  // can use ascent entropy.
+  // Tap-attached inter-cluster route: ECN1(i) access to the concentrator,
+  // the ICN2 journey between the two C/D node slots, ECN1(j) egress. The
+  // ECN1 legs are pinned to the tap attachment (the C/Ds live there); only
+  // the ICN2 leg can use routing entropy.
   for (auto ch :
-       ecn1_tree_[static_cast<std::size_t>(ci)]->AscendToSpine(ls, 0)) {
-    path.push_back(ecn1_offset_[static_cast<std::size_t>(ci)] +
-                   static_cast<std::int32_t>(ch));
+       ecn1_topo_[static_cast<std::size_t>(ci)]->RouteToTap(ls)) {
+    out.path.push_back(ecn1_offset_[static_cast<std::size_t>(ci)] +
+                       static_cast<std::int32_t>(ch));
   }
-  for (auto ch : icn2_tree_->RouteWithEntropy(
-           icn2_slot_[static_cast<std::size_t>(ci)],
-           icn2_slot_[static_cast<std::size_t>(cj)], ascent_entropy)) {
-    path.push_back(icn2_offset_ + static_cast<std::int32_t>(ch));
+  out.access_links = static_cast<int>(out.path.size());
+  for (auto ch : icn2_topo_->Route(icn2_slot_[static_cast<std::size_t>(ci)],
+                                   icn2_slot_[static_cast<std::size_t>(cj)],
+                                   ascent_entropy)) {
+    out.path.push_back(icn2_offset_ + static_cast<std::int32_t>(ch));
   }
+  out.icn2_links = static_cast<int>(out.path.size()) - out.access_links;
   for (auto ch :
-       ecn1_tree_[static_cast<std::size_t>(cj)]->DescendFromSpine(ld, 0)) {
-    path.push_back(ecn1_offset_[static_cast<std::size_t>(cj)] +
-                   static_cast<std::int32_t>(ch));
+       ecn1_topo_[static_cast<std::size_t>(cj)]->RouteFromTap(ld)) {
+    out.path.push_back(ecn1_offset_[static_cast<std::size_t>(cj)] +
+                       static_cast<std::int32_t>(ch));
   }
-  return path;
+  return out;
+}
+
+std::vector<std::int32_t> CocSystemSim::BuildPath(
+    std::int64_t src, std::int64_t dst, std::uint64_t ascent_entropy) const {
+  return BuildRoutedPath(src, dst, ascent_entropy).path;
 }
 
 SimResult CocSystemSim::Run(const SimConfig& cfg) const {
@@ -170,8 +164,8 @@ SimResult CocSystemSim::Run(const SimConfig& cfg) const {
     const int cj = sys_.ClusterOfNode(ev.dst);
     const std::uint64_t entropy =
         cfg.ascent == SimConfig::AscentPolicy::kRandomized ? route_rng() : 0;
-    auto path = BuildPath(ev.src, ev.dst, entropy);
-    std::vector<std::int32_t> depth(path.size(), 1);
+    RoutedPath routed = BuildRoutedPath(ev.src, ev.dst, entropy);
+    std::vector<std::int32_t> depth(routed.path.size(), 1);
     std::vector<std::int32_t> store_forward;
     std::uint64_t tag = static_cast<std::uint64_t>(ci) << kTagClusterShift;
     if (idx >= cfg.warmup_messages &&
@@ -180,16 +174,11 @@ SimResult CocSystemSim::Run(const SimConfig& cfg) const {
     }
     if (ci != cj) {
       tag |= kTagInter;
-      // Concentrate and dispatch buffers sit after the ECN1(i) ascent and
-      // after the ICN2 egress link respectively.
-      const std::int64_t ls = ev.src - sys_.ClusterBase(ci);
-      const int nca_src =
-          ecn1_tree_[static_cast<std::size_t>(ci)]->NcaLevel(ls, 0);
-      const std::size_t r = static_cast<std::size_t>(nca_src == 0 ? 1 : nca_src);
+      // Concentrate and dispatch buffers sit after the ECN1(i) access leg
+      // and after the ICN2 egress link respectively.
+      const std::size_t r = static_cast<std::size_t>(routed.access_links);
       const std::size_t icn2_links =
-          2 * static_cast<std::size_t>(icn2_tree_->NcaLevel(
-                  icn2_slot_[static_cast<std::size_t>(ci)],
-                  icn2_slot_[static_cast<std::size_t>(cj)]));
+          static_cast<std::size_t>(routed.icn2_links);
       depth[r - 1] = cfg.condis_buffer_flits;
       depth[r + icn2_links - 1] = cfg.condis_buffer_flits;
       if (cfg.condis_mode == CondisMode::kStoreForward) {
@@ -198,15 +187,15 @@ SimResult CocSystemSim::Run(const SimConfig& cfg) const {
               "store-and-forward C/D requires unbounded condis buffers");
         }
         // The message concentrates fully before re-injection, so the ICN2
-        // injection channel (position r) and the ECN1(j) descent entry
-        // (position r + 2l) are held only at their own networks' rates —
+        // injection channel (position r) and the ECN1(j) egress entry
+        // (position r + d_l) are held only at their own networks' rates —
         // matching the model's Eq. (36)-(38) M/G/1 service times.
         store_forward.push_back(static_cast<std::int32_t>(r));
         store_forward.push_back(static_cast<std::int32_t>(r + icn2_links));
       }
     }
-    engine.AddMessage(ev.time, std::move(path), std::move(depth), flits, tag,
-                      store_forward);
+    engine.AddMessage(ev.time, std::move(routed.path), std::move(depth), flits,
+                      tag, store_forward);
   }
 
   SimResult result;

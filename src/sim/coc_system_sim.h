@@ -1,23 +1,24 @@
 // Discrete-event simulation of the full cluster-of-clusters system
 // (the paper's §4 validation substrate, rebuilt from scratch).
 //
-// Instantiates one m-port n_i-tree per cluster for ICN1(i) and another for
-// ECN1(i), plus the global ICN2 m-port n_c-tree whose node slots host the
-// concentrator/dispatchers. Intra-cluster messages take the up*/down* ICN1
-// route; inter-cluster messages take the spine-tapped path
-//     ECN1(i) ascent (r links) -> ICN2 (2l links) -> ECN1(j) descent (v links)
-// which matches the analytical model's link accounting exactly (DESIGN.md §2).
+// Instantiates one topology per cluster network — ICN1(i) and ECN1(i) — plus
+// the global ICN2 whose node slots host the concentrator/dispatchers; all
+// instances come resolved and shared from the SystemConfig, so any Topology
+// implementation (m-port n-tree, crossbar, mesh/torus) plugs in unchanged.
+// Intra-cluster messages take the ICN1 routing oracle's path; inter-cluster
+// messages take the tap-attached path
+//     ECN1(i) access (r links) -> ICN2 (d_l links) -> ECN1(j) egress (v links)
+// which matches the analytical model's link accounting exactly.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/metrics.h"
 #include "sim/sim_config.h"
 #include "system/system_config.h"
-#include "topology/m_port_n_tree.h"
+#include "topology/topology.h"
 
 namespace coc {
 
@@ -55,8 +56,8 @@ class CocSystemSim {
 
   /// Channel sequence (global channel ids) a message from global node src to
   /// global node dst traverses; exposed for tests and path-length audits.
-  /// `ascent_entropy` perturbs the ICN1/ICN2 ascent up-port choices
-  /// (0 = the paper's deterministic routing).
+  /// `ascent_entropy` perturbs route choice where the topologies have
+  /// freedom (0 = the paper's deterministic routing).
   std::vector<std::int32_t> BuildPath(std::int64_t src, std::int64_t dst,
                                       std::uint64_t ascent_entropy = 0) const;
 
@@ -76,20 +77,30 @@ class CocSystemSim {
  private:
   enum class NetClass : std::uint8_t { kIcn1, kEcn1, kIcn2 };
 
-  // Appends a tree's channels to the global table with the given
-  // characteristics; returns the global id offset of the tree's channels.
-  std::int32_t RegisterTree(const MPortNTree& tree,
-                            const NetworkCharacteristics& net,
-                            NetClass net_class);
+  /// A routed path plus the segment lengths the C/D placement needs:
+  /// `access_links` is the ECN1(i) leg length (0 for intra-cluster paths)
+  /// and `icn2_links` the ICN2 leg length.
+  struct RoutedPath {
+    std::vector<std::int32_t> path;
+    int access_links = 0;
+    int icn2_links = 0;
+  };
+
+  RoutedPath BuildRoutedPath(std::int64_t src, std::int64_t dst,
+                             std::uint64_t ascent_entropy) const;
+
+  // Appends a topology's channels to the global table with the given
+  // characteristics; returns the global id offset of its channels.
+  std::int32_t RegisterNetwork(const Topology& topo,
+                               const NetworkCharacteristics& net,
+                               NetClass net_class);
 
   SystemConfig sys_;
-  // One ICN1 and one ECN1 topology object per distinct depth n_i (clusters
-  // with equal n_i share the immutable topology object but have their own
-  // channel id ranges).
-  std::vector<const MPortNTree*> icn1_tree_;  // per cluster, borrowed
-  std::vector<const MPortNTree*> ecn1_tree_;  // per cluster, borrowed
-  std::vector<std::unique_ptr<MPortNTree>> owned_trees_;
-  std::unique_ptr<MPortNTree> icn2_tree_;
+  // Topology instances are owned (shared) by sys_; clusters with equal
+  // resolved specs share one instance but keep their own channel id ranges.
+  std::vector<const Topology*> icn1_topo_;  // per cluster, borrowed
+  std::vector<const Topology*> ecn1_topo_;  // per cluster, borrowed
+  const Topology* icn2_topo_ = nullptr;
   std::vector<std::int32_t> icn1_offset_;  // per cluster
   std::vector<std::int32_t> ecn1_offset_;  // per cluster
   std::int32_t icn2_offset_ = 0;

@@ -48,4 +48,21 @@ SystemConfig MakeTinySystem(MessageFormat message) {
                       /*icn2=*/Net1(), message);
 }
 
+SystemConfig MakeMixedTopologySystem(MessageFormat message) {
+  std::vector<ClusterConfig> clusters;
+  clusters.reserve(4);
+  // Two paper-style tree clusters (2*2^2 = 8 nodes each).
+  clusters.push_back(ClusterConfig{2, Net1(), Net2()});
+  clusters.push_back(ClusterConfig{2, Net1(), Net2()});
+  // A 2-ary 3-cube mesh cluster (2^3 = 8 nodes); its ECN1 mirrors the mesh.
+  ClusterConfig mesh{2, Net1(), Net2()};
+  mesh.icn1_topo = TopologySpec::Mesh(/*radix=*/2, /*dims=*/3);
+  clusters.push_back(mesh);
+  // A crossbar cluster; ports fit the 8-node cluster size.
+  ClusterConfig xbar{2, Net1(), Net2()};
+  xbar.icn1_topo = TopologySpec::Crossbar(/*ports=*/8);
+  clusters.push_back(xbar);
+  return SystemConfig(/*m=*/4, std::move(clusters), /*icn2=*/Net1(), message);
+}
+
 }  // namespace coc

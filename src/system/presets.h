@@ -23,4 +23,10 @@ SystemConfig MakeSmallSystem(MessageFormat message);
 /// quickstart-style demos.
 SystemConfig MakeTinySystem(MessageFormat message);
 
+/// A topology-heterogeneous system (C=4, m=4, 8 nodes per cluster): two
+/// m-port 2-tree clusters, one 2-ary 3-cube mesh cluster, and one crossbar
+/// cluster, all behind the default ICN2 tree. Exercises the pluggable
+/// Topology layer end to end (model + simulator) with mixed families.
+SystemConfig MakeMixedTopologySystem(MessageFormat message);
+
 }  // namespace coc

@@ -1,12 +1,15 @@
 #include "system/system_config.h"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
+#include <string>
 
 namespace coc {
 
 SystemConfig::SystemConfig(int m, std::vector<ClusterConfig> clusters,
-                           NetworkCharacteristics icn2, MessageFormat message)
+                           NetworkCharacteristics icn2, MessageFormat message,
+                           std::optional<TopologySpec> icn2_topo)
     : m_(m),
       clusters_(std::move(clusters)),
       icn2_(icn2),
@@ -20,28 +23,76 @@ SystemConfig::SystemConfig(int m, std::vector<ClusterConfig> clusters,
   icn2_.Validate();
   message_.Validate();
 
-  const int k = m_ / 2;
+  // One immutable Topology per distinct resolved spec: clusters sharing a
+  // spec share the instance and its cached link distributions, so model and
+  // simulator sweeps never rebuild or re-derive them.
+  std::map<std::string, std::shared_ptr<const Topology>> cache;
+  auto build = [&cache](const TopologySpec& resolved) {
+    const std::string key = resolved.ToString();
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+    auto topo = BuildTopology(resolved);
+    cache.emplace(key, topo);
+    return topo;
+  };
+
+  icn1_topos_.reserve(clusters_.size());
+  ecn1_topos_.reserve(clusters_.size());
   cluster_sizes_.reserve(clusters_.size());
   cluster_bases_.reserve(clusters_.size());
   for (const auto& c : clusters_) {
-    if (c.n < 1) throw std::invalid_argument("cluster depth n_i must be >= 1");
     c.icn1.Validate();
     c.ecn1.Validate();
-    std::int64_t size = 2;
-    for (int j = 0; j < c.n; ++j) size *= k;
+    const TopologySpec icn1_spec = ResolveTopologySpec(
+        c.icn1_topo.value_or(TopologySpec::Tree(0, 0)), m_, c.n,
+        /*fit_nodes=*/0);
+    auto icn1 = build(icn1_spec);
+    const std::int64_t size = icn1->num_nodes();
+    const TopologySpec ecn1_spec = ResolveTopologySpec(
+        c.ecn1_topo.value_or(icn1_spec), m_, c.n, /*fit_nodes=*/size);
+    auto ecn1 = build(ecn1_spec);
+    if (ecn1->num_nodes() != size) {
+      throw std::invalid_argument(
+          "cluster ECN1 topology (" + ecn1->Name() + ", " +
+          std::to_string(ecn1->num_nodes()) + " nodes) must match its ICN1 (" +
+          icn1->Name() + ", " + std::to_string(size) + " nodes)");
+    }
+    icn1_topos_.push_back(std::move(icn1));
+    ecn1_topos_.push_back(std::move(ecn1));
     cluster_bases_.push_back(total_nodes_);
     cluster_sizes_.push_back(size);
     total_nodes_ += size;
   }
 
+  // ICN2: its node slots host the C concentrator/dispatchers. The default
+  // tree auto-sizes to the smallest depth with at least C slots.
   const auto c_count = static_cast<std::int64_t>(clusters_.size());
-  std::int64_t slots = 2 * k;
-  icn2_depth_ = 1;
-  while (slots < c_count) {
-    slots *= k;
-    ++icn2_depth_;
+  TopologySpec icn2_spec = icn2_topo.value_or(TopologySpec::Tree(0, 0));
+  if (icn2_spec.type == TopologySpec::Type::kTree && icn2_spec.n == 0) {
+    // Auto-depth honors an explicitly overridden tree arity; degenerate
+    // arities (k < 2) get depth 1 and fail MPortNTree's own validation.
+    const int k = (icn2_spec.m != 0 ? icn2_spec.m : m_) / 2;
+    std::int64_t slots = 2 * k;
+    int depth = 1;
+    while (k >= 2 && slots < c_count) {
+      slots *= k;
+      ++depth;
+    }
+    icn2_spec.n = depth;
   }
-  icn2_exact_fit_ = (slots == c_count);
+  icn2_spec = ResolveTopologySpec(icn2_spec, m_, /*default_depth=*/0,
+                                  /*fit_nodes=*/std::max<std::int64_t>(
+                                      c_count, 2));
+  icn2_topo_ = build(icn2_spec);
+  if (icn2_topo_->num_nodes() < c_count) {
+    throw std::invalid_argument(
+        "ICN2 topology " + icn2_topo_->Name() + " has only " +
+        std::to_string(icn2_topo_->num_nodes()) + " slots for " +
+        std::to_string(c_count) + " clusters");
+  }
+  icn2_depth_ =
+      icn2_spec.type == TopologySpec::Type::kTree ? icn2_spec.n : 0;
+  icn2_exact_fit_ = (icn2_topo_->num_nodes() == c_count);
 }
 
 double SystemConfig::OutgoingProbability(int i) const {

@@ -1,35 +1,64 @@
 // Description of a heterogeneous cluster-of-clusters system (paper §2, Fig. 1).
 //
-// The system has C clusters sharing the switch arity m. Cluster i is an
-// m-port n_i-tree with N_i = 2(m/2)^{n_i} nodes and owns two networks:
-// ICN1(i) for intra-cluster traffic and ECN1(i) for inter-cluster access.
-// A global m-port n_c-tree (ICN2) connects the per-cluster
-// concentrator/dispatchers, which occupy its node slots.
+// The system has C clusters. Cluster i owns two networks: ICN1(i) for
+// intra-cluster traffic and ECN1(i) for inter-cluster access; a global
+// network (ICN2) connects the per-cluster concentrator/dispatchers, which
+// occupy its node slots. The paper builds every network as an m-port n-tree;
+// here each network carries a pluggable TopologySpec (defaulting to the
+// paper's trees), so clusters may mix topology families — the "heterogeneous"
+// in the title extends from tree depths to network structure itself.
+// SystemConfig resolves the specs, builds one immutable Topology per
+// distinct resolved spec, and shares the instances (and their cached hop
+// distributions) between the analytical model and the simulator.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "system/network_characteristics.h"
+#include "topology/topology_spec.h"
 
 namespace coc {
 
-/// Per-cluster description: tree depth and the characteristics of its two
-/// networks (paper assumption 5: networks may differ per cluster).
+/// Per-cluster description: tree depth, the characteristics of its two
+/// networks (paper assumption 5: networks may differ per cluster), and
+/// optional topology overrides.
 struct ClusterConfig {
-  int n = 1;  ///< tree depth n_i; cluster size N_i = 2(m/2)^{n_i}
+  ClusterConfig() = default;
+  ClusterConfig(int n, NetworkCharacteristics icn1,
+                NetworkCharacteristics ecn1,
+                std::optional<TopologySpec> icn1_topo = std::nullopt,
+                std::optional<TopologySpec> ecn1_topo = std::nullopt)
+      : n(n),
+        icn1(icn1),
+        ecn1(ecn1),
+        icn1_topo(std::move(icn1_topo)),
+        ecn1_topo(std::move(ecn1_topo)) {}
+
+  int n = 1;  ///< tree depth n_i for defaulted topologies
   NetworkCharacteristics icn1;  ///< intra-cluster network
   NetworkCharacteristics ecn1;  ///< inter-cluster access network
+  /// ICN1 topology; unset = the paper's m-port n-tree with the system's m
+  /// and this cluster's n. Defines the cluster's node count.
+  std::optional<TopologySpec> icn1_topo;
+  /// ECN1 topology; unset = the same spec as ICN1. Must resolve to the same
+  /// node count as ICN1 (both attach every node of the cluster).
+  std::optional<TopologySpec> ecn1_topo;
 };
 
 /// Full system description plus derived quantities used by both the
 /// analytical model and the simulator.
 class SystemConfig {
  public:
-  /// Validates and precomputes sizes. Throws std::invalid_argument on
-  /// malformed input (odd m, empty cluster list, non-positive rates...).
+  /// Validates, resolves topology specs, and precomputes sizes. Throws
+  /// std::invalid_argument on malformed input (odd m, empty cluster list,
+  /// non-positive rates, mismatched ICN1/ECN1 node counts...).
+  /// `icn2_topo` unset = the paper's m-port tree with auto-derived depth.
   SystemConfig(int m, std::vector<ClusterConfig> clusters,
-               NetworkCharacteristics icn2, MessageFormat message);
+               NetworkCharacteristics icn2, MessageFormat message,
+               std::optional<TopologySpec> icn2_topo = std::nullopt);
 
   int m() const { return m_; }
   int k() const { return m_ / 2; }
@@ -41,20 +70,33 @@ class SystemConfig {
   const NetworkCharacteristics& icn2() const { return icn2_; }
   const MessageFormat& message() const { return message_; }
 
-  /// N_i = 2(m/2)^{n_i}.
+  /// Resolved topology instances. Clusters with identical resolved specs
+  /// share one instance (and its cached link distributions).
+  const Topology& icn1_topology(int i) const {
+    return *icn1_topos_[static_cast<std::size_t>(i)];
+  }
+  const Topology& ecn1_topology(int i) const {
+    return *ecn1_topos_[static_cast<std::size_t>(i)];
+  }
+  const Topology& icn2_topology() const { return *icn2_topo_; }
+
+  /// Cluster size N_i — the node count of its ICN1 topology (2(m/2)^{n_i}
+  /// for the default trees).
   std::int64_t NodesInCluster(int i) const {
     return cluster_sizes_[static_cast<std::size_t>(i)];
   }
   /// Total system size N = sum N_i.
   std::int64_t TotalNodes() const { return total_nodes_; }
 
-  /// ICN2 tree depth n_c: the smallest depth whose m-port n_c-tree has at
-  /// least C node slots. Equals the paper's exact-fit C = 2(m/2)^{n_c} for
-  /// the validation organizations; partial occupancy is allowed for
-  /// exploratory configurations (the model then uses the exact NCA census of
-  /// the occupied slots instead of Eq. 6).
+  /// ICN2 tree depth n_c when the ICN2 topology is a tree: the smallest
+  /// depth whose m-port n_c-tree has at least C node slots (the paper's
+  /// exact-fit C = 2(m/2)^{n_c} for the validation organizations). Zero for
+  /// non-tree ICN2 topologies.
   int icn2_depth() const { return icn2_depth_; }
-  /// Whether C fills the ICN2 tree exactly (paper's assumption).
+  /// Whether C fills the ICN2 node slots exactly (the paper's assumption).
+  /// Partial occupancy is allowed for exploratory configurations; the model
+  /// then uses the exact journey census of the occupied slots instead of
+  /// the closed-form distribution.
   bool icn2_exact_fit() const { return icn2_exact_fit_; }
 
   /// U^(i), Eq. (2): probability a message from cluster i leaves the cluster
@@ -74,10 +116,13 @@ class SystemConfig {
   std::vector<ClusterConfig> clusters_;
   NetworkCharacteristics icn2_;
   MessageFormat message_;
+  std::vector<std::shared_ptr<const Topology>> icn1_topos_;
+  std::vector<std::shared_ptr<const Topology>> ecn1_topos_;
+  std::shared_ptr<const Topology> icn2_topo_;
   std::vector<std::int64_t> cluster_sizes_;
   std::vector<std::int64_t> cluster_bases_;
   std::int64_t total_nodes_ = 0;
-  int icn2_depth_ = 1;
+  int icn2_depth_ = 0;
   bool icn2_exact_fit_ = false;
 };
 

@@ -1,0 +1,42 @@
+#include "topology/full_crossbar.h"
+
+#include <stdexcept>
+
+namespace coc {
+
+FullCrossbar::FullCrossbar(std::int64_t ports)
+    : num_nodes_(ports),
+      links_(std::vector<double>{0.0, 0.0, 1.0}),
+      access_links_(std::vector<double>{0.0, 1.0}) {
+  if (ports < 2) {
+    throw std::invalid_argument("crossbar requires at least 2 ports");
+  }
+  channels_.reserve(static_cast<std::size_t>(2 * num_nodes_));
+  for (std::int64_t node = 0; node < num_nodes_; ++node) {
+    channels_.push_back(ChannelInfo{ChannelKind::kNodeToSwitch,
+                                    Endpoint{true, 0, node},
+                                    Endpoint{false, 1, 0}});
+  }
+  for (std::int64_t node = 0; node < num_nodes_; ++node) {
+    channels_.push_back(ChannelInfo{ChannelKind::kSwitchToNode,
+                                    Endpoint{false, 1, 0},
+                                    Endpoint{true, 0, node}});
+  }
+}
+
+std::vector<std::int64_t> FullCrossbar::Route(std::int64_t src,
+                                              std::int64_t dst,
+                                              std::uint64_t /*entropy*/) const {
+  if (src == dst) return {};
+  return {src, num_nodes_ + dst};
+}
+
+std::vector<std::int64_t> FullCrossbar::RouteToTap(std::int64_t src) const {
+  return {src};
+}
+
+std::vector<std::int64_t> FullCrossbar::RouteFromTap(std::int64_t dst) const {
+  return {num_nodes_ + dst};
+}
+
+}  // namespace coc

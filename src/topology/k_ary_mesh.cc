@@ -1,0 +1,254 @@
+#include "topology/k_ary_mesh.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace coc {
+namespace {
+
+constexpr std::int64_t kMaxRouters = std::int64_t{1} << 22;
+
+/// Per-dimension coordinate-distance counts over ordered pairs (a, b) in
+/// [0, k)^2: counts[t] = number of pairs at distance t.
+std::vector<double> PairDistanceCounts(int k, bool torus) {
+  std::vector<double> counts(static_cast<std::size_t>(k), 0.0);
+  counts[0] = k;  // a == b
+  if (torus) {
+    for (int t = 1; t <= k / 2; ++t) {
+      // Each a has two partners at Lee distance t, except the antipode
+      // (one partner) when k is even and t == k/2.
+      counts[static_cast<std::size_t>(t)] =
+          (2 * t == k) ? k : 2.0 * k;
+    }
+  } else {
+    for (int t = 1; t < k; ++t) {
+      counts[static_cast<std::size_t>(t)] = 2.0 * (k - t);
+    }
+  }
+  return counts;
+}
+
+/// Per-dimension distance-to-zero counts over a in [0, k).
+std::vector<double> AnchorDistanceCounts(int k, bool torus) {
+  std::vector<double> counts(static_cast<std::size_t>(k), 0.0);
+  for (int a = 0; a < k; ++a) {
+    const int t = torus ? std::min(a, k - a) : a;
+    counts[static_cast<std::size_t>(t)] += 1.0;
+  }
+  return counts;
+}
+
+std::vector<double> Convolve(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0.0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> HopCounts(int radix, int dims, bool torus,
+                              bool to_anchor) {
+  std::vector<double> counts =
+      to_anchor ? AnchorDistanceCounts(radix, torus)
+                : PairDistanceCounts(radix, torus);
+  for (int j = 1; j < dims; ++j) {
+    counts = Convolve(counts, to_anchor ? AnchorDistanceCounts(radix, torus)
+                                        : PairDistanceCounts(radix, torus));
+  }
+  return counts;
+}
+
+}  // namespace
+
+KAryMesh::KAryMesh(int radix, int dims, bool torus)
+    : radix_(radix),
+      dims_(dims),
+      torus_(torus && radix > 2),
+      links_(MakeLinkDistribution(radix, dims, torus)),
+      access_links_(MakeAccessDistribution(radix, dims, torus)) {
+  if (radix_ < 2) throw std::invalid_argument("mesh radix must be >= 2");
+  if (dims_ < 1) throw std::invalid_argument("mesh dims must be >= 1");
+
+  pow_k_.resize(static_cast<std::size_t>(dims_) + 1);
+  pow_k_[0] = 1;
+  for (int j = 1; j <= dims_; ++j) {
+    pow_k_[static_cast<std::size_t>(j)] =
+        pow_k_[static_cast<std::size_t>(j - 1)] * radix_;
+    if (pow_k_[static_cast<std::size_t>(j)] > kMaxRouters) {
+      throw std::invalid_argument("mesh too large (> 2^22 routers)");
+    }
+  }
+  num_nodes_ = pow_k_[static_cast<std::size_t>(dims_)];
+
+  // Node links first: [0, N) injection, [N, 2N) ejection.
+  channels_.reserve(static_cast<std::size_t>(2 * num_nodes_));
+  for (std::int64_t node = 0; node < num_nodes_; ++node) {
+    channels_.push_back(ChannelInfo{ChannelKind::kNodeToSwitch,
+                                    Endpoint{true, 0, node},
+                                    Endpoint{false, 1, node}});
+  }
+  for (std::int64_t node = 0; node < num_nodes_; ++node) {
+    channels_.push_back(ChannelInfo{ChannelKind::kSwitchToNode,
+                                    Endpoint{false, 1, node},
+                                    Endpoint{true, 0, node}});
+  }
+
+  // Router links: per dimension a dense +direction block then a -direction
+  // block. Meshes omit the edge routers' missing neighbors, so the block is
+  // indexed by the router's rank among those that own the link.
+  plus_base_.resize(static_cast<std::size_t>(dims_));
+  minus_base_.resize(static_cast<std::size_t>(dims_));
+  for (int j = 0; j < dims_; ++j) {
+    const std::int64_t per_dir =
+        torus_ ? num_nodes_ : (num_nodes_ / radix_) * (radix_ - 1);
+    plus_base_[static_cast<std::size_t>(j)] =
+        static_cast<std::int64_t>(channels_.size());
+    channels_.resize(channels_.size() + static_cast<std::size_t>(per_dir));
+    minus_base_[static_cast<std::size_t>(j)] =
+        static_cast<std::int64_t>(channels_.size());
+    channels_.resize(channels_.size() + static_cast<std::size_t>(per_dir));
+  }
+  for (std::int64_t r = 0; r < num_nodes_; ++r) {
+    for (int j = 0; j < dims_; ++j) {
+      const int c = Coord(r, j);
+      const std::int64_t step = pow_k_[static_cast<std::size_t>(j)];
+      if (torus_ || c < radix_ - 1) {
+        const std::int64_t to =
+            (c < radix_ - 1) ? r + step : r - (radix_ - 1) * step;
+        channels_[static_cast<std::size_t>(LinkChannel(r, j, +1))] =
+            ChannelInfo{ChannelKind::kSwitchUp, Endpoint{false, 1, r},
+                        Endpoint{false, 1, to}};
+      }
+      if (torus_ || c > 0) {
+        const std::int64_t to = (c > 0) ? r - step : r + (radix_ - 1) * step;
+        channels_[static_cast<std::size_t>(LinkChannel(r, j, -1))] =
+            ChannelInfo{ChannelKind::kSwitchDown, Endpoint{false, 1, r},
+                        Endpoint{false, 1, to}};
+      }
+    }
+  }
+}
+
+std::string KAryMesh::Name() const {
+  std::string name = torus_ ? "torus " : "mesh ";
+  for (int j = 0; j < dims_; ++j) {
+    if (j > 0) name += "x";
+    name += std::to_string(radix_);
+  }
+  return name;
+}
+
+std::int64_t KAryMesh::LinkChannel(std::int64_t router, int dim,
+                                   int dir) const {
+  const std::int64_t base =
+      dir > 0 ? plus_base_[static_cast<std::size_t>(dim)]
+              : minus_base_[static_cast<std::size_t>(dim)];
+  if (torus_) return base + router;
+  // Rank of `router` among routers owning a link in this direction: collapse
+  // the dim coordinate to a (radix-1)-wide digit ([0, k-1) for +, shifted
+  // down one for -).
+  const std::int64_t step = pow_k_[static_cast<std::size_t>(dim)];
+  const std::int64_t lo = router % step;
+  const std::int64_t c = (router / step) % radix_;
+  const std::int64_t hi = router / (step * radix_);
+  const std::int64_t digit = dir > 0 ? c : c - 1;
+  return base + (hi * (radix_ - 1) + digit) * step + lo;
+}
+
+int KAryMesh::Distance(std::int64_t a, std::int64_t b) const {
+  int d = 0;
+  for (int j = 0; j < dims_; ++j) {
+    const int ca = Coord(a, j), cb = Coord(b, j);
+    const int direct = ca > cb ? ca - cb : cb - ca;
+    d += torus_ ? std::min(direct, radix_ - direct) : direct;
+  }
+  return d;
+}
+
+void KAryMesh::AppendHops(std::int64_t from, std::int64_t to,
+                          std::vector<std::int64_t>* path) const {
+  std::int64_t cur = from;
+  for (int j = 0; j < dims_; ++j) {
+    const int target = Coord(to, j);
+    const std::int64_t step = pow_k_[static_cast<std::size_t>(j)];
+    while (Coord(cur, j) != target) {
+      const int c = Coord(cur, j);
+      int dir;
+      if (torus_) {
+        const int fwd = (target - c + radix_) % radix_;
+        const int bwd = (c - target + radix_) % radix_;
+        dir = fwd <= bwd ? +1 : -1;  // shorter way, ties toward +
+      } else {
+        dir = target > c ? +1 : -1;
+      }
+      path->push_back(LinkChannel(cur, j, dir));
+      if (dir > 0) {
+        cur = (c < radix_ - 1) ? cur + step : cur - (radix_ - 1) * step;
+      } else {
+        cur = (c > 0) ? cur - step : cur + (radix_ - 1) * step;
+      }
+    }
+  }
+}
+
+std::vector<std::int64_t> KAryMesh::Route(std::int64_t src, std::int64_t dst,
+                                          std::uint64_t /*entropy*/) const {
+  if (src == dst) return {};
+  std::vector<std::int64_t> path;
+  path.reserve(static_cast<std::size_t>(Distance(src, dst)) + 2);
+  path.push_back(src);  // injection link id == node id
+  AppendHops(src, dst, &path);
+  path.push_back(num_nodes_ + dst);  // ejection link
+  return path;
+}
+
+std::vector<std::int64_t> KAryMesh::RouteToTap(std::int64_t src) const {
+  std::vector<std::int64_t> path;
+  path.reserve(static_cast<std::size_t>(Distance(src, 0)) + 1);
+  path.push_back(src);
+  AppendHops(src, 0, &path);
+  return path;
+}
+
+std::vector<std::int64_t> KAryMesh::RouteFromTap(std::int64_t dst) const {
+  std::vector<std::int64_t> path;
+  path.reserve(static_cast<std::size_t>(Distance(0, dst)) + 1);
+  AppendHops(0, dst, &path);
+  path.push_back(num_nodes_ + dst);
+  return path;
+}
+
+LinkDistribution KAryMesh::MakeLinkDistribution(int radix, int dims,
+                                                bool torus) {
+  if (radix < 2 || dims < 1) {
+    throw std::invalid_argument("mesh requires radix >= 2, dims >= 1");
+  }
+  const bool wraps = torus && radix > 2;
+  const auto hop_counts = HopCounts(radix, dims, wraps, /*to_anchor=*/false);
+  // A journey of H router hops crosses H + 2 links; distinct nodes always
+  // sit on distinct routers, so H = 0 (the src == dst diagonal) is excluded.
+  std::vector<double> weights(hop_counts.size() + 2, 0.0);
+  for (std::size_t h = 1; h < hop_counts.size(); ++h) {
+    weights[h + 2] = hop_counts[h];
+  }
+  return LinkDistribution(std::move(weights));
+}
+
+LinkDistribution KAryMesh::MakeAccessDistribution(int radix, int dims,
+                                                  bool torus) {
+  const bool wraps = torus && radix > 2;
+  const auto hop_counts = HopCounts(radix, dims, wraps, /*to_anchor=*/true);
+  // Access journeys cross dist(router, tap) + 1 links; the tap router's own
+  // node contributes at r = 1 (mirroring the tree's nca == 0 -> r = 1 rule).
+  std::vector<double> weights(hop_counts.size() + 1, 0.0);
+  for (std::size_t h = 0; h < hop_counts.size(); ++h) {
+    weights[h + 1] = hop_counts[h];
+  }
+  return LinkDistribution(std::move(weights));
+}
+
+}  // namespace coc

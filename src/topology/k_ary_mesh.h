@@ -1,0 +1,96 @@
+// k-ary d-dimensional mesh / torus with dimension-ordered routing.
+//
+// radix^dims routers, one processing node per router. Neighboring routers
+// along each dimension are joined by one directed channel per direction;
+// the torus variant adds wrap-around links (for radix > 2 — a radix-2 wrap
+// would duplicate the existing neighbor link, so radix-2 tori degenerate to
+// meshes). Deterministic dimension-ordered routing (DOR): correct dimension
+// 0 first, then 1, ..., stepping toward the destination coordinate (tori
+// take the shorter way around, ties broken toward +). DOR is deadlock-free
+// on meshes and, combined with this simulator's unbounded-source injection,
+// serves as the standard baseline the paper's up*/down* tree routing is
+// usually compared against.
+//
+// Journey statistics are exact, not sampled: the per-dimension coordinate
+// distance distribution is closed-form and the total-hop distribution is the
+// convolution across dimensions, computed once at construction (uniform
+// ordered pairs of distinct nodes; a journey of H router hops crosses
+// H + 2 links including injection and ejection). The concentrator tap sits
+// at router 0 (all-zero coordinate), so access journeys cross
+// dist(router(src), 0) + 1 links — the mesh analogue of the tree's
+// spine-tapped attachment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace coc {
+
+/// Immutable k-ary d-dimensional mesh (or torus). Channel layout:
+/// [0, N) node injection, [N, 2N) node ejection, then per dimension a
+/// +direction block followed by a -direction block.
+class KAryMesh : public Topology {
+ public:
+  /// Throws std::invalid_argument for radix < 2, dims < 1, or more than
+  /// 2^22 routers.
+  KAryMesh(int radix, int dims, bool torus);
+
+  int radix() const { return radix_; }
+  int dims() const { return dims_; }
+  /// Whether wrap-around links are present (torus with radix > 2).
+  bool wraps() const { return torus_; }
+
+  std::string Name() const override;
+  std::int64_t num_nodes() const override { return num_nodes_; }
+  std::int64_t num_channels() const override {
+    return static_cast<std::int64_t>(channels_.size());
+  }
+  const ChannelInfo& Channel(std::int64_t id) const override {
+    return channels_[static_cast<std::size_t>(id)];
+  }
+  const LinkDistribution& Links() const override { return links_; }
+  const LinkDistribution& AccessLinks() const override {
+    return access_links_;
+  }
+
+  std::vector<std::int64_t> Route(std::int64_t src, std::int64_t dst,
+                                  std::uint64_t entropy = 0) const override;
+  std::vector<std::int64_t> RouteToTap(std::int64_t src) const override;
+  std::vector<std::int64_t> RouteFromTap(std::int64_t dst) const override;
+
+  /// DOR hop count between two routers (Manhattan / Lee distance).
+  int Distance(std::int64_t a, std::int64_t b) const;
+
+ private:
+  int Coord(std::int64_t router, int dim) const {
+    return static_cast<int>((router / pow_k_[static_cast<std::size_t>(dim)]) %
+                            radix_);
+  }
+  // Channel id of the directed link leaving `router` along `dim` in
+  // direction +1 / -1 (must exist).
+  std::int64_t LinkChannel(std::int64_t router, int dim, int dir) const;
+  // Appends the DOR router-to-router hop sequence to `path`.
+  void AppendHops(std::int64_t from, std::int64_t to,
+                  std::vector<std::int64_t>* path) const;
+
+  // Exact uniform-traffic distributions via per-dimension convolution.
+  static LinkDistribution MakeLinkDistribution(int radix, int dims,
+                                               bool torus);
+  static LinkDistribution MakeAccessDistribution(int radix, int dims,
+                                                 bool torus);
+
+  int radix_, dims_;
+  bool torus_;
+  std::int64_t num_nodes_;
+  std::vector<std::int64_t> pow_k_;        // radix^0 .. radix^dims
+  std::vector<std::int64_t> plus_base_;    // per dim, +direction block base
+  std::vector<std::int64_t> minus_base_;   // per dim, -direction block base
+  std::vector<ChannelInfo> channels_;
+  LinkDistribution links_;
+  LinkDistribution access_links_;
+};
+
+}  // namespace coc

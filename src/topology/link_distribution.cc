@@ -1,0 +1,71 @@
+#include "topology/link_distribution.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace coc {
+namespace {
+
+/// Eq. (6) destination counts by NCA level h (k = m/2): k^h - k^{h-1} for
+/// h < n, 2k^n - k^{n-1} for h = n. Shared by the round-trip and access
+/// distributions so both normalize over the identical weights.
+std::vector<double> TreeLevelCounts(int m, int n) {
+  if (m < 4 || m % 2 != 0 || n < 1) {
+    throw std::invalid_argument(
+        "tree distribution requires even m >= 4, n >= 1");
+  }
+  const double k = m / 2;
+  std::vector<double> counts(static_cast<std::size_t>(n));
+  for (int h = 1; h <= n - 1; ++h) {
+    counts[static_cast<std::size_t>(h - 1)] =
+        std::pow(k, h) - std::pow(k, h - 1);
+  }
+  counts[static_cast<std::size_t>(n - 1)] =
+      2 * std::pow(k, n) - std::pow(k, n - 1);
+  return counts;
+}
+
+}  // namespace
+
+LinkDistribution::LinkDistribution(std::vector<double> weights_by_links) {
+  if (weights_by_links.empty()) {
+    throw std::invalid_argument("empty link-count weights");
+  }
+  const double total =
+      std::accumulate(weights_by_links.begin(), weights_by_links.end(), 0.0);
+  if (total <= 0) throw std::invalid_argument("link weights sum to zero");
+  p_.resize(weights_by_links.size());
+  for (std::size_t d = 0; d < p_.size(); ++d) {
+    if (weights_by_links[d] < 0) {
+      throw std::invalid_argument("negative link weight");
+    }
+    p_[d] = weights_by_links[d] / total;
+    if (p_[d] > 0) {
+      mean_links_ += static_cast<double>(d) * p_[d];
+      max_links_ = static_cast<int>(d);
+    }
+  }
+}
+
+LinkDistribution TreeLinkDistribution(int m, int n) {
+  const auto counts = TreeLevelCounts(m, n);
+  std::vector<double> weights(static_cast<std::size_t>(2 * n + 1), 0.0);
+  for (int h = 1; h <= n; ++h) {
+    weights[static_cast<std::size_t>(2 * h)] =
+        counts[static_cast<std::size_t>(h - 1)];
+  }
+  return LinkDistribution(std::move(weights));
+}
+
+LinkDistribution TreeAccessDistribution(int m, int n) {
+  const auto counts = TreeLevelCounts(m, n);
+  std::vector<double> weights(static_cast<std::size_t>(n + 1), 0.0);
+  for (int h = 1; h <= n; ++h) {
+    weights[static_cast<std::size_t>(h)] =
+        counts[static_cast<std::size_t>(h - 1)];
+  }
+  return LinkDistribution(std::move(weights));
+}
+
+}  // namespace coc

@@ -1,0 +1,56 @@
+// Probability distribution of journey lengths (total links crossed) in one
+// network under uniform traffic — the topology-agnostic generalization of the
+// paper's Eq. (6) NCA-level distribution.
+//
+// The analytical model never needs to know *which* switches a journey visits,
+// only how many links it crosses: a D-link journey has K = D - 1 wormhole
+// stages (D - 2 switch<->switch transfers plus the ejection link), and the
+// per-channel rate follows from the mean link count (Eqs. 8-10). Every
+// Topology therefore exposes two of these distributions — one for full
+// src -> dst journeys and one for node -> concentrator-tap access journeys —
+// and the model consumes them without topology-specific formulas.
+#pragma once
+
+#include <vector>
+
+namespace coc {
+
+class LinkDistribution {
+ public:
+  /// Builds the distribution from per-link-count weights: `weights[d]` is
+  /// proportional to the probability of a d-link journey. Normalizes; throws
+  /// std::invalid_argument when empty or summing to zero.
+  explicit LinkDistribution(std::vector<double> weights_by_links);
+
+  /// Largest link count with nonzero probability.
+  int max_links() const { return max_links_; }
+
+  /// Probability of a journey crossing exactly `links` links. Zero outside
+  /// the supported range.
+  double P(int links) const {
+    if (links < 0 || links >= static_cast<int>(p_.size())) return 0.0;
+    return p_[static_cast<std::size_t>(links)];
+  }
+
+  /// Mean number of links per journey, sum_d d P(d) — Eq. (8) for trees.
+  /// Cached at construction so per-operating-point sweeps never recompute it.
+  double MeanLinks() const { return mean_links_; }
+
+ private:
+  std::vector<double> p_;  // p_[d] = P(d-link journey)
+  double mean_links_ = 0;
+  int max_links_ = 0;
+};
+
+/// The m-port n-tree round-trip distribution of the paper's Eq. (6), mapped
+/// to link counts: an NCA-level-h journey crosses 2h links, so
+/// P(2h) = (k^h - k^{h-1}) / (N - 1) for h < n and
+/// P(2n) = (2k^n - k^{n-1}) / (N - 1), with k = m/2, N = 2k^n.
+LinkDistribution TreeLinkDistribution(int m, int n);
+
+/// The m-port n-tree access (one-way spine) distribution: the probability the
+/// ascent to the spine-tapped concentrator exits at level r, which follows
+/// the same Eq. (6) law with r links instead of 2h.
+LinkDistribution TreeAccessDistribution(int m, int n);
+
+}  // namespace coc

@@ -9,7 +9,12 @@ constexpr int kMaxDigits = 32;
 
 }  // namespace
 
-MPortNTree::MPortNTree(int m, int n) : m_(m), n_(n), k_(m / 2) {
+MPortNTree::MPortNTree(int m, int n)
+    : m_(m),
+      n_(n),
+      k_(m / 2),
+      links_(TreeLinkDistribution(m, n)),
+      access_links_(TreeAccessDistribution(m, n)) {
   if (m < 4 || m % 2 != 0) {
     throw std::invalid_argument("m-port n-tree requires even m >= 4");
   }
@@ -117,13 +122,8 @@ int MPortNTree::NcaLevel(std::int64_t src, std::int64_t dst) const {
   return 0;
 }
 
-std::vector<std::int64_t> MPortNTree::Route(std::int64_t src,
-                                            std::int64_t dst) const {
-  return RouteWithEntropy(src, dst, 0);
-}
-
-std::vector<std::int64_t> MPortNTree::RouteWithEntropy(
-    std::int64_t src, std::int64_t dst, std::uint64_t entropy) const {
+std::vector<std::int64_t> MPortNTree::Route(std::int64_t src, std::int64_t dst,
+                                            std::uint64_t entropy) const {
   std::vector<std::int64_t> path;
   const int h = NcaLevel(src, dst);
   if (h == 0) return path;

@@ -6,8 +6,10 @@
 //     N_sw = (2n - 1)(m/2)^{n-1}    m-port switches,
 // arranged in n switch levels (level 1 = leaf, level n = root). Every
 // non-root switch uses m/2 ports downward and m/2 upward; root switches use
-// all m ports downward. The topology is the substrate for all three network
-// classes of the paper's cluster-of-clusters system (ICN1, ECN1, ICN2).
+// all m ports downward. The topology is the paper's substrate for all three
+// network classes of the cluster-of-clusters system (ICN1, ECN1, ICN2); it
+// implements the pluggable Topology interface alongside FullCrossbar and
+// KAryMesh.
 //
 // Addressing. Let k = m/2. A processing node is the digit tuple
 // (p_{n-1}, ..., p_1, p_0) with p_{n-1} in [0, 2k) and p_i in [0, k)
@@ -26,38 +28,16 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "topology/topology.h"
 
 namespace coc {
 
-/// Directed channel kind; the owning network maps kinds to per-flit times
-/// (node<->switch links use t_cn, switch<->switch links use t_cs; Eqs. 11-12).
-enum class ChannelKind : std::uint8_t {
-  kNodeToSwitch,  // injection: node -> leaf switch
-  kSwitchToNode,  // ejection: leaf switch -> node
-  kSwitchUp,      // level l -> level l+1
-  kSwitchDown,    // level l+1 -> level l
-};
-
-/// Identifies one endpoint of a channel for structural checks and debugging.
-struct Endpoint {
-  bool is_node = false;
-  int level = 0;  // switch level (1..n); 0 for nodes
-  std::int64_t index = 0;  // node id, or switch index within its level
-
-  friend bool operator==(const Endpoint&, const Endpoint&) = default;
-};
-
-/// Static description of one directed channel.
-struct ChannelInfo {
-  ChannelKind kind;
-  Endpoint from;
-  Endpoint to;
-};
-
 /// Immutable m-port n-tree; constructs the full channel map once and answers
 /// routing queries. Throws std::invalid_argument for m < 4, odd m, or n < 1.
-class MPortNTree {
+class MPortNTree : public Topology {
  public:
   MPortNTree(int m, int n);
 
@@ -66,43 +46,54 @@ class MPortNTree {
   /// Switch arity half-width k = m/2 (down- and up-port count per switch).
   int k() const { return k_; }
   /// Number of processing nodes, N = 2 k^n.
-  std::int64_t num_nodes() const { return num_nodes_; }
+  std::int64_t num_nodes() const override { return num_nodes_; }
   /// Number of switches, (2n-1) k^{n-1}.
   std::int64_t num_switches() const { return num_switches_; }
   /// Number of switches at a given level (1..n).
   std::int64_t SwitchesAtLevel(int level) const;
   /// Total directed channels = 2 n N (N node links up + N down + (n-1) N
   /// switch links per direction).
-  std::int64_t num_channels() const {
+  std::int64_t num_channels() const override {
     return static_cast<std::int64_t>(channels_.size());
   }
 
+  std::string Name() const override {
+    return std::to_string(m_) + "-port " + std::to_string(n_) + "-tree";
+  }
+
   /// Static metadata for a channel id in [0, num_channels()).
-  const ChannelInfo& Channel(std::int64_t id) const { return channels_[static_cast<std::size_t>(id)]; }
+  const ChannelInfo& Channel(std::int64_t id) const override {
+    return channels_[static_cast<std::size_t>(id)];
+  }
+
+  /// Eq. (6) journey distribution: a level-h NCA journey crosses 2h links.
+  const LinkDistribution& Links() const override { return links_; }
+
+  /// Eq. (6) access distribution: the spine ascent exits at level r with the
+  /// same law, crossing r links.
+  const LinkDistribution& AccessLinks() const override {
+    return access_links_;
+  }
 
   /// Level of the nearest common ancestor of two distinct nodes, in [1, n].
   /// Returns 0 when src == dst.
   int NcaLevel(std::int64_t src, std::int64_t dst) const;
 
   /// Up*/down* route: the exact channel sequence from src to dst
-  /// (2 * NcaLevel(src, dst) channels). Empty when src == dst.
-  std::vector<std::int64_t> Route(std::int64_t src, std::int64_t dst) const;
-
-  /// Up*/down* route with a randomized ascent: the up-port chosen at level j
-  /// is (q_{j-1} + e_j) mod k where e_j is the j-th base-k digit of
-  /// `entropy`. Any fat-tree ascent reaches a valid NCA, so the route is
-  /// always correct and has the same length as Route(); entropy = 0
-  /// reproduces Route() exactly. Used for the oblivious load-balancing
-  /// ablation (Valiant-style ascent randomization).
-  std::vector<std::int64_t> RouteWithEntropy(std::int64_t src,
-                                             std::int64_t dst,
-                                             std::uint64_t entropy) const;
+  /// (2 * NcaLevel(src, dst) channels). Empty when src == dst. The up-port
+  /// chosen at level j is (q_{j-1} + e_j) mod k where e_j is the j-th base-k
+  /// digit of `entropy`: any fat-tree ascent reaches a valid NCA, so the
+  /// route is always correct and has the same length; entropy = 0 is the
+  /// paper's deterministic destination-digit ascent. Nonzero entropy is the
+  /// oblivious load-balancing ablation (Valiant-style ascent randomization).
+  std::vector<std::int64_t> Route(std::int64_t src, std::int64_t dst,
+                                  std::uint64_t entropy = 0) const override;
 
   /// Ascending-only route from `src` to the spine of `anchor`: the channel
   /// sequence up to (and including arrival at) the first switch lying on the
   /// up*/down* spine of node `anchor` — i.e. NcaLevel(src, anchor) links.
-  /// Used for the spine-tapped concentrator attachment (DESIGN.md §2):
-  /// outbound inter-cluster messages exit the ECN1 at that switch.
+  /// Used for the spine-tapped concentrator attachment: outbound
+  /// inter-cluster messages exit the ECN1 at that switch.
   std::vector<std::int64_t> AscendToSpine(std::int64_t src,
                                           std::int64_t anchor) const;
 
@@ -111,6 +102,14 @@ class MPortNTree {
   /// Used for the dispatcher side of the spine-tapped attachment.
   std::vector<std::int64_t> DescendFromSpine(std::int64_t dst,
                                              std::int64_t anchor) const;
+
+  /// Topology tap: the spine of node 0.
+  std::vector<std::int64_t> RouteToTap(std::int64_t src) const override {
+    return AscendToSpine(src, 0);
+  }
+  std::vector<std::int64_t> RouteFromTap(std::int64_t dst) const override {
+    return DescendFromSpine(dst, 0);
+  }
 
   /// Channel id of the node -> leaf-switch injection link of a node.
   std::int64_t NodeUpChannel(std::int64_t node) const;
@@ -143,6 +142,8 @@ class MPortNTree {
   // Channel layout: [node up | node down | per level 1..n-1: up | down].
   std::vector<std::int64_t> level_channel_base_;  // base id of level l's block
   std::vector<ChannelInfo> channels_;
+  LinkDistribution links_;
+  LinkDistribution access_links_;
 };
 
 }  // namespace coc

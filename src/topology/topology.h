@@ -1,0 +1,110 @@
+// Abstract network topology — the pluggable substrate under the analytical
+// model, the wormhole simulator, and the system/config layers.
+//
+// The paper's validation hardwires every network (ICN1, ECN1, ICN2) to the
+// m-port n-tree, but its latency machinery only ever consumes four things
+// from a topology, and this interface captures exactly those:
+//
+//   * static structure  — node count, directed-channel table with per-channel
+//     kind (node link vs. switch link) for per-flit time assignment;
+//   * journey statistics — the uniform-traffic distribution of links per
+//     src -> dst journey (generalizing Eq. 6) and per node -> tap access
+//     journey, both cached per instance so sweeps never recompute them;
+//   * a routing oracle  — Route(src, dst) yielding the exact channel
+//     sequence the wormhole engine replays;
+//   * a concentrator tap — RouteToTap / RouteFromTap, the generalization of
+//     the spine-tapped C/D attachment (DESIGN in README): inter-cluster
+//     messages leave their ECN1 through the tap and re-enter the remote
+//     ECN1 from it.
+//
+// Implementations: MPortNTree (the paper's fat tree), FullCrossbar (single
+// switch), KAryMesh (k-ary d-dimensional mesh/torus, dimension-ordered
+// routing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/link_distribution.h"
+
+namespace coc {
+
+/// Directed channel kind; the owning network maps kinds to per-flit times
+/// (node<->switch links use t_cn, switch<->switch links use t_cs; Eqs. 11-12).
+enum class ChannelKind : std::uint8_t {
+  kNodeToSwitch,  // injection: node -> switch
+  kSwitchToNode,  // ejection: switch -> node
+  kSwitchUp,      // tree: level l -> l+1; mesh: +direction hop
+  kSwitchDown,    // tree: level l+1 -> l; mesh: -direction hop
+};
+
+/// Identifies one endpoint of a channel for structural checks and debugging.
+struct Endpoint {
+  bool is_node = false;
+  int level = 0;  // switch level (1..n for trees; 1 for flat fabrics)
+  std::int64_t index = 0;  // node id, or switch index within its level
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Static description of one directed channel.
+struct ChannelInfo {
+  ChannelKind kind;
+  Endpoint from;
+  Endpoint to;
+};
+
+/// Immutable network topology. Instances are built once per distinct spec
+/// (SystemConfig dedupes and shares them between the model and the
+/// simulator) and all queries are const and thread-safe.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Short human-readable description, e.g. "8-port 2-tree" or "mesh 4x4".
+  virtual std::string Name() const = 0;
+
+  /// Number of processing-node attachment points.
+  virtual std::int64_t num_nodes() const = 0;
+
+  /// Number of directed channels (node links + switch links).
+  virtual std::int64_t num_channels() const = 0;
+
+  /// Static metadata for a channel id in [0, num_channels()).
+  virtual const ChannelInfo& Channel(std::int64_t id) const = 0;
+
+  /// Uniform-traffic distribution of links per src -> dst journey
+  /// (generalizes Eq. 6). Cached per instance.
+  virtual const LinkDistribution& Links() const = 0;
+
+  /// Distribution of links of the access journey from a uniform node to the
+  /// concentrator tap (the tree's spine ascent of r links). Cached.
+  virtual const LinkDistribution& AccessLinks() const = 0;
+
+  /// Routing oracle: the exact channel sequence from src to dst. Empty when
+  /// src == dst. `entropy` may perturb path choice where the topology has
+  /// freedom (tree ascent up-ports); entropy = 0 is the deterministic route
+  /// and topologies without routing freedom ignore it.
+  virtual std::vector<std::int64_t> Route(std::int64_t src, std::int64_t dst,
+                                          std::uint64_t entropy = 0) const = 0;
+
+  /// Access route from `src` up to (and including arrival at) the
+  /// concentrator tap; never empty (the injection link always counts).
+  virtual std::vector<std::int64_t> RouteToTap(std::int64_t src) const = 0;
+
+  /// Egress route from the concentrator tap down to `dst`; never empty.
+  /// RouteFromTap(x) re-enters the fabric exactly where RouteToTap(x) left
+  /// it, so tap round trips are closed.
+  virtual std::vector<std::int64_t> RouteFromTap(std::int64_t dst) const = 0;
+
+  /// Directed-channel endpoints per node under the paper's Eq. (10) counting
+  /// convention (4n for an m-port n-tree): 2 * num_channels / num_nodes.
+  /// The per-channel rate eta divides by ChannelsPerNode() * num_nodes.
+  double ChannelsPerNode() const {
+    return 2.0 * static_cast<double>(num_channels()) /
+           static_cast<double>(num_nodes());
+  }
+};
+
+}  // namespace coc

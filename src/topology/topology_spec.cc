@@ -1,0 +1,165 @@
+#include "topology/topology_spec.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "topology/full_crossbar.h"
+#include "topology/k_ary_mesh.h"
+#include "topology/m_port_n_tree.h"
+
+namespace coc {
+namespace {
+
+[[noreturn]] void Fail(const std::string& text, const std::string& why) {
+  throw std::invalid_argument("topology spec '" + text + "': " + why);
+}
+
+std::int64_t ToCount(const std::string& text, const std::string& token) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(token, &pos);
+    if (pos != token.size() || v <= 0) throw std::invalid_argument("");
+    return v;
+  } catch (...) {
+    Fail(text, "'" + token + "' is not a positive integer");
+  }
+}
+
+/// Parses "k1=v1,k2=v2" into a map; every value must be a positive integer.
+std::map<std::string, std::int64_t> KeyValues(const std::string& text,
+                                              const std::string& params) {
+  std::map<std::string, std::int64_t> out;
+  std::size_t start = 0;
+  while (start < params.size()) {
+    auto comma = params.find(',', start);
+    if (comma == std::string::npos) comma = params.size();
+    const std::string pair = params.substr(start, comma - start);
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) Fail(text, "expected key=value: " + pair);
+    out[pair.substr(0, eq)] = ToCount(text, pair.substr(eq + 1));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TopologySpec::ToString() const {
+  switch (type) {
+    case Type::kTree:
+      return "tree:m=" + std::to_string(m) + ",n=" + std::to_string(n);
+    case Type::kCrossbar:
+      return "crossbar:" + std::to_string(ports);
+    case Type::kMesh:
+      return "mesh:" + std::to_string(radix) + "x" + std::to_string(dims);
+    case Type::kTorus:
+      return "torus:" + std::to_string(radix) + "x" + std::to_string(dims);
+  }
+  return "?";
+}
+
+TopologySpec ParseTopologySpec(const std::string& text) {
+  const auto colon = text.find(':');
+  const std::string head = text.substr(0, colon);
+  const std::string params =
+      colon == std::string::npos ? "" : text.substr(colon + 1);
+
+  TopologySpec spec;
+  if (head == "tree") {
+    spec.type = TopologySpec::Type::kTree;
+    if (!params.empty()) {
+      if (params.find('=') == std::string::npos) {
+        spec.n = static_cast<int>(ToCount(text, params));
+      } else {
+        for (const auto& [key, value] : KeyValues(text, params)) {
+          if (key == "m") {
+            spec.m = static_cast<int>(value);
+          } else if (key == "n") {
+            spec.n = static_cast<int>(value);
+          } else {
+            Fail(text, "unknown tree parameter '" + key + "'");
+          }
+        }
+      }
+    }
+    return spec;
+  }
+  if (head == "crossbar") {
+    spec.type = TopologySpec::Type::kCrossbar;
+    if (!params.empty()) spec.ports = ToCount(text, params);
+    return spec;
+  }
+  if (head == "mesh" || head == "torus") {
+    spec.type = head == "mesh" ? TopologySpec::Type::kMesh
+                               : TopologySpec::Type::kTorus;
+    if (params.empty()) Fail(text, "mesh/torus need RADIXxDIMS parameters");
+    if (params.find('=') == std::string::npos) {
+      const auto x = params.find('x');
+      if (x == std::string::npos) Fail(text, "expected RADIXxDIMS");
+      spec.radix = static_cast<int>(ToCount(text, params.substr(0, x)));
+      spec.dims = static_cast<int>(ToCount(text, params.substr(x + 1)));
+    } else {
+      for (const auto& [key, value] : KeyValues(text, params)) {
+        if (key == "radix") {
+          spec.radix = static_cast<int>(value);
+        } else if (key == "dims") {
+          spec.dims = static_cast<int>(value);
+        } else {
+          Fail(text, "unknown mesh parameter '" + key + "'");
+        }
+      }
+      if (spec.radix == 0 || spec.dims == 0) {
+        Fail(text, "mesh/torus need both radix and dims");
+      }
+    }
+    return spec;
+  }
+  Fail(text, "unknown topology type '" + head +
+                 "' (use tree, crossbar, mesh or torus)");
+}
+
+std::shared_ptr<const Topology> BuildTopology(const TopologySpec& spec) {
+  switch (spec.type) {
+    case TopologySpec::Type::kTree:
+      return std::make_shared<MPortNTree>(spec.m, spec.n);
+    case TopologySpec::Type::kCrossbar:
+      return std::make_shared<FullCrossbar>(spec.ports);
+    case TopologySpec::Type::kMesh:
+      return std::make_shared<KAryMesh>(spec.radix, spec.dims, false);
+    case TopologySpec::Type::kTorus:
+      return std::make_shared<KAryMesh>(spec.radix, spec.dims, true);
+  }
+  throw std::invalid_argument("unknown topology type");
+}
+
+TopologySpec ResolveTopologySpec(TopologySpec spec, int system_m,
+                                 int default_depth, std::int64_t fit_nodes) {
+  switch (spec.type) {
+    case TopologySpec::Type::kTree:
+      if (spec.m == 0) spec.m = system_m;
+      if (spec.n == 0) {
+        if (default_depth <= 0) {
+          throw std::invalid_argument("tree topology needs a depth");
+        }
+        spec.n = default_depth;
+      }
+      break;
+    case TopologySpec::Type::kCrossbar:
+      if (spec.ports == 0) {
+        if (fit_nodes <= 0) {
+          throw std::invalid_argument("crossbar topology needs a port count");
+        }
+        spec.ports = fit_nodes;
+      }
+      break;
+    case TopologySpec::Type::kMesh:
+    case TopologySpec::Type::kTorus:
+      if (spec.radix == 0 || spec.dims == 0) {
+        throw std::invalid_argument("mesh/torus topology needs radix and dims");
+      }
+      break;
+  }
+  return spec;
+}
+
+}  // namespace coc

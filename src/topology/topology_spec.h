@@ -1,0 +1,82 @@
+// Declarative topology description — the `topology=` knob of config files,
+// presets, and the CLI.
+//
+// A spec is a small value object naming a topology family plus its
+// parameters; SystemConfig resolves unset parameters against the system
+// context (switch arity m, cluster tree depth, required node count), builds
+// one immutable Topology per distinct resolved spec, and shares it between
+// the analytical model and the simulator.
+//
+// Text syntax (ParseTopologySpec):
+//   tree                  m-port n-tree; m/n inherited from the system
+//   tree:3                ... with explicit depth n = 3
+//   tree:m=8,n=2          ... fully explicit
+//   crossbar              single switch sized to the network's node count
+//   crossbar:16           ... with exactly 16 ports
+//   mesh:4x2              k-ary d-dim mesh, radix 4, 2 dimensions
+//   torus:4x2             ... with wrap-around links
+//   mesh:radix=4,dims=2   key=value form of the same
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "topology/topology.h"
+
+namespace coc {
+
+struct TopologySpec {
+  enum class Type : std::uint8_t { kTree, kCrossbar, kMesh, kTorus };
+
+  Type type = Type::kTree;
+  int m = 0;              ///< tree arity; 0 = inherit the system's m
+  int n = 0;              ///< tree depth; 0 = derive from context
+  std::int64_t ports = 0; ///< crossbar ports; 0 = fit the node count
+  int radix = 0;          ///< mesh/torus k
+  int dims = 0;           ///< mesh/torus d
+
+  friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
+
+  static TopologySpec Tree(int m, int n) {
+    TopologySpec s;
+    s.type = Type::kTree;
+    s.m = m;
+    s.n = n;
+    return s;
+  }
+  static TopologySpec Crossbar(std::int64_t ports = 0) {
+    TopologySpec s;
+    s.type = Type::kCrossbar;
+    s.ports = ports;
+    return s;
+  }
+  static TopologySpec Mesh(int radix, int dims, bool torus = false) {
+    TopologySpec s;
+    s.type = torus ? Type::kTorus : Type::kMesh;
+    s.radix = radix;
+    s.dims = dims;
+    return s;
+  }
+
+  /// Canonical text form (round-trips through ParseTopologySpec); doubles as
+  /// the dedup cache key once the spec is fully resolved.
+  std::string ToString() const;
+};
+
+/// Parses the text syntax above. Throws std::invalid_argument with a
+/// descriptive message on malformed input.
+TopologySpec ParseTopologySpec(const std::string& text);
+
+/// Builds the immutable topology for a *fully resolved* spec (no zero
+/// parameters left). Throws std::invalid_argument on invalid parameters.
+std::shared_ptr<const Topology> BuildTopology(const TopologySpec& spec);
+
+/// Resolves context-dependent parameters: tree m = 0 inherits `system_m`,
+/// tree n = 0 takes `default_depth` (must be > 0 then), crossbar ports = 0
+/// takes `fit_nodes` (must be > 0 then). Mesh/torus require explicit
+/// radix/dims and are returned unchanged.
+TopologySpec ResolveTopologySpec(TopologySpec spec, int system_m,
+                                 int default_depth, std::int64_t fit_nodes);
+
+}  // namespace coc

@@ -84,6 +84,36 @@ TEST(Harness, ParallelSweepMatchesSerial) {
   }
 }
 
+TEST(Harness, ParallelSweepDeterministicAcrossThreadCounts) {
+  // With the abort cut-off disabled every point simulates, so the parallel
+  // sweep must reproduce the serial one exactly — bit for bit, for any
+  // worker count. This pins down both the engine's determinism and the
+  // sweep's independence of scheduling order.
+  const auto sys = MakeMixedTopologySystem(MessageFormat{16, 64});
+  SweepSpec spec;
+  spec.rates = LinearRates(6e-4, 6);
+  spec.sim_base.warmup_messages = 150;
+  spec.sim_base.measured_messages = 1500;
+  spec.sim_base.drain_messages = 150;
+  spec.sim_abort_latency = 0;  // never abort: all points must match
+  const auto serial = RunSweep(sys, spec);
+  for (int threads : {1, 2, 8}) {
+    const auto parallel = RunSweepParallel(sys, spec, threads);
+    ASSERT_EQ(parallel.size(), serial.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_DOUBLE_EQ(parallel[i].model_latency, serial[i].model_latency);
+      ASSERT_TRUE(parallel[i].sim_latency.has_value());
+      ASSERT_TRUE(serial[i].sim_latency.has_value());
+      EXPECT_DOUBLE_EQ(*parallel[i].sim_latency, *serial[i].sim_latency);
+      EXPECT_DOUBLE_EQ(parallel[i].sim_ci95, serial[i].sim_ci95);
+      EXPECT_DOUBLE_EQ(parallel[i].sim_intra, serial[i].sim_intra);
+      EXPECT_DOUBLE_EQ(parallel[i].sim_inter, serial[i].sim_inter);
+      EXPECT_DOUBLE_EQ(parallel[i].sim_icn2_max_util,
+                       serial[i].sim_icn2_max_util);
+    }
+  }
+}
+
 TEST(Harness, ParallelSweepHonorsAbortCutoff) {
   const auto sys = MakeTinySystem(MessageFormat{16, 64});
   SweepSpec spec;

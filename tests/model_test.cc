@@ -174,7 +174,7 @@ TEST(InterCluster, ZeroLoadPairLatencyIsExact) {
   const MessageFormat msg{32, 256};
   const auto sys = MakeSystem1120(msg);
   const ModelOptions opts;
-  const HopDistribution icn2(8, 2);
+  const LinkDistribution icn2 = TreeLinkDistribution(8, 2);
   const auto r = ComputeInterPair(sys, 31, 30, 0.0, icn2, opts);
   // Zero load: stage-0 service is the bare ECN1(i) transfer time.
   EXPECT_NEAR(r.t_ex, 32 * Net2().TCs(256), 1e-9);
@@ -183,7 +183,7 @@ TEST(InterCluster, ZeroLoadPairLatencyIsExact) {
   // Tail drain: mean over (r, v, l) of the Eq. (34) expression.
   const HopDistribution h3(8, 3);
   const double mean_r = h3.MeanLinksOneWay();
-  const double mean_l2 = icn2.MeanLinksRoundTrip();
+  const double mean_l2 = icn2.MeanLinks();
   const double expected_e = (mean_r - 1) * Net2().TCs(256) +
                             mean_l2 * Net1().TCs(256) +
                             (mean_r - 1) * Net2().TCs(256) +
@@ -198,7 +198,7 @@ TEST(InterCluster, ConcentratorSaturationSetsTheLimit) {
   // the (128, 128) pair: lambda_g ~ 5.2e-4.
   const auto sys = MakeSystem1120(MessageFormat{32, 256});
   const ModelOptions opts;
-  const HopDistribution icn2(8, 2);
+  const LinkDistribution icn2 = TreeLinkDistribution(8, 2);
   const auto ok = ComputeInterPair(sys, 31, 30, 4.5e-4, icn2, opts);
   EXPECT_FALSE(ok.saturated);
   const auto sat = ComputeInterPair(sys, 31, 30, 5.5e-4, icn2, opts);
@@ -210,7 +210,7 @@ TEST(InterCluster, HomogeneousPairsInvariantToLambdaI2Mode) {
   ModelOptions mean_opts, harm_opts;
   mean_opts.lambda_i2 = ModelOptions::LambdaI2::kPairMean;
   harm_opts.lambda_i2 = ModelOptions::LambdaI2::kHarmonic;
-  const HopDistribution icn2(4, 1);
+  const LinkDistribution icn2 = TreeLinkDistribution(4, 1);
   const auto a = ComputeInterPair(sys, 0, 1, 1e-4, icn2, mean_opts);
   const auto b = ComputeInterPair(sys, 0, 1, 1e-4, icn2, harm_opts);
   // Equal cluster sizes: (N_i U_i + N_j U_j)/2 == N_i N_j (U_i+U_j)/(N_i+N_j).
@@ -222,7 +222,7 @@ TEST(InterCluster, HeterogeneousPairsDifferByLambdaI2Mode) {
   ModelOptions mean_opts, harm_opts;
   mean_opts.lambda_i2 = ModelOptions::LambdaI2::kPairMean;
   harm_opts.lambda_i2 = ModelOptions::LambdaI2::kHarmonic;
-  const HopDistribution icn2(8, 2);
+  const LinkDistribution icn2 = TreeLinkDistribution(8, 2);
   // Pair (0, 31): N = 8 vs 128 — strongly heterogeneous.
   const auto a = ComputeInterPair(sys, 0, 31, 3e-4, icn2, mean_opts);
   const auto b = ComputeInterPair(sys, 0, 31, 3e-4, icn2, harm_opts);
@@ -237,7 +237,7 @@ TEST(InterCluster, RelaxingFactorVariantsOrderIcn2Waiting) {
   ModelOptions inv, printed, off;
   printed.relaxing_factor = ModelOptions::RelaxingFactor::kAsPrinted;
   off.relaxing_factor = ModelOptions::RelaxingFactor::kOff;
-  const HopDistribution icn2(8, 2);
+  const LinkDistribution icn2 = TreeLinkDistribution(8, 2);
   const auto a = ComputeInterPair(sys, 31, 30, 4e-4, icn2, inv);
   const auto b = ComputeInterPair(sys, 31, 30, 4e-4, icn2, off);
   const auto c = ComputeInterPair(sys, 31, 30, 4e-4, icn2, printed);

@@ -10,6 +10,7 @@
 #include "sim/coc_system_sim.h"
 #include "sim/traffic.h"
 #include "system/presets.h"
+#include "topology/m_port_n_tree.h"
 
 namespace coc {
 namespace {

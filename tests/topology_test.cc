@@ -168,11 +168,11 @@ TEST_P(TreeTest, EntropyRoutesAreValidAndZeroEntropyMatchesDefault) {
   MPortNTree t(m, n);
   const std::int64_t a = 1 % t.num_nodes();
   const std::int64_t b = t.num_nodes() - 1;
-  EXPECT_EQ(t.RouteWithEntropy(a, b, 0), t.Route(a, b));
+  EXPECT_EQ(t.Route(a, b, 0), t.Route(a, b));
   std::uint64_t entropy = 0x9e3779b97f4a7c15ULL;
   for (int trial = 0; trial < 8; ++trial) {
     entropy = entropy * 6364136223846793005ULL + 1;
-    const auto path = t.RouteWithEntropy(a, b, entropy);
+    const auto path = t.Route(a, b, entropy);
     ASSERT_EQ(path.size(), t.Route(a, b).size());
     // Contiguous, starts/ends correctly, up then down.
     EXPECT_EQ(t.Channel(path.front()).from.index, a);
@@ -198,7 +198,7 @@ TEST_P(TreeTest, EntropyDiversifiesAscentChannels) {
   const std::int64_t a = 0, b = t.num_nodes() - 1;
   std::set<std::int64_t> second_hops;
   for (std::uint64_t e = 0; e < 16; ++e) {
-    second_hops.insert(t.RouteWithEntropy(a, b, e)[1]);
+    second_hops.insert(t.Route(a, b, e)[1]);
   }
   EXPECT_GT(second_hops.size(), 1u);
 }
