@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_attach.dir/bench/ablation_attach.cc.o"
+  "CMakeFiles/bench_ablation_attach.dir/bench/ablation_attach.cc.o.d"
+  "bench_ablation_attach"
+  "bench_ablation_attach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_attach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

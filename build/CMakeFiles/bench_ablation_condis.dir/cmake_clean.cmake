@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_condis.dir/bench/ablation_condis.cc.o"
+  "CMakeFiles/bench_ablation_condis.dir/bench/ablation_condis.cc.o.d"
+  "bench_ablation_condis"
+  "bench_ablation_condis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_condis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

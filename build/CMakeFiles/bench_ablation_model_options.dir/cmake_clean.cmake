@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_model_options.dir/bench/ablation_model_options.cc.o"
+  "CMakeFiles/bench_ablation_model_options.dir/bench/ablation_model_options.cc.o.d"
+  "bench_ablation_model_options"
+  "bench_ablation_model_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_model_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

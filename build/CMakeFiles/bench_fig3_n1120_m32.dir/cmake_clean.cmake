@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_n1120_m32.dir/bench/fig3_n1120_m32.cc.o"
+  "CMakeFiles/bench_fig3_n1120_m32.dir/bench/fig3_n1120_m32.cc.o.d"
+  "bench_fig3_n1120_m32"
+  "bench_fig3_n1120_m32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_n1120_m32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

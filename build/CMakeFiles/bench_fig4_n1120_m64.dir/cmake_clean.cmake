@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_n1120_m64.dir/bench/fig4_n1120_m64.cc.o"
+  "CMakeFiles/bench_fig4_n1120_m64.dir/bench/fig4_n1120_m64.cc.o.d"
+  "bench_fig4_n1120_m64"
+  "bench_fig4_n1120_m64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_n1120_m64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_n544_m32.dir/bench/fig5_n544_m32.cc.o"
+  "CMakeFiles/bench_fig5_n544_m32.dir/bench/fig5_n544_m32.cc.o.d"
+  "bench_fig5_n544_m32"
+  "bench_fig5_n544_m32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_n544_m32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_organizations.dir/bench/table1_organizations.cc.o"
+  "CMakeFiles/bench_table1_organizations.dir/bench/table1_organizations.cc.o.d"
+  "bench_table1_organizations"
+  "bench_table1_organizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_organizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_error.dir/bench/validation_error.cc.o"
+  "CMakeFiles/bench_validation_error.dir/bench/validation_error.cc.o.d"
+  "bench_validation_error"
+  "bench_validation_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coc_cli.dir/tools/coc_cli.cc.o"
+  "CMakeFiles/coc_cli.dir/tools/coc_cli.cc.o.d"
+  "coc_cli"
+  "coc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

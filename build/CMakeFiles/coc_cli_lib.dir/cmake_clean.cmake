@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coc_cli_lib.dir/src/cli/cli.cc.o"
+  "CMakeFiles/coc_cli_lib.dir/src/cli/cli.cc.o.d"
+  "CMakeFiles/coc_cli_lib.dir/src/cli/config_parser.cc.o"
+  "CMakeFiles/coc_cli_lib.dir/src/cli/config_parser.cc.o.d"
+  "libcoc_cli_lib.a"
+  "libcoc_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coc_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

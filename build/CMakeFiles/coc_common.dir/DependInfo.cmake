@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/ascii_plot.cc" "CMakeFiles/coc_common.dir/src/common/ascii_plot.cc.o" "gcc" "CMakeFiles/coc_common.dir/src/common/ascii_plot.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/coc_common.dir/src/common/table.cc.o" "gcc" "CMakeFiles/coc_common.dir/src/common/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

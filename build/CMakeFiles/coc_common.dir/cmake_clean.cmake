@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coc_common.dir/src/common/ascii_plot.cc.o"
+  "CMakeFiles/coc_common.dir/src/common/ascii_plot.cc.o.d"
+  "CMakeFiles/coc_common.dir/src/common/table.cc.o"
+  "CMakeFiles/coc_common.dir/src/common/table.cc.o.d"
+  "libcoc_common.a"
+  "libcoc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coc_harness.dir/src/harness/sweep.cc.o"
+  "CMakeFiles/coc_harness.dir/src/harness/sweep.cc.o.d"
+  "libcoc_harness.a"
+  "libcoc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/hop_distribution.cc" "CMakeFiles/coc_model.dir/src/model/hop_distribution.cc.o" "gcc" "CMakeFiles/coc_model.dir/src/model/hop_distribution.cc.o.d"
+  "/root/repo/src/model/inter_cluster.cc" "CMakeFiles/coc_model.dir/src/model/inter_cluster.cc.o" "gcc" "CMakeFiles/coc_model.dir/src/model/inter_cluster.cc.o.d"
+  "/root/repo/src/model/intra_cluster.cc" "CMakeFiles/coc_model.dir/src/model/intra_cluster.cc.o" "gcc" "CMakeFiles/coc_model.dir/src/model/intra_cluster.cc.o.d"
+  "/root/repo/src/model/latency_model.cc" "CMakeFiles/coc_model.dir/src/model/latency_model.cc.o" "gcc" "CMakeFiles/coc_model.dir/src/model/latency_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/coc_system.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/coc_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

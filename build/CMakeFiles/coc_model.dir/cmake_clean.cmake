@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coc_model.dir/src/model/hop_distribution.cc.o"
+  "CMakeFiles/coc_model.dir/src/model/hop_distribution.cc.o.d"
+  "CMakeFiles/coc_model.dir/src/model/inter_cluster.cc.o"
+  "CMakeFiles/coc_model.dir/src/model/inter_cluster.cc.o.d"
+  "CMakeFiles/coc_model.dir/src/model/intra_cluster.cc.o"
+  "CMakeFiles/coc_model.dir/src/model/intra_cluster.cc.o.d"
+  "CMakeFiles/coc_model.dir/src/model/latency_model.cc.o"
+  "CMakeFiles/coc_model.dir/src/model/latency_model.cc.o.d"
+  "libcoc_model.a"
+  "libcoc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

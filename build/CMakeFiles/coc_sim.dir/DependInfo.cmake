@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/coc_system_sim.cc" "CMakeFiles/coc_sim.dir/src/sim/coc_system_sim.cc.o" "gcc" "CMakeFiles/coc_sim.dir/src/sim/coc_system_sim.cc.o.d"
+  "/root/repo/src/sim/traffic.cc" "CMakeFiles/coc_sim.dir/src/sim/traffic.cc.o" "gcc" "CMakeFiles/coc_sim.dir/src/sim/traffic.cc.o.d"
+  "/root/repo/src/sim/wormhole_engine.cc" "CMakeFiles/coc_sim.dir/src/sim/wormhole_engine.cc.o" "gcc" "CMakeFiles/coc_sim.dir/src/sim/wormhole_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/coc_system.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/coc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/coc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coc_sim.dir/src/sim/coc_system_sim.cc.o"
+  "CMakeFiles/coc_sim.dir/src/sim/coc_system_sim.cc.o.d"
+  "CMakeFiles/coc_sim.dir/src/sim/traffic.cc.o"
+  "CMakeFiles/coc_sim.dir/src/sim/traffic.cc.o.d"
+  "CMakeFiles/coc_sim.dir/src/sim/wormhole_engine.cc.o"
+  "CMakeFiles/coc_sim.dir/src/sim/wormhole_engine.cc.o.d"
+  "libcoc_sim.a"
+  "libcoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

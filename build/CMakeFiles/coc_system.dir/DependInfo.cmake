@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/system/presets.cc" "CMakeFiles/coc_system.dir/src/system/presets.cc.o" "gcc" "CMakeFiles/coc_system.dir/src/system/presets.cc.o.d"
+  "/root/repo/src/system/system_config.cc" "CMakeFiles/coc_system.dir/src/system/system_config.cc.o" "gcc" "CMakeFiles/coc_system.dir/src/system/system_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/coc_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coc_system.dir/src/system/presets.cc.o"
+  "CMakeFiles/coc_system.dir/src/system/presets.cc.o.d"
+  "CMakeFiles/coc_system.dir/src/system/system_config.cc.o"
+  "CMakeFiles/coc_system.dir/src/system/system_config.cc.o.d"
+  "libcoc_system.a"
+  "libcoc_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coc_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

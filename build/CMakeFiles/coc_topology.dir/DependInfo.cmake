@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/full_crossbar.cc" "CMakeFiles/coc_topology.dir/src/topology/full_crossbar.cc.o" "gcc" "CMakeFiles/coc_topology.dir/src/topology/full_crossbar.cc.o.d"
+  "/root/repo/src/topology/k_ary_mesh.cc" "CMakeFiles/coc_topology.dir/src/topology/k_ary_mesh.cc.o" "gcc" "CMakeFiles/coc_topology.dir/src/topology/k_ary_mesh.cc.o.d"
+  "/root/repo/src/topology/link_distribution.cc" "CMakeFiles/coc_topology.dir/src/topology/link_distribution.cc.o" "gcc" "CMakeFiles/coc_topology.dir/src/topology/link_distribution.cc.o.d"
+  "/root/repo/src/topology/m_port_n_tree.cc" "CMakeFiles/coc_topology.dir/src/topology/m_port_n_tree.cc.o" "gcc" "CMakeFiles/coc_topology.dir/src/topology/m_port_n_tree.cc.o.d"
+  "/root/repo/src/topology/topology_spec.cc" "CMakeFiles/coc_topology.dir/src/topology/topology_spec.cc.o" "gcc" "CMakeFiles/coc_topology.dir/src/topology/topology_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coc_topology.dir/src/topology/full_crossbar.cc.o"
+  "CMakeFiles/coc_topology.dir/src/topology/full_crossbar.cc.o.d"
+  "CMakeFiles/coc_topology.dir/src/topology/k_ary_mesh.cc.o"
+  "CMakeFiles/coc_topology.dir/src/topology/k_ary_mesh.cc.o.d"
+  "CMakeFiles/coc_topology.dir/src/topology/link_distribution.cc.o"
+  "CMakeFiles/coc_topology.dir/src/topology/link_distribution.cc.o.d"
+  "CMakeFiles/coc_topology.dir/src/topology/m_port_n_tree.cc.o"
+  "CMakeFiles/coc_topology.dir/src/topology/m_port_n_tree.cc.o.d"
+  "CMakeFiles/coc_topology.dir/src/topology/topology_spec.cc.o"
+  "CMakeFiles/coc_topology.dir/src/topology/topology_spec.cc.o.d"
+  "libcoc_topology.a"
+  "libcoc_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coc_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

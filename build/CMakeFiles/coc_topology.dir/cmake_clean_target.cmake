@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoc_topology.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hotspot_traffic.dir/examples/hotspot_traffic.cpp.o"
+  "CMakeFiles/example_hotspot_traffic.dir/examples/hotspot_traffic.cpp.o.d"
+  "example_hotspot_traffic"
+  "example_hotspot_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hotspot_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

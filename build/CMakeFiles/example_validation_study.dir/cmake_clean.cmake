@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_validation_study.dir/examples/validation_study.cpp.o"
+  "CMakeFiles/example_validation_study.dir/examples/validation_study.cpp.o.d"
+  "example_validation_study"
+  "example_validation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_validation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

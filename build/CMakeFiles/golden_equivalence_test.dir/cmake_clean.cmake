@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_equivalence_test.dir/tests/golden_equivalence_test.cc.o"
+  "CMakeFiles/golden_equivalence_test.dir/tests/golden_equivalence_test.cc.o.d"
+  "golden_equivalence_test"
+  "golden_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model_test.cc" "CMakeFiles/model_test.dir/tests/model_test.cc.o" "gcc" "CMakeFiles/model_test.dir/tests/model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/coc_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/coc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/coc_model.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/coc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/coc_system.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/coc_topology.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/coc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

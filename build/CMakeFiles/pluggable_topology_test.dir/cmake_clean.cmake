@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pluggable_topology_test.dir/tests/pluggable_topology_test.cc.o"
+  "CMakeFiles/pluggable_topology_test.dir/tests/pluggable_topology_test.cc.o.d"
+  "pluggable_topology_test"
+  "pluggable_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pluggable_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

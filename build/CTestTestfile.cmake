@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_test "/root/repo/build/cli_test")
+set_tests_properties(cli_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(common_test "/root/repo/build/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(golden_equivalence_test "/root/repo/build/golden_equivalence_test")
+set_tests_properties(golden_equivalence_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(harness_test "/root/repo/build/harness_test")
+set_tests_properties(harness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(model_test "/root/repo/build/model_test")
+set_tests_properties(model_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(pluggable_topology_test "/root/repo/build/pluggable_topology_test")
+set_tests_properties(pluggable_topology_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(sim_engine_test "/root/repo/build/sim_engine_test")
+set_tests_properties(sim_engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(sim_system_test "/root/repo/build/sim_system_test")
+set_tests_properties(sim_system_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(system_test "/root/repo/build/system_test")
+set_tests_properties(system_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(topology_test "/root/repo/build/topology_test")
+set_tests_properties(topology_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;88;add_test;/root/repo/CMakeLists.txt;0;")
