@@ -27,12 +27,14 @@ int main() {
 
   Table t({"lambda_g", "sim_cut_through", "sim_store_fwd", "model_paper",
            "model_supply_ltd"});
+  SimScratch scratch;  // engine arena reused across all grid points
   for (double rate : LinearRates(4.5e-4, 9)) {
     SimConfig ct = DefaultSimBudget(rate);
     SimConfig sf = ct;
     sf.condis_mode = CondisMode::kStoreForward;
-    t.AddRow({FormatSci(rate), FormatDouble(sim.Run(ct).latency.Mean(), 1),
-              FormatDouble(sim.Run(sf).latency.Mean(), 1),
+    t.AddRow({FormatSci(rate),
+              FormatDouble(sim.Run(ct, scratch).latency.Mean(), 1),
+              FormatDouble(sim.Run(sf, scratch).latency.Mean(), 1),
               FormatDouble(paper_model.Evaluate(rate).mean_latency, 1),
               FormatDouble(supply_model.Evaluate(rate).mean_latency, 1)});
   }

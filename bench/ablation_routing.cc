@@ -17,13 +17,14 @@ int main() {
   const auto sys = MakeSystem544(MessageFormat{32, 256});
   CocSystemSim sim(sys);
 
-  auto run = [&sim](double rate, TrafficPattern pattern,
-                    SimConfig::AscentPolicy ascent) {
+  SimScratch scratch;  // engine arena reused across all grid points
+  auto run = [&sim, &scratch](double rate, TrafficPattern pattern,
+                              SimConfig::AscentPolicy ascent) {
     SimConfig cfg = DefaultSimBudget(rate);
     cfg.pattern = pattern;
     cfg.hotspot_fraction = 0.2;
     cfg.ascent = ascent;
-    return sim.Run(cfg).latency.Mean();
+    return sim.Run(cfg, scratch).latency.Mean();
   };
 
   Table t({"lambda_g", "uniform_det", "uniform_rand", "perm_det", "perm_rand",

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
@@ -16,8 +17,13 @@
 
 namespace coc::bench {
 
-/// Worker threads for simulation sweeps: the machine's parallelism, capped.
+/// Worker threads for simulation sweeps: COC_THREADS when set, otherwise the
+/// machine's parallelism (capped — sweep points rarely exceed a dozen).
 inline int SweepThreads() {
+  if (const char* env = std::getenv("COC_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
   return std::clamp<int>(static_cast<int>(std::thread::hardware_concurrency()),
                          1, 8);
 }

@@ -21,6 +21,20 @@ void BM_RouteLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_RouteLookup);
 
+void BM_RouteLookupInto(benchmark::State& state) {
+  // Allocation-free variant: one reused append buffer.
+  const MPortNTree tree(8, 3);
+  std::vector<std::int64_t> out;
+  std::int64_t a = 0;
+  for (auto _ : state) {
+    out.clear();
+    tree.RouteInto(a, tree.num_nodes() - 1 - a, 0, out);
+    benchmark::DoNotOptimize(out.data());
+    a = (a + 17) % tree.num_nodes();
+  }
+}
+BENCHMARK(BM_RouteLookupInto);
+
 void BM_BuildInterPath(benchmark::State& state) {
   const auto sys = MakeSystem1120(MessageFormat{32, 256});
   const CocSystemSim sim(sys);
@@ -31,6 +45,21 @@ void BM_BuildInterPath(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BuildInterPath);
+
+void BM_BuildInterPathInto(benchmark::State& state) {
+  // The simulator's actual hot path: reused RoutedPath scratch + the
+  // deterministic-ascent ICN2 route-skeleton cache.
+  const auto sys = MakeSystem1120(MessageFormat{32, 256});
+  const CocSystemSim sim(sys);
+  RoutedPath routed;
+  std::int64_t s = 0;
+  for (auto _ : state) {
+    sim.BuildRoutedPathInto(s, sys.TotalNodes() - 1 - s, 0, routed);
+    benchmark::DoNotOptimize(routed.path.data());
+    s = (s + 131) % (sys.TotalNodes() / 2);
+  }
+}
+BENCHMARK(BM_BuildInterPathInto);
 
 void BM_SimulateSmallSystem(benchmark::State& state) {
   const auto sys = MakeSmallSystem(MessageFormat{16, 64});
@@ -51,6 +80,29 @@ void BM_SimulateSmallSystem(benchmark::State& state) {
       static_cast<double>(messages), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulateSmallSystem);
+
+void BM_SimulateSmallSystemReusedArena(benchmark::State& state) {
+  // Sweep configuration: one SimScratch (engine arena, traffic buffer, path
+  // staging) carried across runs, as RunSweep/RunSweepParallel do.
+  const auto sys = MakeSmallSystem(MessageFormat{16, 64});
+  const CocSystemSim sim(sys);
+  SimConfig cfg;
+  cfg.lambda_g = 2e-4;
+  cfg.warmup_messages = 200;
+  cfg.measured_messages = 2000;
+  cfg.drain_messages = 200;
+  SimScratch scratch;
+  std::int64_t messages = 0;
+  for (auto _ : state) {
+    cfg.seed++;
+    const auto r = sim.Run(cfg, scratch);
+    messages += r.delivered;
+    benchmark::DoNotOptimize(r.latency.Mean());
+  }
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateSmallSystemReusedArena);
 
 }  // namespace
 }  // namespace coc

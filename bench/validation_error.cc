@@ -33,6 +33,7 @@ int main() {
   Table t({"configuration", "load_frac", "lambda_g", "analysis", "simulation",
            "err_%"});
   RunningStats abs_err;
+  SimScratch scratch;  // engine arena reused across all operating points
   for (const Case& c : cases) {
     const auto sys = c.make(MessageFormat{c.m_flits, c.dm});
     LatencyModel model(sys);
@@ -41,7 +42,7 @@ int main() {
     for (double frac : {0.1, 0.2, 0.3}) {
       const double rate = frac * sat;
       SimConfig cfg = DefaultSimBudget(rate);
-      const auto sr = sim.Run(cfg);
+      const auto sr = sim.Run(cfg, scratch);
       const double analysis = model.Evaluate(rate).mean_latency;
       const double err = 100.0 * (analysis - sr.latency.Mean()) /
                          sr.latency.Mean();

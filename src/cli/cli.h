@@ -9,7 +9,7 @@
 //   coc_cli sim    <system> --rate R [--messages N] [--seed S]
 //                  [--pattern uniform|hotspot|local|permutation]
 //                  [--condis cut-through|store-forward]
-//   coc_cli sweep  <system> --max-rate R [--points N] [--no-sim]
+//   coc_cli sweep  <system> --max-rate R [--points N] [--no-sim] [--threads N]
 //   coc_cli bottleneck <system> --rate R
 //
 // <system> is a config file path (see config_parser.h) or "preset:1120",

@@ -30,6 +30,7 @@ std::vector<SweepPoint> RunSweep(const SystemConfig& sys,
 
   std::vector<SweepPoint> points;
   bool sim_alive = spec.run_sim;
+  SimScratch scratch;  // engine arena + buffers shared across sweep points
   for (double rate : spec.rates) {
     SweepPoint p;
     p.lambda_g = rate;
@@ -39,7 +40,7 @@ std::vector<SweepPoint> RunSweep(const SystemConfig& sys,
     if (sim_alive) {
       SimConfig cfg = spec.sim_base;
       cfg.lambda_g = rate;
-      const SimResult sr = sim->Run(cfg);
+      const SimResult sr = sim->Run(cfg, scratch);
       p.sim_latency = sr.latency.Mean();
       p.sim_ci95 = sr.latency.HalfWidth95();
       p.sim_intra = sr.intra_latency.Mean();
@@ -76,13 +77,14 @@ std::vector<SweepPoint> RunSweepParallel(const SystemConfig& sys,
   // after it skip their simulation.
   std::atomic<std::size_t> abort_after{points.size()};
   auto worker = [&] {
+    SimScratch scratch;  // per-thread engine arena, reused across points
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= points.size()) return;
       if (i > abort_after.load()) continue;
       SimConfig cfg = spec.sim_base;
       cfg.lambda_g = points[i].lambda_g;
-      const SimResult sr = sim.Run(cfg);
+      const SimResult sr = sim.Run(cfg, scratch);
       points[i].sim_latency = sr.latency.Mean();
       points[i].sim_ci95 = sr.latency.HalfWidth95();
       points[i].sim_intra = sr.intra_latency.Mean();
@@ -164,9 +166,10 @@ ReplicatedResult RunReplicated(const CocSystemSim& sim, const SimConfig& cfg,
                                int replications) {
   ReplicatedResult out;
   SimConfig c = cfg;
+  SimScratch scratch;  // reuse the engine arena across replications
   for (int i = 0; i < replications; ++i) {
     c.seed = cfg.seed + static_cast<std::uint64_t>(i);
-    out.means.Add(sim.Run(c).latency.Mean());
+    out.means.Add(sim.Run(c, scratch).latency.Mean());
   }
   return out;
 }

@@ -4,8 +4,6 @@
 #include <stdexcept>
 
 #include "common/rng.h"
-#include "sim/traffic.h"
-#include "sim/wormhole_engine.h"
 
 namespace coc {
 namespace {
@@ -48,6 +46,27 @@ CocSystemSim::CocSystemSim(const SystemConfig& sys, Icn2SlotPolicy slot_policy)
   for (std::int64_t i = 0; i < c; ++i) {
     icn2_slot_[static_cast<std::size_t>(i)] =
         can_interleave ? (i % leaves) * k + i / leaves : i;
+  }
+
+  // Route-skeleton cache: under deterministic ascent (entropy 0) the ICN2
+  // leg of an inter-cluster route depends only on the cluster pair, so
+  // precompute all C * (C - 1) legs once (global channel ids).
+  icn2_leg_.assign(static_cast<std::size_t>(c) * static_cast<std::size_t>(c),
+                   CachedLeg{});
+  for (int ci = 0; ci < c; ++ci) {
+    for (int cj = 0; cj < c; ++cj) {
+      if (ci == cj) continue;
+      CachedLeg& leg =
+          icn2_leg_[static_cast<std::size_t>(ci) * static_cast<std::size_t>(c) +
+                    static_cast<std::size_t>(cj)];
+      leg.offset = static_cast<std::int32_t>(icn2_leg_buf_.size());
+      for (auto ch :
+           icn2_topo_->Route(icn2_slot_[static_cast<std::size_t>(ci)],
+                             icn2_slot_[static_cast<std::size_t>(cj)], 0)) {
+        icn2_leg_buf_.push_back(icn2_offset_ + static_cast<std::int32_t>(ch));
+      }
+      leg.len = static_cast<std::int32_t>(icn2_leg_buf_.size()) - leg.offset;
+    }
   }
 }
 
@@ -102,71 +121,93 @@ std::string CocSystemSim::DescribeChannel(std::int32_t id) const {
   return prefix + " " + endpoint(info.from) + " -> " + endpoint(info.to);
 }
 
-CocSystemSim::RoutedPath CocSystemSim::BuildRoutedPath(
-    std::int64_t src, std::int64_t dst, std::uint64_t ascent_entropy) const {
+void CocSystemSim::BuildRoutedPathInto(std::int64_t src, std::int64_t dst,
+                                       std::uint64_t ascent_entropy,
+                                       RoutedPath& out) const {
   if (src == dst) throw std::invalid_argument("src == dst");
+  out.path.clear();
+  out.scratch.clear();  // defensive: drop any half-staged leg from a throw
+  out.access_links = 0;
+  out.icn2_links = 0;
   const int ci = sys_.ClusterOfNode(src);
   const int cj = sys_.ClusterOfNode(dst);
   const std::int64_t ls = src - sys_.ClusterBase(ci);
   const std::int64_t ld = dst - sys_.ClusterBase(cj);
 
-  RoutedPath out;
-  if (ci == cj) {
-    for (auto ch : icn1_topo_[static_cast<std::size_t>(ci)]->Route(
-             ls, ld, ascent_entropy)) {
-      out.path.push_back(icn1_offset_[static_cast<std::size_t>(ci)] +
-                         static_cast<std::int32_t>(ch));
+  // Appends the staged topology-local leg to out.path as global ids.
+  auto flush = [&out](std::int32_t offset) {
+    for (auto ch : out.scratch) {
+      out.path.push_back(offset + static_cast<std::int32_t>(ch));
     }
-    return out;
+    out.scratch.clear();
+  };
+
+  if (ci == cj) {
+    icn1_topo_[static_cast<std::size_t>(ci)]->RouteInto(ls, ld, ascent_entropy,
+                                                        out.scratch);
+    flush(icn1_offset_[static_cast<std::size_t>(ci)]);
+    return;
   }
   // Tap-attached inter-cluster route: ECN1(i) access to the concentrator,
   // the ICN2 journey between the two C/D node slots, ECN1(j) egress. The
   // ECN1 legs are pinned to the tap attachment (the C/Ds live there); only
   // the ICN2 leg can use routing entropy.
-  for (auto ch :
-       ecn1_topo_[static_cast<std::size_t>(ci)]->RouteToTap(ls)) {
-    out.path.push_back(ecn1_offset_[static_cast<std::size_t>(ci)] +
-                       static_cast<std::int32_t>(ch));
-  }
+  ecn1_topo_[static_cast<std::size_t>(ci)]->RouteToTapInto(ls, out.scratch);
+  flush(ecn1_offset_[static_cast<std::size_t>(ci)]);
   out.access_links = static_cast<int>(out.path.size());
-  for (auto ch : icn2_topo_->Route(icn2_slot_[static_cast<std::size_t>(ci)],
-                                   icn2_slot_[static_cast<std::size_t>(cj)],
-                                   ascent_entropy)) {
-    out.path.push_back(icn2_offset_ + static_cast<std::int32_t>(ch));
+  if (ascent_entropy == 0) {
+    // Deterministic ascent: the leg is precomputed per cluster pair.
+    const CachedLeg& leg =
+        icn2_leg_[static_cast<std::size_t>(ci) *
+                      static_cast<std::size_t>(sys_.num_clusters()) +
+                  static_cast<std::size_t>(cj)];
+    out.path.insert(out.path.end(),
+                    icn2_leg_buf_.begin() + leg.offset,
+                    icn2_leg_buf_.begin() + leg.offset + leg.len);
+  } else {
+    icn2_topo_->RouteInto(icn2_slot_[static_cast<std::size_t>(ci)],
+                          icn2_slot_[static_cast<std::size_t>(cj)],
+                          ascent_entropy, out.scratch);
+    flush(icn2_offset_);
   }
   out.icn2_links = static_cast<int>(out.path.size()) - out.access_links;
-  for (auto ch :
-       ecn1_topo_[static_cast<std::size_t>(cj)]->RouteFromTap(ld)) {
-    out.path.push_back(ecn1_offset_[static_cast<std::size_t>(cj)] +
-                       static_cast<std::int32_t>(ch));
-  }
-  return out;
+  ecn1_topo_[static_cast<std::size_t>(cj)]->RouteFromTapInto(ld, out.scratch);
+  flush(ecn1_offset_[static_cast<std::size_t>(cj)]);
 }
 
 std::vector<std::int32_t> CocSystemSim::BuildPath(
     std::int64_t src, std::int64_t dst, std::uint64_t ascent_entropy) const {
-  return BuildRoutedPath(src, dst, ascent_entropy).path;
+  RoutedPath routed;
+  BuildRoutedPathInto(src, dst, ascent_entropy, routed);
+  return std::move(routed.path);
 }
 
 SimResult CocSystemSim::Run(const SimConfig& cfg) const {
+  SimScratch scratch;
+  return Run(cfg, scratch);
+}
+
+SimResult CocSystemSim::Run(const SimConfig& cfg, SimScratch& scratch) const {
   const std::int64_t total =
       cfg.warmup_messages + cfg.measured_messages + cfg.drain_messages;
-  const auto traffic = GenerateTraffic(sys_, cfg, total);
+  GenerateTraffic(sys_, cfg, total, scratch.traffic);
 
-  WormholeEngine engine(flit_time_);
-  const int flits = sys_.message().length_flits;
+  WormholeEngine& engine = scratch.engine;
+  engine.Reset(flit_time_);
+  const auto flits = static_cast<std::int32_t>(sys_.message().length_flits);
+  RoutedPath& routed = scratch.routed;
   // Independent stream for routing entropy so traffic draws stay identical
   // across ascent policies (paired-comparison friendly).
   Rng route_rng(cfg.seed ^ 0xc0ffee5eedULL);
   for (std::int64_t idx = 0; idx < total; ++idx) {
-    const TrafficEvent& ev = traffic[static_cast<std::size_t>(idx)];
+    const TrafficEvent& ev = scratch.traffic[static_cast<std::size_t>(idx)];
     const int ci = sys_.ClusterOfNode(ev.src);
     const int cj = sys_.ClusterOfNode(ev.dst);
     const std::uint64_t entropy =
         cfg.ascent == SimConfig::AscentPolicy::kRandomized ? route_rng() : 0;
-    RoutedPath routed = BuildRoutedPath(ev.src, ev.dst, entropy);
-    std::vector<std::int32_t> depth(routed.path.size(), 1);
-    std::vector<std::int32_t> store_forward;
+    BuildRoutedPathInto(ev.src, ev.dst, entropy, routed);
+    scratch.depth.assign(routed.path.size(), 1);
+    scratch.store_forward.clear();
     std::uint64_t tag = static_cast<std::uint64_t>(ci) << kTagClusterShift;
     if (idx >= cfg.warmup_messages &&
         idx < cfg.warmup_messages + cfg.measured_messages) {
@@ -179,8 +220,8 @@ SimResult CocSystemSim::Run(const SimConfig& cfg) const {
       const std::size_t r = static_cast<std::size_t>(routed.access_links);
       const std::size_t icn2_links =
           static_cast<std::size_t>(routed.icn2_links);
-      depth[r - 1] = cfg.condis_buffer_flits;
-      depth[r + icn2_links - 1] = cfg.condis_buffer_flits;
+      scratch.depth[r - 1] = cfg.condis_buffer_flits;
+      scratch.depth[r + icn2_links - 1] = cfg.condis_buffer_flits;
       if (cfg.condis_mode == CondisMode::kStoreForward) {
         if (cfg.condis_buffer_flits != 0) {
           throw std::invalid_argument(
@@ -190,17 +231,24 @@ SimResult CocSystemSim::Run(const SimConfig& cfg) const {
         // injection channel (position r) and the ECN1(j) egress entry
         // (position r + d_l) are held only at their own networks' rates —
         // matching the model's Eq. (36)-(38) M/G/1 service times.
-        store_forward.push_back(static_cast<std::int32_t>(r));
-        store_forward.push_back(static_cast<std::int32_t>(r + icn2_links));
+        scratch.store_forward.push_back(static_cast<std::int32_t>(r));
+        scratch.store_forward.push_back(
+            static_cast<std::int32_t>(r + icn2_links));
       }
     }
-    engine.AddMessage(ev.time, std::move(routed.path), std::move(depth), flits,
-                      tag, store_forward);
+    engine.AddMessage(ev.time, routed.path.data(), scratch.depth.data(),
+                      routed.path.size(), flits, tag,
+                      scratch.store_forward.data(),
+                      scratch.store_forward.size());
   }
 
   SimResult result;
   result.per_cluster.resize(static_cast<std::size_t>(sys_.num_clusters()));
-  engine.Run([&result](const WormholeEngine::Delivery& d) {
+  if (cfg.record_deliveries) {
+    result.delivery_times.reserve(
+        static_cast<std::size_t>(cfg.measured_messages));
+  }
+  engine.Run([&result, &cfg](const WormholeEngine::Delivery& d) {
     if (d.user_tag & kTagMeasured) {
       const double latency = d.deliver_time - d.gen_time;
       result.latency.Add(latency);
@@ -209,6 +257,7 @@ SimResult CocSystemSim::Run(const SimConfig& cfg) const {
       result.per_cluster[static_cast<std::size_t>(d.user_tag >>
                                                   kTagClusterShift)]
           .Add(latency);
+      if (cfg.record_deliveries) result.delivery_times.push_back(d.deliver_time);
     }
   });
   result.delivered = engine.delivered_count();

@@ -9,6 +9,14 @@
 // messages take the tap-attached path
 //     ECN1(i) access (r links) -> ICN2 (d_l links) -> ECN1(j) egress (v links)
 // which matches the analytical model's link accounting exactly.
+//
+// Hot-path design: message construction streams through a caller-owned
+// SimScratch — the wormhole engine's arena, the traffic buffer, and one
+// reusable RoutedPath — so a sweep reuses every allocation across its
+// points. The deterministic-ascent ICN2 leg (the only part of an
+// inter-cluster route that depends solely on the cluster pair) is
+// precomputed per (src cluster, dst cluster) at construction and memcpy'd
+// into each message's path.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +25,8 @@
 
 #include "sim/metrics.h"
 #include "sim/sim_config.h"
+#include "sim/traffic.h"
+#include "sim/wormhole_engine.h"
 #include "system/system_config.h"
 #include "topology/topology.h"
 
@@ -38,6 +48,32 @@ enum class Icn2SlotPolicy : std::uint8_t {
   kInterleaved,
 };
 
+/// A routed path in global channel ids plus the segment lengths the C/D
+/// placement needs: `access_links` is the ECN1(i) leg length (0 for
+/// intra-cluster paths) and `icn2_links` the ICN2 leg length. Reused as a
+/// scratch buffer by the simulation loop — all vectors keep their capacity
+/// across messages.
+struct RoutedPath {
+  std::vector<std::int32_t> path;
+  int access_links = 0;
+  int icn2_links = 0;
+  /// Internal staging area for topology-local channel ids (Topology speaks
+  /// int64 local ids; the global table is int32). Callers can ignore it.
+  std::vector<std::int64_t> scratch;
+};
+
+/// Reusable per-run buffers: everything CocSystemSim::Run allocates that can
+/// be carried from one run to the next. One SimScratch per thread; passing
+/// the same instance to consecutive runs (a sweep, replications) makes the
+/// steady-state injection path allocation-free.
+struct SimScratch {
+  WormholeEngine engine;
+  std::vector<TrafficEvent> traffic;
+  RoutedPath routed;
+  std::vector<std::int32_t> depth;
+  std::vector<std::int32_t> store_forward;
+};
+
 /// Builds the network once; each Run draws fresh traffic and replays the
 /// full warm-up / measurement / drain protocol.
 class CocSystemSim {
@@ -51,8 +87,13 @@ class CocSystemSim {
   }
 
   /// Runs one experiment and returns latency statistics over the measured
-  /// window plus channel utilization over the whole run.
+  /// window plus channel utilization over the whole run. Allocates a fresh
+  /// SimScratch; sweeps should use the overload below and reuse one.
   SimResult Run(const SimConfig& cfg) const;
+
+  /// Same, but streams through caller-owned scratch buffers (engine arena,
+  /// traffic, path staging), so consecutive runs reuse all capacity.
+  SimResult Run(const SimConfig& cfg, SimScratch& scratch) const;
 
   /// Channel sequence (global channel ids) a message from global node src to
   /// global node dst traverses; exposed for tests and path-length audits.
@@ -60,6 +101,11 @@ class CocSystemSim {
   /// freedom (0 = the paper's deterministic routing).
   std::vector<std::int32_t> BuildPath(std::int64_t src, std::int64_t dst,
                                       std::uint64_t ascent_entropy = 0) const;
+
+  /// Allocation-free variant: rebuilds `out` in place (clearing it but
+  /// keeping capacity) with the routed path and its segment lengths.
+  void BuildRoutedPathInto(std::int64_t src, std::int64_t dst,
+                           std::uint64_t ascent_entropy, RoutedPath& out) const;
 
   /// Per-flit transmission time of every global channel, indexed by id.
   const std::vector<double>& channel_flit_times() const { return flit_time_; }
@@ -77,17 +123,12 @@ class CocSystemSim {
  private:
   enum class NetClass : std::uint8_t { kIcn1, kEcn1, kIcn2 };
 
-  /// A routed path plus the segment lengths the C/D placement needs:
-  /// `access_links` is the ECN1(i) leg length (0 for intra-cluster paths)
-  /// and `icn2_links` the ICN2 leg length.
-  struct RoutedPath {
-    std::vector<std::int32_t> path;
-    int access_links = 0;
-    int icn2_links = 0;
+  /// One cached deterministic-ascent ICN2 leg (global channel ids) in the
+  /// flat icn2_leg_buf_, for a (src cluster, dst cluster) pair.
+  struct CachedLeg {
+    std::int32_t offset = 0;
+    std::int32_t len = 0;
   };
-
-  RoutedPath BuildRoutedPath(std::int64_t src, std::int64_t dst,
-                             std::uint64_t ascent_entropy) const;
 
   // Appends a topology's channels to the global table with the given
   // characteristics; returns the global id offset of its channels.
@@ -107,6 +148,10 @@ class CocSystemSim {
   std::vector<std::int64_t> icn2_slot_;  // cluster -> ICN2 node slot
   std::vector<double> flit_time_;
   std::vector<NetClass> channel_class_;
+  // Route-skeleton cache: deterministic ICN2 legs per (ci, cj), ci != cj,
+  // indexed ci * num_clusters + cj into icn2_leg_ with ids in icn2_leg_buf_.
+  std::vector<CachedLeg> icn2_leg_;
+  std::vector<std::int32_t> icn2_leg_buf_;
 };
 
 }  // namespace coc

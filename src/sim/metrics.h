@@ -37,6 +37,10 @@ struct SimResult {
   std::vector<RunningStats> per_cluster;
   std::int64_t delivered = 0;  ///< total delivered messages (all phases)
   double duration = 0;         ///< simulated time until last delivery, us
+  /// Absolute delivery times of measured-window messages in delivery order;
+  /// filled only when SimConfig::record_deliveries is set. The exact values
+  /// (and their order) pin the engine's event schedule bit for bit.
+  std::vector<double> delivery_times;
 
   NetworkUtilization icn1_util;
   NetworkUtilization ecn1_util;

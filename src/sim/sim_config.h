@@ -59,6 +59,11 @@ struct SimConfig {
   /// (ablation). kStoreForward requires 0.
   int condis_buffer_flits = 0;
 
+  /// When set, SimResult::delivery_times records the absolute delivery time
+  /// of every measured-window message in delivery order. Used by the
+  /// bit-identity regression tests; off by default (it allocates O(measured)).
+  bool record_deliveries = false;
+
   TrafficPattern pattern = TrafficPattern::kUniform;
   double hotspot_fraction = 0.1;   ///< kHotspot: share of traffic to hot node
   std::int64_t hotspot_node = 0;   ///< kHotspot: global id of the hot node

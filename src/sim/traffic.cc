@@ -58,6 +58,13 @@ std::vector<std::int64_t> Derangement(Rng& rng, std::int64_t n) {
 std::vector<TrafficEvent> GenerateTraffic(const SystemConfig& sys,
                                           const SimConfig& cfg,
                                           std::int64_t count) {
+  std::vector<TrafficEvent> events;
+  GenerateTraffic(sys, cfg, count, events);
+  return events;
+}
+
+void GenerateTraffic(const SystemConfig& sys, const SimConfig& cfg,
+                     std::int64_t count, std::vector<TrafficEvent>& out) {
   if (sys.TotalNodes() < 2) {
     throw std::invalid_argument("traffic needs at least two nodes");
   }
@@ -73,8 +80,8 @@ std::vector<TrafficEvent> GenerateTraffic(const SystemConfig& sys,
     perm = Derangement(rng, n);
   }
 
-  std::vector<TrafficEvent> events;
-  events.reserve(static_cast<std::size_t>(count));
+  out.clear();
+  out.reserve(static_cast<std::size_t>(count));
   double t = 0;
   for (std::int64_t i = 0; i < count; ++i) {
     t += rng.NextExponential(system_rate);
@@ -111,9 +118,8 @@ std::vector<TrafficEvent> GenerateTraffic(const SystemConfig& sys,
         dst = perm[static_cast<std::size_t>(src)];
         break;
     }
-    events.push_back(TrafficEvent{t, src, dst});
+    out.push_back(TrafficEvent{t, src, dst});
   }
-  return events;
 }
 
 }  // namespace coc

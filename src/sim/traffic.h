@@ -30,4 +30,9 @@ std::vector<TrafficEvent> GenerateTraffic(const SystemConfig& sys,
                                           const SimConfig& cfg,
                                           std::int64_t count);
 
+/// Allocation-reusing variant: rebuilds `out` in place (clearing it but
+/// keeping its capacity), so back-to-back runs share one traffic buffer.
+void GenerateTraffic(const SystemConfig& sys, const SimConfig& cfg,
+                     std::int64_t count, std::vector<TrafficEvent>& out);
+
 }  // namespace coc

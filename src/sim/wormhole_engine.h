@@ -18,12 +18,27 @@
 //
 // Every flit transmission is one heap event, so the schedule is exact up to
 // the documented buffer-handoff approximation (DESIGN.md §4).
+//
+// Memory layout (the zero-allocation hot path). Message state lives in a
+// structure-of-arrays arena, not in per-message containers: one flat `path_`
+// buffer holds every message's channel sequence back to back, and the
+// per-position running counters (`sent_`, `arrived_`, `granted_`,
+// `store_forward_`, `depth_after_`) are parallel flat arrays indexed by
+// `MsgMeta::base + position`. AddMessage therefore appends to six flat
+// vectors (amortized O(1), no per-message heap blocks), channel waiter
+// queues are an intrusive singly-linked FIFO threaded through
+// `MsgMeta::next_waiter` (a message waits on at most one channel at a time),
+// and the event queue is a binary heap over a plain vector. After Reset()
+// every container keeps its capacity, so a warmed-up engine replays a
+// same-shaped workload with zero heap allocations — the counting-allocator
+// test (tests/sim_alloc_test.cc) enforces this.
+//
+// Run() is templated on the delivery callback, so the per-delivery call is
+// direct (inlined at the call site) instead of going through std::function.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <queue>
 #include <vector>
 
 namespace coc {
@@ -38,28 +53,90 @@ class WormholeEngine {
     std::uint64_t user_tag;
   };
 
+  /// Upper bound on flits per message. Counters are 32-bit, so the bound is
+  /// a sanity limit (a million-flit wormhole message is a config bug), not a
+  /// storage ceiling like the old std::int16_t/250 one.
+  static constexpr std::int32_t kMaxFlits = 1 << 20;
+
   /// Creates an engine over a fixed set of channels with the given per-flit
   /// transmission times.
   explicit WormholeEngine(std::vector<double> channel_flit_times);
 
+  /// Creates an empty engine; call Reset(channel_flit_times) before use.
+  WormholeEngine() = default;
+
+  /// Re-initializes the engine for a new channel set, discarding all
+  /// messages and statistics but keeping every container's capacity — the
+  /// arena-reuse entry point for sweeps that run many simulations back to
+  /// back.
+  void Reset(const std::vector<double>& channel_flit_times);
+
+  /// Discards all messages and statistics, keeping the channel set and all
+  /// container capacity.
+  void Reset();
+
   /// Registers a message to be injected at gen_time. `path` is the channel
-  /// sequence from source to destination (non-empty). `depth_after[k]` is
-  /// the input-buffer depth (flits) at the downstream end of path[k];
-  /// 0 means unbounded. `store_forward` lists path positions whose channel
-  /// the header may only request after the *whole* message has accumulated
-  /// in that position's input buffer — this models the concentrator/
-  /// dispatcher devices, which concentrate a message before re-injecting it
-  /// (the buffer feeding a store-and-forward position must be unbounded).
-  /// `user_tag` is opaque round-trip data for the caller. All messages must
-  /// be added before Run(). Returns the message id.
-  std::int64_t AddMessage(double gen_time, std::vector<std::int32_t> path,
-                          std::vector<std::int32_t> depth_after, int flits,
-                          std::uint64_t user_tag,
+  /// sequence from source to destination (`length` > 0 entries).
+  /// `depth_after[k]` is the input-buffer depth (flits) at the downstream
+  /// end of path[k]; 0 means unbounded. `store_forward` lists path positions
+  /// whose channel the header may only request after the *whole* message has
+  /// accumulated in that position's input buffer — this models the
+  /// concentrator/dispatcher devices, which concentrate a message before
+  /// re-injecting it (the buffer feeding a store-and-forward position must
+  /// be unbounded). `user_tag` is opaque round-trip data for the caller.
+  /// All messages must be added before Run(). Returns the message id.
+  std::int64_t AddMessage(double gen_time, const std::int32_t* path,
+                          const std::int32_t* depth_after, std::size_t length,
+                          std::int32_t flits, std::uint64_t user_tag,
+                          const std::int32_t* store_forward = nullptr,
+                          std::size_t store_forward_count = 0);
+
+  /// Container convenience overload (tests, small callers).
+  std::int64_t AddMessage(double gen_time,
+                          const std::vector<std::int32_t>& path,
+                          const std::vector<std::int32_t>& depth_after,
+                          int flits, std::uint64_t user_tag,
                           const std::vector<std::int32_t>& store_forward = {});
 
   /// Runs the simulation to completion (all registered messages delivered),
-  /// invoking on_deliver once per message in delivery-time order.
-  void Run(const std::function<void(const Delivery&)>& on_deliver);
+  /// invoking on_deliver once per message in delivery-time order. The
+  /// callback is a template parameter, so the call is direct — no type
+  /// erasure on the hot path.
+  template <typename OnDeliver>
+  void Run(OnDeliver&& on_deliver) {
+    // Generation events: when messages were added in gen_time order (the
+    // traffic generator's case), they are consumed from a sorted cursor so
+    // the heap only ever holds in-flight flit events — an order of
+    // magnitude smaller, which shrinks every heap operation. A generation
+    // tied with a flit arrival fires first, exactly like the former
+    // all-events-in-one-heap schedule where generations carried the
+    // smallest sequence numbers.
+    std::size_t gen_cursor = 0;
+    if (!gen_sorted_) {
+      ScheduleGenerations();  // rare: out-of-order AddMessage calls
+      gen_cursor = messages_.size();
+    }
+    for (;;) {
+      const bool have_gen = gen_cursor < messages_.size();
+      if (!have_gen && event_heap_.empty()) break;
+      if (have_gen &&
+          (event_heap_.empty() ||
+           messages_[gen_cursor].gen_time <= event_heap_.front().time)) {
+        // Generation: the header requests the injection channel. All flits
+        // of the message are available at the source from this moment on.
+        const auto msg = static_cast<std::int64_t>(gen_cursor++);
+        Request(msg, 0, messages_[static_cast<std::size_t>(msg)].gen_time);
+        continue;
+      }
+      const Event e = PopEvent();
+      if (e.pos < 0) {
+        Request(e.msg, 0, e.time);
+      } else if (OnArrive(e)) {
+        const MsgMeta& m = messages_[static_cast<std::size_t>(e.msg)];
+        on_deliver(Delivery{e.msg, m.gen_time, e.time, m.user_tag});
+      }
+    }
+  }
 
   /// Total time channel `ch` spent transmitting flits (for utilization).
   double ChannelBusyTime(std::int32_t ch) const {
@@ -71,54 +148,75 @@ class WormholeEngine {
   double end_time() const { return end_time_; }
 
  private:
-  struct MsgState {
+  /// Per-message constants and links; the per-position state lives in the
+  /// flat arenas below, at indices [base, base + len).
+  struct MsgMeta {
     double gen_time;
     std::uint64_t user_tag;
-    std::vector<std::int32_t> path;
-    std::vector<std::int32_t> depth_after;
-    std::vector<std::uint8_t> sent;     // flits started per position
-    std::vector<std::uint8_t> arrived;  // flits arrived per position
-    std::vector<std::uint8_t> granted;  // channel ownership per position
-    std::vector<std::uint8_t> store_forward;  // request only after full arrival
-    std::int16_t header_pos = 0;        // position being requested/acquired
-    std::int16_t flits = 0;
+    std::int64_t base;         // offset into the per-position arenas
+    std::int64_t next_waiter;  // intrusive FIFO link while queued, else -1
+    std::int32_t len;          // path length
+    std::int32_t flits;
+    std::int32_t header_pos;   // position being requested/acquired
   };
 
   struct ChannelState {
     std::int64_t owner = -1;
-    std::deque<std::int64_t> waiters;
+    std::int64_t waiter_head = -1;  // intrusive FIFO through next_waiter
+    std::int64_t waiter_tail = -1;
   };
 
   struct Event {
     double time;
     std::uint64_t seq;
     std::int64_t msg;
-    std::int16_t pos;   // path position; -1 for generation events
-    std::int16_t flit;  // arriving flit; ignored for generation events
+    std::int32_t pos;   // path position; -1 for generation events
+    std::int32_t flit;  // arriving flit; ignored for generation events
+  };
 
-    bool operator>(const Event& o) const {
-      return time != o.time ? time > o.time : seq > o.seq;
+  /// Min-heap order on (time, seq) — identical to the former
+  /// priority_queue<Event, vector, greater> schedule.
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
     }
   };
 
-  void Schedule(double time, std::int64_t msg, std::int16_t pos,
-                std::int16_t flit);
-  void Request(std::int64_t msg, int pos, double now);
+  Event PopEvent() {
+    std::pop_heap(event_heap_.begin(), event_heap_.end(), EventAfter{});
+    const Event e = event_heap_.back();
+    event_heap_.pop_back();
+    return e;
+  }
+
+  void Schedule(double time, std::int64_t msg, std::int32_t pos,
+                std::int32_t flit);
+  void ScheduleGenerations();
+  void Request(std::int64_t msg, std::int32_t pos, double now);
   void ReleaseChannel(std::int32_t ch, double now);
   /// Attempts to start the next flit of `msg` on path position `pos`;
   /// cascades upstream when a buffer slot frees.
-  void TrySend(std::int64_t msg, int pos, double now);
-  void OnArrive(const Event& e);
+  void TrySend(std::int64_t msg, std::int32_t pos, double now);
+  /// Processes one flit arrival; returns true when it completed a delivery
+  /// (the caller then invokes the delivery callback).
+  bool OnArrive(const Event& e);
 
   std::vector<double> flit_time_;
   std::vector<double> busy_time_;
   std::vector<ChannelState> channels_;
-  std::vector<MsgState> messages_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
-  const std::function<void(const Delivery&)>* on_deliver_ = nullptr;
+  std::vector<MsgMeta> messages_;
+  // Structure-of-arrays arenas, indexed by MsgMeta::base + position.
+  std::vector<std::int32_t> path_;
+  std::vector<std::int32_t> depth_after_;
+  std::vector<std::int32_t> sent_;          // flits started per position
+  std::vector<std::int32_t> arrived_;       // flits arrived per position
+  std::vector<std::uint8_t> granted_;       // channel ownership per position
+  std::vector<std::uint8_t> store_forward_; // request only after full arrival
+  std::vector<Event> event_heap_;
   std::uint64_t seq_ = 0;
   std::int64_t delivered_ = 0;
   double end_time_ = 0;
+  bool gen_sorted_ = true;  // AddMessage calls came in gen_time order
 };
 
 }  // namespace coc

@@ -24,19 +24,22 @@ FullCrossbar::FullCrossbar(std::int64_t ports)
   }
 }
 
-std::vector<std::int64_t> FullCrossbar::Route(std::int64_t src,
-                                              std::int64_t dst,
-                                              std::uint64_t /*entropy*/) const {
-  if (src == dst) return {};
-  return {src, num_nodes_ + dst};
+void FullCrossbar::RouteInto(std::int64_t src, std::int64_t dst,
+                             std::uint64_t /*entropy*/,
+                             std::vector<std::int64_t>& out) const {
+  if (src == dst) return;
+  out.push_back(src);
+  out.push_back(num_nodes_ + dst);
 }
 
-std::vector<std::int64_t> FullCrossbar::RouteToTap(std::int64_t src) const {
-  return {src};
+void FullCrossbar::RouteToTapInto(std::int64_t src,
+                                  std::vector<std::int64_t>& out) const {
+  out.push_back(src);
 }
 
-std::vector<std::int64_t> FullCrossbar::RouteFromTap(std::int64_t dst) const {
-  return {num_nodes_ + dst};
+void FullCrossbar::RouteFromTapInto(std::int64_t dst,
+                                    std::vector<std::int64_t>& out) const {
+  out.push_back(num_nodes_ + dst);
 }
 
 }  // namespace coc

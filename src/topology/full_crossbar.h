@@ -39,10 +39,12 @@ class FullCrossbar : public Topology {
     return access_links_;
   }
 
-  std::vector<std::int64_t> Route(std::int64_t src, std::int64_t dst,
-                                  std::uint64_t entropy = 0) const override;
-  std::vector<std::int64_t> RouteToTap(std::int64_t src) const override;
-  std::vector<std::int64_t> RouteFromTap(std::int64_t dst) const override;
+  void RouteInto(std::int64_t src, std::int64_t dst, std::uint64_t entropy,
+                 std::vector<std::int64_t>& out) const override;
+  void RouteToTapInto(std::int64_t src,
+                      std::vector<std::int64_t>& out) const override;
+  void RouteFromTapInto(std::int64_t dst,
+                        std::vector<std::int64_t>& out) const override;
 
  private:
   std::int64_t num_nodes_;

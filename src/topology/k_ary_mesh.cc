@@ -195,31 +195,28 @@ void KAryMesh::AppendHops(std::int64_t from, std::int64_t to,
   }
 }
 
-std::vector<std::int64_t> KAryMesh::Route(std::int64_t src, std::int64_t dst,
-                                          std::uint64_t /*entropy*/) const {
-  if (src == dst) return {};
-  std::vector<std::int64_t> path;
-  path.reserve(static_cast<std::size_t>(Distance(src, dst)) + 2);
-  path.push_back(src);  // injection link id == node id
-  AppendHops(src, dst, &path);
-  path.push_back(num_nodes_ + dst);  // ejection link
-  return path;
+void KAryMesh::RouteInto(std::int64_t src, std::int64_t dst,
+                         std::uint64_t /*entropy*/,
+                         std::vector<std::int64_t>& out) const {
+  if (src == dst) return;
+  out.reserve(out.size() + static_cast<std::size_t>(Distance(src, dst)) + 2);
+  out.push_back(src);  // injection link id == node id
+  AppendHops(src, dst, &out);
+  out.push_back(num_nodes_ + dst);  // ejection link
 }
 
-std::vector<std::int64_t> KAryMesh::RouteToTap(std::int64_t src) const {
-  std::vector<std::int64_t> path;
-  path.reserve(static_cast<std::size_t>(Distance(src, 0)) + 1);
-  path.push_back(src);
-  AppendHops(src, 0, &path);
-  return path;
+void KAryMesh::RouteToTapInto(std::int64_t src,
+                              std::vector<std::int64_t>& out) const {
+  out.reserve(out.size() + static_cast<std::size_t>(Distance(src, 0)) + 1);
+  out.push_back(src);
+  AppendHops(src, 0, &out);
 }
 
-std::vector<std::int64_t> KAryMesh::RouteFromTap(std::int64_t dst) const {
-  std::vector<std::int64_t> path;
-  path.reserve(static_cast<std::size_t>(Distance(0, dst)) + 1);
-  AppendHops(0, dst, &path);
-  path.push_back(num_nodes_ + dst);
-  return path;
+void KAryMesh::RouteFromTapInto(std::int64_t dst,
+                                std::vector<std::int64_t>& out) const {
+  out.reserve(out.size() + static_cast<std::size_t>(Distance(0, dst)) + 1);
+  AppendHops(0, dst, &out);
+  out.push_back(num_nodes_ + dst);
 }
 
 LinkDistribution KAryMesh::MakeLinkDistribution(int radix, int dims,

@@ -56,10 +56,12 @@ class KAryMesh : public Topology {
     return access_links_;
   }
 
-  std::vector<std::int64_t> Route(std::int64_t src, std::int64_t dst,
-                                  std::uint64_t entropy = 0) const override;
-  std::vector<std::int64_t> RouteToTap(std::int64_t src) const override;
-  std::vector<std::int64_t> RouteFromTap(std::int64_t dst) const override;
+  void RouteInto(std::int64_t src, std::int64_t dst, std::uint64_t entropy,
+                 std::vector<std::int64_t>& out) const override;
+  void RouteToTapInto(std::int64_t src,
+                      std::vector<std::int64_t>& out) const override;
+  void RouteFromTapInto(std::int64_t dst,
+                        std::vector<std::int64_t>& out) const override;
 
   /// DOR hop count between two routers (Manhattan / Lee distance).
   int Distance(std::int64_t a, std::int64_t b) const;

@@ -122,12 +122,12 @@ int MPortNTree::NcaLevel(std::int64_t src, std::int64_t dst) const {
   return 0;
 }
 
-std::vector<std::int64_t> MPortNTree::Route(std::int64_t src, std::int64_t dst,
-                                            std::uint64_t entropy) const {
-  std::vector<std::int64_t> path;
+void MPortNTree::RouteInto(std::int64_t src, std::int64_t dst,
+                           std::uint64_t entropy,
+                           std::vector<std::int64_t>& out) const {
   const int h = NcaLevel(src, dst);
-  if (h == 0) return path;
-  path.reserve(static_cast<std::size_t>(2 * h));
+  if (h == 0) return;
+  out.reserve(out.size() + static_cast<std::size_t>(2 * h));
 
   int p[kMaxDigits], q[kMaxDigits];
   NodeDigits(src, p);
@@ -136,7 +136,7 @@ std::vector<std::int64_t> MPortNTree::Route(std::int64_t src, std::int64_t dst,
   // Ascent: node -> leaf, then up through levels 1..h-1 choosing up-port
   // u_j = q_{j-1} (deterministic destination-digit ascent), perturbed by
   // the base-k digits of `entropy` for the randomized variant.
-  path.push_back(NodeUpChannel(src));
+  out.push_back(NodeUpChannel(src));
   std::int64_t r = 0;  // replication tuple accumulated so far, packed
   std::uint64_t e = entropy;
   for (int j = 1; j <= h - 1; ++j) {
@@ -144,7 +144,7 @@ std::vector<std::int64_t> MPortNTree::Route(std::int64_t src, std::int64_t dst,
     const int u = (q[j - 1] + static_cast<int>(e % static_cast<std::uint64_t>(
                                   k_))) % k_;
     e /= static_cast<std::uint64_t>(k_);
-    path.push_back(UpChannel(j, sw, u));
+    out.push_back(UpChannel(j, sw, u));
     r += static_cast<std::int64_t>(u) * pow_k_[static_cast<std::size_t>(j - 1)];
   }
   // Descent: from the NCA at level h down along destination digits. The
@@ -155,14 +155,13 @@ std::vector<std::int64_t> MPortNTree::Route(std::int64_t src, std::int64_t dst,
     const int u = static_cast<int>(r / rep);
     r %= rep;
     const std::int64_t child = SwitchIndex(l - 1, q, r);
-    path.push_back(DownChannel(l - 1, child, u));
+    out.push_back(DownChannel(l - 1, child, u));
   }
-  path.push_back(NodeDownChannel(dst));
-  return path;
+  out.push_back(NodeDownChannel(dst));
 }
 
-std::vector<std::int64_t> MPortNTree::AscendToSpine(std::int64_t src,
-                                                    std::int64_t anchor) const {
+void MPortNTree::AscendToSpineInto(std::int64_t src, std::int64_t anchor,
+                                   std::vector<std::int64_t>& out) const {
   // Exit level r: the NCA level between src and the anchor's spine, with a
   // message from the anchor's own leaf exiting at level 1.
   const int nca = NcaLevel(src, anchor);
@@ -172,21 +171,19 @@ std::vector<std::int64_t> MPortNTree::AscendToSpine(std::int64_t src,
   NodeDigits(src, p);
   NodeDigits(anchor, a);
 
-  std::vector<std::int64_t> path;
-  path.reserve(static_cast<std::size_t>(r_level));
-  path.push_back(NodeUpChannel(src));
+  out.reserve(out.size() + static_cast<std::size_t>(r_level));
+  out.push_back(NodeUpChannel(src));
   std::int64_t r = 0;
   for (int j = 1; j <= r_level - 1; ++j) {
     const std::int64_t sw = SwitchIndex(j, p, r);
     const int u = a[j - 1];
-    path.push_back(UpChannel(j, sw, u));
+    out.push_back(UpChannel(j, sw, u));
     r += static_cast<std::int64_t>(u) * pow_k_[static_cast<std::size_t>(j - 1)];
   }
-  return path;
 }
 
-std::vector<std::int64_t> MPortNTree::DescendFromSpine(
-    std::int64_t dst, std::int64_t anchor) const {
+void MPortNTree::DescendFromSpineInto(std::int64_t dst, std::int64_t anchor,
+                                      std::vector<std::int64_t>& out) const {
   const int nca = NcaLevel(dst, anchor);
   const int v_level = nca == 0 ? 1 : nca;
 
@@ -199,17 +196,15 @@ std::vector<std::int64_t> MPortNTree::DescendFromSpine(
   for (int t = 0; t <= v_level - 2; ++t) {
     r += static_cast<std::int64_t>(a[t]) * pow_k_[static_cast<std::size_t>(t)];
   }
-  std::vector<std::int64_t> path;
-  path.reserve(static_cast<std::size_t>(v_level));
+  out.reserve(out.size() + static_cast<std::size_t>(v_level));
   for (int l = v_level; l >= 2; --l) {
     const std::int64_t rep = pow_k_[static_cast<std::size_t>(l - 2)];
     const int u = static_cast<int>(r / rep);
     r %= rep;
     const std::int64_t child = SwitchIndex(l - 1, q, r);
-    path.push_back(DownChannel(l - 1, child, u));
+    out.push_back(DownChannel(l - 1, child, u));
   }
-  path.push_back(NodeDownChannel(dst));
-  return path;
+  out.push_back(NodeDownChannel(dst));
 }
 
 std::vector<std::int64_t> MPortNTree::NcaCensus(std::int64_t src) const {

@@ -79,36 +79,52 @@ class MPortNTree : public Topology {
   /// Returns 0 when src == dst.
   int NcaLevel(std::int64_t src, std::int64_t dst) const;
 
-  /// Up*/down* route: the exact channel sequence from src to dst
-  /// (2 * NcaLevel(src, dst) channels). Empty when src == dst. The up-port
+  /// Up*/down* route: appends the exact channel sequence from src to dst
+  /// (2 * NcaLevel(src, dst) channels; nothing when src == dst). The up-port
   /// chosen at level j is (q_{j-1} + e_j) mod k where e_j is the j-th base-k
   /// digit of `entropy`: any fat-tree ascent reaches a valid NCA, so the
   /// route is always correct and has the same length; entropy = 0 is the
   /// paper's deterministic destination-digit ascent. Nonzero entropy is the
   /// oblivious load-balancing ablation (Valiant-style ascent randomization).
-  std::vector<std::int64_t> Route(std::int64_t src, std::int64_t dst,
-                                  std::uint64_t entropy = 0) const override;
+  void RouteInto(std::int64_t src, std::int64_t dst, std::uint64_t entropy,
+                 std::vector<std::int64_t>& out) const override;
 
-  /// Ascending-only route from `src` to the spine of `anchor`: the channel
-  /// sequence up to (and including arrival at) the first switch lying on the
-  /// up*/down* spine of node `anchor` — i.e. NcaLevel(src, anchor) links.
-  /// Used for the spine-tapped concentrator attachment: outbound
-  /// inter-cluster messages exit the ECN1 at that switch.
-  std::vector<std::int64_t> AscendToSpine(std::int64_t src,
-                                          std::int64_t anchor) const;
+  /// Ascending-only route from `src` to the spine of `anchor`: appends the
+  /// channel sequence up to (and including arrival at) the first switch
+  /// lying on the up*/down* spine of node `anchor` — i.e.
+  /// NcaLevel(src, anchor) links. Used for the spine-tapped concentrator
+  /// attachment: outbound inter-cluster messages exit the ECN1 there.
+  void AscendToSpineInto(std::int64_t src, std::int64_t anchor,
+                         std::vector<std::int64_t>& out) const;
 
   /// Descending-only route from the spine of `anchor` down to `dst`:
   /// NcaLevel(dst, anchor) links, entering at the spine switch at that level.
   /// Used for the dispatcher side of the spine-tapped attachment.
+  void DescendFromSpineInto(std::int64_t dst, std::int64_t anchor,
+                            std::vector<std::int64_t>& out) const;
+
+  /// Allocating conveniences over the Into variants.
+  std::vector<std::int64_t> AscendToSpine(std::int64_t src,
+                                          std::int64_t anchor) const {
+    std::vector<std::int64_t> out;
+    AscendToSpineInto(src, anchor, out);
+    return out;
+  }
   std::vector<std::int64_t> DescendFromSpine(std::int64_t dst,
-                                             std::int64_t anchor) const;
+                                             std::int64_t anchor) const {
+    std::vector<std::int64_t> out;
+    DescendFromSpineInto(dst, anchor, out);
+    return out;
+  }
 
   /// Topology tap: the spine of node 0.
-  std::vector<std::int64_t> RouteToTap(std::int64_t src) const override {
-    return AscendToSpine(src, 0);
+  void RouteToTapInto(std::int64_t src,
+                      std::vector<std::int64_t>& out) const override {
+    AscendToSpineInto(src, 0, out);
   }
-  std::vector<std::int64_t> RouteFromTap(std::int64_t dst) const override {
-    return DescendFromSpine(dst, 0);
+  void RouteFromTapInto(std::int64_t dst,
+                        std::vector<std::int64_t>& out) const override {
+    DescendFromSpineInto(dst, 0, out);
   }
 
   /// Channel id of the node -> leaf-switch injection link of a node.

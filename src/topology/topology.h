@@ -82,21 +82,54 @@ class Topology {
   /// concentrator tap (the tree's spine ascent of r links). Cached.
   virtual const LinkDistribution& AccessLinks() const = 0;
 
+  /// Routing oracle, allocation-free form: appends the exact channel
+  /// sequence from src to dst to `out` (which is NOT cleared — callers
+  /// compose multi-network paths by appending legs into one reused buffer).
+  /// Appends nothing when src == dst. `entropy` may perturb path choice
+  /// where the topology has freedom (tree ascent up-ports); entropy = 0 is
+  /// the deterministic route and topologies without routing freedom ignore
+  /// it. This is the virtual primitive; the vector-returning Route() below
+  /// is a convenience wrapper.
+  virtual void RouteInto(std::int64_t src, std::int64_t dst,
+                         std::uint64_t entropy,
+                         std::vector<std::int64_t>& out) const = 0;
+
+  /// Appends the access route from `src` up to (and including arrival at)
+  /// the concentrator tap; always appends at least one channel (the
+  /// injection link).
+  virtual void RouteToTapInto(std::int64_t src,
+                              std::vector<std::int64_t>& out) const = 0;
+
+  /// Appends the egress route from the concentrator tap down to `dst`;
+  /// always appends at least one channel. RouteFromTap(x) re-enters the
+  /// fabric exactly where RouteToTap(x) left it, so tap round trips are
+  /// closed.
+  virtual void RouteFromTapInto(std::int64_t dst,
+                                std::vector<std::int64_t>& out) const = 0;
+
   /// Routing oracle: the exact channel sequence from src to dst. Empty when
-  /// src == dst. `entropy` may perturb path choice where the topology has
-  /// freedom (tree ascent up-ports); entropy = 0 is the deterministic route
-  /// and topologies without routing freedom ignore it.
-  virtual std::vector<std::int64_t> Route(std::int64_t src, std::int64_t dst,
-                                          std::uint64_t entropy = 0) const = 0;
+  /// src == dst. Convenience wrapper over RouteInto (allocates the result).
+  std::vector<std::int64_t> Route(std::int64_t src, std::int64_t dst,
+                                  std::uint64_t entropy = 0) const {
+    std::vector<std::int64_t> out;
+    RouteInto(src, dst, entropy, out);
+    return out;
+  }
 
   /// Access route from `src` up to (and including arrival at) the
   /// concentrator tap; never empty (the injection link always counts).
-  virtual std::vector<std::int64_t> RouteToTap(std::int64_t src) const = 0;
+  std::vector<std::int64_t> RouteToTap(std::int64_t src) const {
+    std::vector<std::int64_t> out;
+    RouteToTapInto(src, out);
+    return out;
+  }
 
   /// Egress route from the concentrator tap down to `dst`; never empty.
-  /// RouteFromTap(x) re-enters the fabric exactly where RouteToTap(x) left
-  /// it, so tap round trips are closed.
-  virtual std::vector<std::int64_t> RouteFromTap(std::int64_t dst) const = 0;
+  std::vector<std::int64_t> RouteFromTap(std::int64_t dst) const {
+    std::vector<std::int64_t> out;
+    RouteFromTapInto(dst, out);
+    return out;
+  }
 
   /// Directed-channel endpoints per node under the paper's Eq. (10) counting
   /// convention (4n for an m-port n-tree): 2 * num_channels / num_nodes.

@@ -1,0 +1,92 @@
+// The append-into-caller-buffer routing APIs (RouteInto / RouteToTapInto /
+// RouteFromTapInto) are the simulator's hot path; these tests pin (a) exact
+// equivalence with the allocating wrappers on all three topology families
+// and (b) the append contract — the buffer's existing contents are
+// preserved, never cleared.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "topology/full_crossbar.h"
+#include "topology/k_ary_mesh.h"
+#include "topology/m_port_n_tree.h"
+#include "topology/topology.h"
+
+namespace coc {
+namespace {
+
+constexpr std::int64_t kSentinel = -777;
+
+/// Strides through src/dst pairs (covering every node as src at least once
+/// on small fabrics) and every entropy in `entropies`.
+void CheckFamily(const Topology& topo,
+                 const std::vector<std::uint64_t>& entropies) {
+  const std::int64_t n = topo.num_nodes();
+  std::vector<std::int64_t> out;
+  for (std::int64_t src = 0; src < n; ++src) {
+    for (std::int64_t dst = src % 3; dst < n; dst += 3) {
+      for (std::uint64_t e : entropies) {
+        const auto ref = topo.Route(src, dst, e);
+        out.clear();
+        out.push_back(kSentinel);
+        topo.RouteInto(src, dst, e, out);
+        ASSERT_EQ(out.size(), ref.size() + 1)
+            << topo.Name() << " " << src << "->" << dst << " e=" << e;
+        EXPECT_EQ(out[0], kSentinel) << "RouteInto must append, not clear";
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          EXPECT_EQ(out[i + 1], ref[i])
+              << topo.Name() << " " << src << "->" << dst << " e=" << e
+              << " position " << i;
+        }
+      }
+    }
+    // Tap legs (deterministic, no entropy).
+    const auto to_ref = topo.RouteToTap(src);
+    const auto from_ref = topo.RouteFromTap(src);
+    out.clear();
+    out.push_back(kSentinel);
+    topo.RouteToTapInto(src, out);
+    const std::size_t mid = out.size();
+    topo.RouteFromTapInto(src, out);
+    ASSERT_EQ(mid, to_ref.size() + 1) << topo.Name() << " node " << src;
+    ASSERT_EQ(out.size(), to_ref.size() + from_ref.size() + 1);
+    EXPECT_EQ(out[0], kSentinel);
+    for (std::size_t i = 0; i < to_ref.size(); ++i) {
+      EXPECT_EQ(out[i + 1], to_ref[i]) << topo.Name() << " tap-in " << src;
+    }
+    for (std::size_t i = 0; i < from_ref.size(); ++i) {
+      EXPECT_EQ(out[mid + i], from_ref[i]) << topo.Name() << " tap-out " << src;
+    }
+  }
+}
+
+TEST(RouteInto, MPortNTreeMatchesRoute) {
+  CheckFamily(MPortNTree(4, 2), {0, 1, 7, 0x123456789abcdefULL});
+  CheckFamily(MPortNTree(8, 2), {0, 5});
+}
+
+TEST(RouteInto, MPortNTreeDeepTreeMatchesRoute) {
+  // Three levels: ascents with genuine up-port freedom at two levels.
+  CheckFamily(MPortNTree(4, 3), {0, 1, 2, 0xfedcba9876543210ULL});
+}
+
+TEST(RouteInto, FullCrossbarMatchesRoute) {
+  CheckFamily(FullCrossbar(9), {0, 42});
+}
+
+TEST(RouteInto, KAryMeshMatchesRoute) {
+  CheckFamily(KAryMesh(3, 2, /*torus=*/false), {0, 3});
+  CheckFamily(KAryMesh(4, 2, /*torus=*/true), {0, 9});
+  CheckFamily(KAryMesh(2, 3, /*torus=*/false), {0});
+}
+
+TEST(RouteInto, SelfRouteAppendsNothing) {
+  const MPortNTree tree(4, 2);
+  std::vector<std::int64_t> out = {kSentinel};
+  tree.RouteInto(3, 3, 0, out);
+  EXPECT_EQ(out, (std::vector<std::int64_t>{kSentinel}));
+}
+
+}  // namespace
+}  // namespace coc

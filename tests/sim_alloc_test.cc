@@ -1,0 +1,119 @@
+// Counting-allocator proof of the zero-allocation hot path: this binary
+// replaces global operator new/delete with counting versions and asserts
+// that a warmed-up engine (and the whole CocSystemSim::Run streaming path
+// with a reused SimScratch) performs **zero** heap allocations per message
+// in steady state — every container only ever reuses capacity retained
+// across Reset().
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/coc_system_sim.h"
+#include "sim/wormhole_engine.h"
+#include "system/presets.h"
+
+namespace {
+
+std::atomic<long> g_alloc_count{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace coc {
+namespace {
+
+/// Deterministic engine workload: `count` pipelined messages over 8 unit
+/// channels, added in gen-time order through the span-based AddMessage (no
+/// temporary vectors). Returns the delivery-time sum as a checksum.
+double LoadAndRun(WormholeEngine& engine, int count) {
+  std::uint64_t state = 99;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int i = 0; i < count; ++i) {
+    std::int32_t path[3];
+    std::int32_t depth[3] = {1, 1, 1};
+    std::int32_t c = static_cast<std::int32_t>(next() % 4);
+    for (int j = 0; j < 3; ++j) {
+      path[j] = c;
+      c += 1 + static_cast<std::int32_t>(next() % 2);
+    }
+    engine.AddMessage(0.25 * i, path, depth, 3,
+                      1 + static_cast<std::int32_t>(next() % 6),
+                      static_cast<std::uint64_t>(i));
+  }
+  double sum = 0;
+  engine.Run([&sum](const WormholeEngine::Delivery& d) {
+    sum += d.deliver_time;
+  });
+  return sum;
+}
+
+TEST(ZeroAlloc, WarmedUpEngineDoesNotAllocate) {
+  const std::vector<double> times(8, 1.0);
+  WormholeEngine engine(times);
+  const double checksum = LoadAndRun(engine, 500);  // grows the arena
+
+  engine.Reset(times);
+  const long before = g_alloc_count.load(std::memory_order_relaxed);
+  const double replay = LoadAndRun(engine, 500);
+  const long allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
+
+  EXPECT_EQ(allocs, 0) << "steady-state injection path must not allocate";
+  EXPECT_EQ(replay, checksum) << "Reset() must fully restore initial state";
+}
+
+TEST(ZeroAlloc, SimRunAllocationsIndependentOfMessageCount) {
+  // The full streaming path: traffic generation, routing (with the ICN2
+  // skeleton cache), AddMessage, engine run. A warmed-up SimScratch makes
+  // the per-run allocation count a small constant (result bookkeeping),
+  // independent of how many messages flow — i.e. zero per message.
+  const auto sys = MakeSmallSystem(MessageFormat{16, 64});
+  const CocSystemSim sim(sys);
+  SimScratch scratch;
+
+  SimConfig large;
+  large.lambda_g = 2e-4;
+  large.warmup_messages = 200;
+  large.measured_messages = 2000;
+  large.drain_messages = 200;
+  SimConfig small = large;
+  small.measured_messages = 600;
+
+  sim.Run(large, scratch);  // warm every buffer to the larger shape
+
+  auto count_allocs = [&](const SimConfig& cfg) {
+    const long before = g_alloc_count.load(std::memory_order_relaxed);
+    const auto r = sim.Run(cfg, scratch);
+    EXPECT_GT(r.delivered, 0);
+    return g_alloc_count.load(std::memory_order_relaxed) - before;
+  };
+
+  const long small_allocs = count_allocs(small);
+  const long large_allocs = count_allocs(large);
+  EXPECT_EQ(small_allocs, large_allocs)
+      << "per-run allocations must not scale with message count";
+  // The constant is result bookkeeping (per-cluster stats vector), not the
+  // hot path; keep it honest and tiny.
+  EXPECT_LE(large_allocs, 8);
+}
+
+}  // namespace
+}  // namespace coc

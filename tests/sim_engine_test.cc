@@ -177,12 +177,14 @@ TEST(WormholeEngine, SingleMessageLatencyFormulaHeterogeneousPaths) {
   }
 }
 
-TEST(WormholeEngine, MaxLengthMessage) {
+TEST(WormholeEngine, LongMessageBeyondOldInt16Ceiling) {
+  // The seed engine capped messages at 250 flits (int16 counters); the
+  // arena engine's counters are 32-bit, bounded only by kMaxFlits.
   WormholeEngine e({1.0, 1.0});
-  e.AddMessage(0.0, {0, 1}, {1, 1}, 250, 0);
+  e.AddMessage(0.0, {0, 1}, {1, 1}, 4096, 0);
   std::vector<Delivery> d;
   e.Run([&d](const Delivery& del) { d.push_back(del); });
-  EXPECT_DOUBLE_EQ(d[0].deliver_time, (2 + 250 - 1) * 1.0);
+  EXPECT_DOUBLE_EQ(d[0].deliver_time, (2 + 4096 - 1) * 1.0);
 }
 
 TEST(WormholeEngine, BackToBackMessagesOnPipelineThroughput) {
@@ -320,7 +322,8 @@ TEST(WormholeEngine, RejectsMalformedMessages) {
   EXPECT_THROW(e.AddMessage(0, {}, {}, 4, 0), std::invalid_argument);
   EXPECT_THROW(e.AddMessage(0, {0}, {1, 1}, 4, 0), std::invalid_argument);
   EXPECT_THROW(e.AddMessage(0, {0}, {1}, 0, 0), std::invalid_argument);
-  EXPECT_THROW(e.AddMessage(0, {0}, {1}, 251, 0), std::invalid_argument);
+  EXPECT_THROW(e.AddMessage(0, {0}, {1}, WormholeEngine::kMaxFlits + 1, 0),
+               std::invalid_argument);
   EXPECT_THROW(e.AddMessage(0, {5}, {1}, 4, 0), std::invalid_argument);
 }
 

@@ -1,0 +1,186 @@
+// Perf-trajectory reporter: runs the google-benchmark perf suites
+// (bench_perf_sim, bench_perf_model) and emits the tracked artifacts
+// BENCH_sim.json / BENCH_model.json (google-benchmark's JSON schema:
+// a "context" block plus a "benchmarks" array with per-benchmark
+// "name", "real_time"/"cpu_time" in ns, and user counters such as
+// "msgs/s"). Prints a compact summary, and — given a baseline artifact —
+// the msgs/s speedup against it, so CI and PRs can quote before/after
+// numbers from one command.
+//
+// Usage:
+//   perf_report [--bench-dir DIR] [--out-dir DIR] [--baseline FILE]
+//               [--model-baseline FILE] [--min-time SECONDS]
+//
+//   --bench-dir        directory holding bench_perf_sim / bench_perf_model
+//                      (default: ".")
+//   --out-dir          where BENCH_sim.json / BENCH_model.json are written
+//                      (default: ".")
+//   --baseline         a previous BENCH_sim.json
+//                      (e.g. perf/BENCH_sim.baseline.json) to compare
+//                      msgs/s and ns/op against
+//   --model-baseline   same for the model suite (BENCH_model.json)
+//   --min-time         per-benchmark measuring time (default 1 second)
+//
+// Exit code: 0 on success, 1 when a bench binary is missing or fails.
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct BenchResult {
+  double real_time_ns = 0;
+  double msgs_per_s = 0;  // 0 when the benchmark has no msgs/s counter
+};
+
+/// Minimal extraction from google-benchmark's JSON output: scans the
+/// "benchmarks" array for "name", "real_time" and "msgs/s" fields. Not a
+/// general JSON parser — exactly matches the format the library emits.
+std::map<std::string, BenchResult> ParseBenchJson(const std::string& path) {
+  std::map<std::string, BenchResult> results;
+  std::ifstream in(path);
+  if (!in) return results;
+  std::string line;
+  std::string current;
+  auto number_after = [](const std::string& s, std::size_t colon) {
+    return std::strtod(s.c_str() + colon + 1, nullptr);
+  };
+  while (std::getline(in, line)) {
+    const auto name_pos = line.find("\"name\":");
+    if (name_pos != std::string::npos) {
+      const auto open = line.find('"', name_pos + 7);
+      const auto close = line.find('"', open + 1);
+      if (open != std::string::npos && close != std::string::npos) {
+        current = line.substr(open + 1, close - open - 1);
+      }
+      continue;
+    }
+    if (current.empty()) continue;
+    const auto rt_pos = line.find("\"real_time\":");
+    if (rt_pos != std::string::npos) {
+      results[current].real_time_ns = number_after(line, line.find(':', rt_pos));
+      continue;
+    }
+    const auto rate_pos = line.find("\"msgs/s\":");
+    if (rate_pos != std::string::npos) {
+      results[current].msgs_per_s = number_after(line, line.find(':', rate_pos));
+    }
+  }
+  return results;
+}
+
+int RunSuite(const std::string& bench_dir, const std::string& binary,
+             const std::string& out_path, double min_time) {
+  std::ostringstream cmd;
+  // Suppress the console table (the JSON artifact is the output of record)
+  // but let the bench's stderr through for diagnosability.
+  cmd << bench_dir << "/" << binary << " --benchmark_out_format=json"
+      << " --benchmark_out=" << out_path << " --benchmark_min_time=" << min_time
+      << " > /dev/null";
+  const int status = std::system(cmd.str().c_str());
+  if (status == 0) return 0;
+#if defined(WIFEXITED) && defined(WEXITSTATUS)
+  const int code = WIFEXITED(status) ? WEXITSTATUS(status) : status;
+#else
+  const int code = status;
+#endif
+  std::fprintf(stderr, "error: '%s/%s' failed (exit %d)\n", bench_dir.c_str(),
+               binary.c_str(), code);
+  return code != 0 ? code : 1;
+}
+
+void PrintSuite(const char* title, const std::string& path,
+                const std::map<std::string, BenchResult>& results) {
+  std::printf("\n%s -> %s\n", title, path.c_str());
+  for (const auto& [name, r] : results) {
+    if (r.msgs_per_s > 0) {
+      std::printf("  %-36s %12.0f ns/op  %10.1f k msgs/s\n", name.c_str(),
+                  r.real_time_ns, r.msgs_per_s / 1000.0);
+    } else {
+      std::printf("  %-36s %12.0f ns/op\n", name.c_str(), r.real_time_ns);
+    }
+  }
+}
+
+void CompareToBaseline(const std::string& baseline_path,
+                       const std::map<std::string, BenchResult>& current) {
+  const auto base = ParseBenchJson(baseline_path);
+  std::printf("\nvs baseline %s\n", baseline_path.c_str());
+  for (const auto& [name, r] : current) {
+    const auto it = base.find(name);
+    if (it == base.end()) continue;
+    if (r.msgs_per_s > 0 && it->second.msgs_per_s > 0) {
+      std::printf("  %-36s %10.1f -> %10.1f k msgs/s  (%.2fx)\n", name.c_str(),
+                  it->second.msgs_per_s / 1000.0, r.msgs_per_s / 1000.0,
+                  r.msgs_per_s / it->second.msgs_per_s);
+    } else if (it->second.real_time_ns > 0 && r.real_time_ns > 0) {
+      std::printf("  %-36s %10.0f -> %10.0f ns/op     (%.2fx)\n", name.c_str(),
+                  it->second.real_time_ns, r.real_time_ns,
+                  it->second.real_time_ns / r.real_time_ns);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bench_dir = ".";
+  std::string out_dir = ".";
+  std::string baseline;
+  std::string model_baseline;
+  double min_time = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s expects a value\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--bench-dir") {
+      bench_dir = next();
+    } else if (arg == "--out-dir") {
+      out_dir = next();
+    } else if (arg == "--baseline") {
+      baseline = next();
+    } else if (arg == "--model-baseline") {
+      model_baseline = next();
+    } else if (arg == "--min-time") {
+      min_time = std::strtod(next(), nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_report [--bench-dir DIR] [--out-dir DIR] "
+                   "[--baseline FILE] [--model-baseline FILE] "
+                   "[--min-time SECONDS]\n");
+      return arg == "--help" ? 0 : 1;
+    }
+  }
+
+  const std::string sim_out = out_dir + "/BENCH_sim.json";
+  const std::string model_out = out_dir + "/BENCH_model.json";
+  if (RunSuite(bench_dir, "bench_perf_sim", sim_out, min_time) != 0) return 1;
+  if (RunSuite(bench_dir, "bench_perf_model", model_out, min_time) != 0) {
+    return 1;
+  }
+
+  const auto sim = ParseBenchJson(sim_out);
+  const auto model = ParseBenchJson(model_out);
+  if (sim.empty() || model.empty()) {
+    std::fprintf(stderr, "error: benchmark output missing or unparseable\n");
+    return 1;
+  }
+  PrintSuite("simulator suite", sim_out, sim);
+  PrintSuite("model suite", model_out, model);
+
+  if (!baseline.empty()) CompareToBaseline(baseline, sim);
+  if (!model_baseline.empty()) CompareToBaseline(model_baseline, model);
+  return 0;
+}
