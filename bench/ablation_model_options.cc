@@ -19,43 +19,44 @@ int main() {
 
   struct Variant {
     const char* name;
-    std::function<void(ModelOptions&)> tweak;
+    std::function<void(ModelOptions&, Workload&)> tweak;
   };
   const std::vector<Variant> variants = {
-      {"defaults", [](ModelOptions&) {}},
+      {"defaults", [](ModelOptions&, Workload&) {}},
       {"lambda_I2: harmonic (Eq.23 alt)",
-       [](ModelOptions& o) { o.lambda_i2 = ModelOptions::LambdaI2::kHarmonic; }},
+       [](ModelOptions& o, Workload&) { o.lambda_i2 = ModelOptions::LambdaI2::kHarmonic; }},
       {"ECN eta: source-side only (Eq.24 as printed)",
-       [](ModelOptions& o) {
+       [](ModelOptions& o, Workload&) {
          o.ecn_eta = ModelOptions::EcnEta::kSourceSideOnly;
        }},
       {"relaxing factor OFF (Eq.27/28 disabled)",
-       [](ModelOptions& o) {
+       [](ModelOptions& o, Workload&) {
          o.relaxing_factor = ModelOptions::RelaxingFactor::kOff;
        }},
       {"relaxing factor as printed (delta = beta_E/beta_I2)",
-       [](ModelOptions& o) {
+       [](ModelOptions& o, Workload&) {
          o.relaxing_factor = ModelOptions::RelaxingFactor::kAsPrinted;
        }},
-      {"cluster-local traffic p=0.8 (extension)",
-       [](ModelOptions& o) { o.locality_fraction = 0.8; }},
+      {"cluster-local traffic p=0.8 (workload layer)",
+       [](ModelOptions&, Workload& w) { w = Workload::ClusterLocal(0.8); }},
       {"source queue: network-total rate",
-       [](ModelOptions& o) {
+       [](ModelOptions& o, Workload&) {
          o.source_queue_rate = ModelOptions::SourceQueueRate::kNetworkTotal;
        }},
       {"C/D service: supply-limited",
-       [](ModelOptions& o) {
+       [](ModelOptions& o, Workload&) {
          o.condis_service = ModelOptions::CondisService::kSupplyLimited;
        }},
       {"final-stage wait excluded (Eq.14 alt)",
-       [](ModelOptions& o) { o.include_last_stage_wait = false; }},
+       [](ModelOptions& o, Workload&) { o.include_last_stage_wait = false; }},
   };
 
   Table t({"variant", "L(1e-4)", "L(3e-4)", "L(4.5e-4)", "saturation"});
   for (const auto& v : variants) {
     ModelOptions opts;
-    v.tweak(opts);
-    LatencyModel model(sys, opts);
+    Workload workload;
+    v.tweak(opts, workload);
+    LatencyModel model(sys, workload, opts);
     t.AddRow({v.name, FormatDouble(model.Evaluate(1e-4).mean_latency, 1),
               FormatDouble(model.Evaluate(3e-4).mean_latency, 1),
               FormatDouble(model.Evaluate(4.5e-4).mean_latency, 1),

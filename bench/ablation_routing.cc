@@ -18,11 +18,10 @@ int main() {
   CocSystemSim sim(sys);
 
   SimScratch scratch;  // engine arena reused across all grid points
-  auto run = [&sim, &scratch](double rate, TrafficPattern pattern,
+  auto run = [&sim, &scratch](double rate, const Workload& workload,
                               SimConfig::AscentPolicy ascent) {
     SimConfig cfg = DefaultSimBudget(rate);
-    cfg.pattern = pattern;
-    cfg.hotspot_fraction = 0.2;
+    cfg.workload = workload;
     cfg.ascent = ascent;
     return sim.Run(cfg, scratch).latency.Mean();
   };
@@ -32,12 +31,12 @@ int main() {
   for (double rate : LinearRates(4e-4, 4)) {
     using AP = SimConfig::AscentPolicy;
     t.AddRow({FormatSci(rate),
-              FormatDouble(run(rate, TrafficPattern::kUniform, AP::kDeterministic), 1),
-              FormatDouble(run(rate, TrafficPattern::kUniform, AP::kRandomized), 1),
-              FormatDouble(run(rate, TrafficPattern::kPermutation, AP::kDeterministic), 1),
-              FormatDouble(run(rate, TrafficPattern::kPermutation, AP::kRandomized), 1),
-              FormatDouble(run(rate, TrafficPattern::kHotspot, AP::kDeterministic), 1),
-              FormatDouble(run(rate, TrafficPattern::kHotspot, AP::kRandomized), 1)});
+              FormatDouble(run(rate, Workload::Uniform(), AP::kDeterministic), 1),
+              FormatDouble(run(rate, Workload::Uniform(), AP::kRandomized), 1),
+              FormatDouble(run(rate, Workload::Permutation(), AP::kDeterministic), 1),
+              FormatDouble(run(rate, Workload::Permutation(), AP::kRandomized), 1),
+              FormatDouble(run(rate, Workload::Hotspot(0.2), AP::kDeterministic), 1),
+              FormatDouble(run(rate, Workload::Hotspot(0.2), AP::kRandomized), 1)});
   }
   std::printf("\nN=544 M=32 Lm=256, simulated mean latency (us):\n%s",
               t.ToString().c_str());

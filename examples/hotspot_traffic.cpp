@@ -19,15 +19,13 @@ int main() {
   LatencyModel model(sys);
   CocSystemSim sim(sys);
 
-  auto run = [&sim](double rate, TrafficPattern pattern, double param) {
+  auto run = [&sim](double rate, const Workload& workload) {
     SimConfig cfg;
     cfg.lambda_g = rate;
     cfg.warmup_messages = 1000;
     cfg.measured_messages = 10000;
     cfg.drain_messages = 1000;
-    cfg.pattern = pattern;
-    cfg.hotspot_fraction = param;
-    cfg.locality_fraction = param;
+    cfg.workload = workload;
     return sim.Run(cfg);
   };
 
@@ -38,14 +36,14 @@ int main() {
   for (double rate : {2e-3, 6e-3, 1e-2, 1.3e-2}) {
     t.AddRow({FormatSci(rate),
               FormatDouble(model.Evaluate(rate).mean_latency, 1),
-              FormatDouble(run(rate, TrafficPattern::kUniform, 0).latency.Mean(), 1),
+              FormatDouble(run(rate, Workload::Uniform()).latency.Mean(), 1),
               FormatDouble(
-                  run(rate, TrafficPattern::kHotspot, 0.30).latency.Mean(), 1),
+                  run(rate, Workload::Hotspot(0.30)).latency.Mean(), 1),
               FormatDouble(
-                  run(rate, TrafficPattern::kClusterLocal, 0.80).latency.Mean(),
+                  run(rate, Workload::ClusterLocal(0.80)).latency.Mean(),
                   1),
               FormatDouble(
-                  run(rate, TrafficPattern::kPermutation, 0).latency.Mean(),
+                  run(rate, Workload::Permutation()).latency.Mean(),
                   1)});
   }
   std::printf("%s", t.ToString().c_str());

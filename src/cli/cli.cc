@@ -4,11 +4,13 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
 
 #include "cli/config_parser.h"
+#include "common/parse_num.h"
 #include "common/table.h"
 #include "harness/sweep.h"
 #include "model/latency_model.h"
@@ -20,17 +22,28 @@ namespace {
 
 constexpr const char* kUsage = R"(usage:
   coc_cli info       <system>
-  coc_cli model      <system> --rate R [--locality P]
+  coc_cli model      <system> --rate R [workload flags]
   coc_cli sim        <system> --rate R [--messages N] [--seed S]
-                     [--pattern uniform|hotspot|local|permutation]
-                     [--condis cut-through|store-forward]
+                     [--condis cut-through|store-forward] [workload flags]
   coc_cli sweep      <system> --max-rate R [--points N] [--no-sim]
-                     [--threads N]
-  coc_cli bottleneck <system> --rate R
+                     [--threads N] [workload flags]
+  coc_cli bottleneck <system> --rate R [workload flags]
+
+Workload flags (shared by model, sim, sweep and bottleneck; they override the
+config file's workload.* keys so the analytical model and the simulator always
+see the same traffic):
+  --pattern uniform|hotspot|local|permutation
+  --locality P            (implies --pattern local)
+  --hotspot-fraction F    (implies --pattern hotspot)
+  --hotspot-node ID       (implies --pattern hotspot; rejected if the
+                           workload is explicitly local/permutation)
+  --rate-scale I=S[,I=S...]   per-cluster generation-rate multipliers
+  --msg-len fixed|bimodal:SHORT,LONG,FRACTION
 
 Every command accepts --icn2-topology SPEC to override the global network's
-topology (SPEC: tree[:n], crossbar[:ports], mesh:RADIXxDIMS, torus:RADIXxDIMS).
-Per-cluster topologies are set in the config file ('topology =' keys).
+topology (SPEC: tree[:n], crossbar[:ports], mesh:RADIXxDIMS[,tap=center],
+torus:RADIXxDIMS[,tap=center]). Per-cluster topologies are set in the config
+file ('topology =' keys).
 
 <system> is a config file (see src/cli/config_parser.h) or preset:1120,
 preset:544, preset:small, preset:tiny, preset:mixed — optionally
@@ -97,16 +110,81 @@ class Flags {
   std::set<std::string> used_;
 };
 
-void PrintSystem(const SystemConfig& sys, std::ostream& out) {
+/// Applies the shared workload flags on top of the config file's workload.
+/// One Workload drives both the model and the simulator in every command.
+Workload WorkloadFromFlags(Flags& flags, const SystemConfig& sys,
+                           Workload base) {
+  if (flags.Present("pattern")) {
+    base.pattern = ParseWorkloadPattern(flags.Text("pattern", "uniform"));
+  }
+  if (flags.Present("locality")) {
+    base.pattern = WorkloadPattern::kClusterLocal;
+    base.locality_fraction = flags.Number("locality");
+  }
+  if (flags.Present("hotspot-fraction")) {
+    base.pattern = WorkloadPattern::kHotspot;
+    base.hotspot_fraction = flags.Number("hotspot-fraction");
+  }
+  if (flags.Present("hotspot-node")) {
+    // Implies the hotspot pattern from the uniform default, but never
+    // silently overrides an explicitly non-hotspot scenario.
+    if (base.pattern == WorkloadPattern::kClusterLocal ||
+        base.pattern == WorkloadPattern::kPermutation) {
+      throw std::invalid_argument(
+          "--hotspot-node requires the hotspot pattern (add "
+          "--pattern hotspot or --hotspot-fraction F)");
+    }
+    base.pattern = WorkloadPattern::kHotspot;
+    base.hotspot_node = static_cast<std::int64_t>(flags.Number("hotspot-node"));
+  }
+  if (flags.Present("msg-len")) {
+    base.message_length = MessageLength::Parse(flags.Text("msg-len", "fixed"));
+  }
+  if (flags.Present("rate-scale")) {
+    // I=S pairs; unnamed clusters keep scale 1.
+    std::vector<double> scale(static_cast<std::size_t>(sys.num_clusters()),
+                              1.0);
+    std::istringstream in(flags.Text("rate-scale", ""));
+    std::string pair;
+    while (std::getline(in, pair, ',')) {
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument(
+            "--rate-scale expects I=S[,I=S...], got '" + pair + "'");
+      }
+      const auto idx_opt = ParseFullInt(pair.substr(0, eq));
+      const auto s_opt = ParseFullDouble(pair.substr(eq + 1));
+      if (!idx_opt || !s_opt) {
+        throw std::invalid_argument("--rate-scale: bad entry '" + pair + "'");
+      }
+      const int idx = *idx_opt;
+      const double s = *s_opt;
+      if (idx < 0 || idx >= sys.num_clusters()) {
+        throw std::invalid_argument("--rate-scale: cluster index " +
+                                    std::to_string(idx) + " out of range");
+      }
+      scale[static_cast<std::size_t>(idx)] = s;
+    }
+    base.rate_scale = std::move(scale);
+  }
+  base.Validate(sys);
+  return base;
+}
+
+void PrintSystem(const SystemConfig& sys, const Workload& workload,
+                 std::ostream& out) {
   out << "clusters: " << sys.num_clusters() << ", nodes: " << sys.TotalNodes()
       << ", m: " << sys.m() << ", ICN2: " << sys.icn2_topology().Name()
       << (sys.icn2_exact_fit() ? "" : " (partial occupancy)") << "\n";
   out << "message: " << sys.message().length_flits << " flits x "
       << FormatDouble(sys.message().flit_bytes) << " bytes\n";
-  Table t({"cluster", "N_i", "U^(i)", "ICN1", "ECN1", "ICN1 BW", "ECN1 BW"});
+  out << "workload: " << workload.Describe() << "\n";
+  Table t({"cluster", "N_i", "U^(i)", "rate", "ICN1", "ECN1", "ICN1 BW",
+           "ECN1 BW"});
   for (int i = 0; i < sys.num_clusters(); ++i) {
     t.AddRow({std::to_string(i), std::to_string(sys.NodesInCluster(i)),
-              FormatDouble(sys.OutgoingProbability(i), 4),
+              FormatDouble(workload.EffectiveU(sys, i), 4),
+              FormatDouble(workload.RateScale(i), 2),
               sys.icn1_topology(i).Name(), sys.ecn1_topology(i).Name(),
               FormatDouble(sys.cluster(i).icn1.bandwidth),
               FormatDouble(sys.cluster(i).ecn1.bandwidth)});
@@ -114,22 +192,21 @@ void PrintSystem(const SystemConfig& sys, std::ostream& out) {
   out << t.ToString();
 }
 
-int CmdInfo(const SystemConfig& sys, Flags& flags, std::ostream& out) {
+int CmdInfo(const SystemConfig& sys, const Workload& workload, Flags& flags,
+            std::ostream& out) {
   flags.CheckAllUsed();
-  PrintSystem(sys, out);
+  PrintSystem(sys, workload, out);
   return 0;
 }
 
-int CmdModel(const SystemConfig& sys, Flags& flags, std::ostream& out) {
+int CmdModel(const SystemConfig& sys, const Workload& workload, Flags& flags,
+             std::ostream& out) {
   const double rate = flags.Number("rate");
-  ModelOptions opts;
-  if (flags.Present("locality")) {
-    opts.locality_fraction = flags.Number("locality");
-  }
   flags.CheckAllUsed();
-  LatencyModel model(sys, opts);
+  LatencyModel model(sys, workload);
   const auto r = model.Evaluate(rate);
-  out << "lambda_g = " << FormatSci(rate) << "\n";
+  out << "lambda_g = " << FormatSci(rate) << "  (workload: "
+      << workload.Describe() << ")\n";
   if (r.saturated) {
     out << "mean latency: saturated (model invalid at this rate)\n";
   } else {
@@ -148,7 +225,8 @@ int CmdModel(const SystemConfig& sys, Flags& flags, std::ostream& out) {
   return 0;
 }
 
-int CmdSim(const SystemConfig& sys, Flags& flags, std::ostream& out) {
+int CmdSim(const SystemConfig& sys, const Workload& workload, Flags& flags,
+           std::ostream& out) {
   SimConfig cfg = DefaultSimBudget(flags.Number("rate"));
   cfg.seed = static_cast<std::uint64_t>(flags.Number("seed", 1));
   if (flags.Present("messages")) {
@@ -156,18 +234,7 @@ int CmdSim(const SystemConfig& sys, Flags& flags, std::ostream& out) {
     cfg.warmup_messages = cfg.measured_messages / 10;
     cfg.drain_messages = cfg.measured_messages / 10;
   }
-  const std::string pattern = flags.Text("pattern", "uniform");
-  if (pattern == "uniform") {
-    cfg.pattern = TrafficPattern::kUniform;
-  } else if (pattern == "hotspot") {
-    cfg.pattern = TrafficPattern::kHotspot;
-  } else if (pattern == "local") {
-    cfg.pattern = TrafficPattern::kClusterLocal;
-  } else if (pattern == "permutation") {
-    cfg.pattern = TrafficPattern::kPermutation;
-  } else {
-    throw std::invalid_argument("unknown --pattern '" + pattern + "'");
-  }
+  cfg.workload = workload;
   const std::string condis = flags.Text("condis", "cut-through");
   if (condis == "cut-through") {
     cfg.condis_mode = CondisMode::kCutThrough;
@@ -180,6 +247,7 @@ int CmdSim(const SystemConfig& sys, Flags& flags, std::ostream& out) {
 
   CocSystemSim sim(sys);
   const auto r = sim.Run(cfg);
+  out << "workload: " << workload.Describe() << "\n";
   out << "delivered " << r.delivered << " messages over "
       << FormatDouble(r.duration, 1) << " us simulated time\n";
   out << "mean latency: " << FormatDouble(r.latency.Mean(), 2) << " +/- "
@@ -200,13 +268,15 @@ int CmdSim(const SystemConfig& sys, Flags& flags, std::ostream& out) {
   return 0;
 }
 
-int CmdSweep(const SystemConfig& sys, Flags& flags, std::ostream& out) {
+int CmdSweep(const SystemConfig& sys, const Workload& workload, Flags& flags,
+             std::ostream& out) {
   SweepSpec spec;
   const double max_rate = flags.Number("max-rate");
   const int points = static_cast<int>(flags.Number("points", 8));
   spec.rates = LinearRates(max_rate, points);
   spec.run_sim = !flags.Present("no-sim");
   spec.sim_base = DefaultSimBudget();
+  spec.workload = workload;
   spec.sim_abort_latency = 3000;
   // Simulation points are independent; spread them over worker threads
   // (results are bit-identical to the serial sweep for any thread count).
@@ -217,20 +287,25 @@ int CmdSweep(const SystemConfig& sys, Flags& flags, std::ostream& out) {
   if (threads < 1) throw std::invalid_argument("--threads must be >= 1");
   flags.CheckAllUsed();
   const auto pts = RunSweepParallel(sys, spec, threads);
-  out << FormatSweepTable("mean message latency (us)", pts);
+  out << FormatSweepTable(
+      "mean message latency (us), workload: " + workload.Describe(), pts);
   out << FormatSweepPlot("analysis vs simulation", pts);
   return 0;
 }
 
-int CmdBottleneck(const SystemConfig& sys, Flags& flags, std::ostream& out) {
+int CmdBottleneck(const SystemConfig& sys, const Workload& workload,
+                  Flags& flags, std::ostream& out) {
   const double rate = flags.Number("rate");
   flags.CheckAllUsed();
-  LatencyModel model(sys);
+  LatencyModel model(sys, workload);
   const auto b = model.Bottleneck(rate);
   Table t({"resource", "utilization"});
   t.AddRow({"concentrator/dispatcher", FormatDouble(b.condis_rho, 4)});
   t.AddRow({"inter-cluster source queue", FormatDouble(b.inter_source_rho, 4)});
   t.AddRow({"intra-cluster source queue", FormatDouble(b.intra_source_rho, 4)});
+  if (workload.DestinationSkewed()) {
+    t.AddRow({"hot-node ejection link", FormatDouble(b.hot_eject_rho, 4)});
+  }
   out << t.ToString();
   out << "binding resource: " << b.binding << "\n";
   out << "saturation rate: " << FormatSci(model.SaturationRate(1.0)) << "\n";
@@ -248,7 +323,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   const std::string& command = args[0];
   try {
     Flags flags(args, 2);
-    SystemConfig sys = LoadSystem(args[1]);
+    Experiment exp = LoadExperiment(args[1]);
+    SystemConfig& sys = exp.system;
     if (flags.Present("icn2-topology")) {
       // Rebuild the system with the overridden global-network topology;
       // clusters round-trip unchanged (they carry their own specs).
@@ -262,11 +338,14 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       sys = SystemConfig(sys.m(), std::move(clusters), sys.icn2(),
                          sys.message(), spec);
     }
-    if (command == "info") return CmdInfo(sys, flags, out);
-    if (command == "model") return CmdModel(sys, flags, out);
-    if (command == "sim") return CmdSim(sys, flags, out);
-    if (command == "sweep") return CmdSweep(sys, flags, out);
-    if (command == "bottleneck") return CmdBottleneck(sys, flags, out);
+    const Workload workload = WorkloadFromFlags(flags, sys, exp.workload);
+    if (command == "info") return CmdInfo(sys, workload, flags, out);
+    if (command == "model") return CmdModel(sys, workload, flags, out);
+    if (command == "sim") return CmdSim(sys, workload, flags, out);
+    if (command == "sweep") return CmdSweep(sys, workload, flags, out);
+    if (command == "bottleneck") {
+      return CmdBottleneck(sys, workload, flags, out);
+    }
     err << "unknown command '" << command << "'\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {

@@ -1,5 +1,6 @@
 #include "cli/config_parser.h"
 
+#include <algorithm>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -7,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/parse_num.h"
 #include "system/presets.h"
 #include "topology/topology_spec.h"
 
@@ -106,9 +108,112 @@ std::string ToName(const Section& s, const std::string& key) {
   return it->second;
 }
 
+// --- workload.* keys -------------------------------------------------------
+
+/// Levenshtein distance, for the did-you-mean suggestion on unknown
+/// workload.* keys.
+std::size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t prev = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t del = row[j] + 1;
+      const std::size_t ins = row[j - 1] + 1;
+      const std::size_t sub = prev + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev = row[j];
+      row[j] = std::min({del, ins, sub});
+    }
+  }
+  return row[b.size()];
+}
+
+const char* const kWorkloadKeys[] = {
+    "workload.pattern",         "workload.locality",
+    "workload.hotspot_fraction", "workload.hotspot_node",
+    "workload.msg_len",          "workload.rate.<cluster>",
+};
+
+[[noreturn]] void FailUnknownWorkloadKey(int line, const std::string& key) {
+  // Compare against the known key names; the per-cluster rate family is
+  // matched with the user's own index substituted for "<cluster>", so
+  // "workload.rates.0" suggests "workload.rate.<cluster>" and not an
+  // unrelated scalar key.
+  const auto last_dot = key.rfind('.');
+  const std::string suffix =
+      last_dot == std::string::npos ? "" : key.substr(last_dot + 1);
+  std::string best;
+  std::size_t best_dist = std::string::npos;
+  for (const std::string candidate : kWorkloadKeys) {
+    std::string comparable = candidate;
+    const auto ph = comparable.find("<cluster>");
+    if (ph != std::string::npos && !suffix.empty()) {
+      comparable.replace(ph, std::string("<cluster>").size(), suffix);
+    }
+    const std::size_t d = EditDistance(key, comparable);
+    if (d < best_dist) {
+      best_dist = d;
+      best = candidate;
+    }
+  }
+  Fail(line, "unknown workload key '" + key + "' (did you mean '" + best +
+                 "'?)");
+}
+
+/// Extracts the workload from the [system] section's workload.* keys.
+/// `num_clusters` sizes and validates the per-cluster rate table.
+Workload ParseWorkloadKeys(const Section& system, int num_clusters) {
+  Workload wl;
+  bool have_rates = false;
+  for (const auto& [key, value] : system.values) {
+    if (key.rfind("workload.", 0) != 0) continue;
+    try {
+      if (key == "workload.pattern") {
+        wl.pattern = ParseWorkloadPattern(value);
+      } else if (key == "workload.locality") {
+        wl.locality_fraction = ToDouble(system, key);
+      } else if (key == "workload.hotspot_fraction") {
+        wl.hotspot_fraction = ToDouble(system, key);
+      } else if (key == "workload.hotspot_node") {
+        wl.hotspot_node = ToInt(system, key);
+      } else if (key == "workload.msg_len") {
+        wl.message_length = MessageLength::Parse(value);
+      } else if (key.rfind("workload.rate.", 0) == 0) {
+        const std::string idx_tok =
+            key.substr(std::string("workload.rate.").size());
+        const int idx = ParseFullInt(idx_tok).value_or(-1);
+        if (idx < 0) {
+          FailUnknownWorkloadKey(system.line, key);
+        }
+        if (idx >= num_clusters) {
+          Fail(system.line, "workload.rate." + idx_tok +
+                                ": cluster index out of range (system has " +
+                                std::to_string(num_clusters) + " clusters)");
+        }
+        if (!have_rates) {
+          wl.rate_scale.assign(static_cast<std::size_t>(num_clusters), 1.0);
+          have_rates = true;
+        }
+        const double s = ToDouble(system, key);
+        if (!(s >= 0)) Fail(system.line, "'" + key + "' must be >= 0");
+        wl.rate_scale[static_cast<std::size_t>(idx)] = s;
+      } else {
+        FailUnknownWorkloadKey(system.line, key);
+      }
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      // Re-wrap messages that lack a config line number.
+      if (what.rfind("config line", 0) == 0) throw;
+      Fail(system.line, what);
+    }
+  }
+  return wl;
+}
+
 }  // namespace
 
-SystemConfig ParseSystemConfig(const std::string& text) {
+Experiment ParseExperiment(const std::string& text) {
   const auto sections = Tokenize(text);
 
   const Section* system = nullptr;
@@ -190,14 +295,20 @@ SystemConfig ParseSystemConfig(const std::string& text) {
     for (int i = 0; i < count; ++i) clusters.push_back(cluster);
   }
 
+  const Workload workload =
+      ParseWorkloadKeys(*system, static_cast<int>(clusters.size()));
+
   const MessageFormat msg{ToInt(*system, "message_flits"),
                           ToDouble(*system, "flit_bytes")};
-  return SystemConfig(ToInt(*system, "m"), std::move(clusters),
-                      net_by_name(*system, "icn2"), msg,
-                      topo_by_key(*system, "icn2_topology"));
+  Experiment exp{SystemConfig(ToInt(*system, "m"), std::move(clusters),
+                              net_by_name(*system, "icn2"), msg,
+                              topo_by_key(*system, "icn2_topology")),
+                 workload};
+  exp.workload.Validate(exp.system);
+  return exp;
 }
 
-SystemConfig LoadSystem(const std::string& path_or_preset) {
+Experiment LoadExperiment(const std::string& path_or_preset) {
   if (path_or_preset.rfind("preset:", 0) == 0) {
     std::string rest = path_or_preset.substr(7);
     MessageFormat msg{32, 256};
@@ -213,11 +324,13 @@ SystemConfig LoadSystem(const std::string& path_or_preset) {
       msg.length_flits = std::stoi(fmt.substr(0, colon2));
       msg.flit_bytes = std::stod(fmt.substr(colon2 + 1));
     }
-    if (rest == "1120") return MakeSystem1120(msg);
-    if (rest == "544") return MakeSystem544(msg);
-    if (rest == "small") return MakeSmallSystem(msg);
-    if (rest == "tiny") return MakeTinySystem(msg);
-    if (rest == "mixed") return MakeMixedTopologySystem(msg);
+    if (rest == "1120") return Experiment{MakeSystem1120(msg), Workload{}};
+    if (rest == "544") return Experiment{MakeSystem544(msg), Workload{}};
+    if (rest == "small") return Experiment{MakeSmallSystem(msg), Workload{}};
+    if (rest == "tiny") return Experiment{MakeTinySystem(msg), Workload{}};
+    if (rest == "mixed") {
+      return Experiment{MakeMixedTopologySystem(msg), Workload{}};
+    }
     throw std::invalid_argument("unknown preset '" + rest +
                                 "' (use 1120, 544, small, tiny or mixed)");
   }
@@ -227,7 +340,15 @@ SystemConfig LoadSystem(const std::string& path_or_preset) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ParseSystemConfig(buf.str());
+  return ParseExperiment(buf.str());
+}
+
+SystemConfig ParseSystemConfig(const std::string& text) {
+  return ParseExperiment(text).system;
+}
+
+SystemConfig LoadSystem(const std::string& path_or_preset) {
+  return LoadExperiment(path_or_preset).system;
 }
 
 }  // namespace coc

@@ -38,6 +38,20 @@
 //   ecn1_topology = crossbar        # optional; default mirrors the ICN1 spec
 //   ...
 //
+// The workload — one shared abstraction for model and simulator — is set by
+// `workload.*` keys of the [system] section (all optional; the default is
+// the paper's uniform assumption 2). Unknown `workload.*` keys are rejected
+// with a did-you-mean suggestion:
+//
+//   [system]
+//   workload.pattern = hotspot          # uniform|local|hotspot|permutation
+//   workload.locality = 0.8             # local: in-cluster share
+//   workload.hotspot_fraction = 0.2     # hotspot: share to the hot node
+//   workload.hotspot_node = 0           # hotspot: global node id
+//   workload.rate.3 = 2.5               # cluster 3 generates at 2.5x
+//   workload.msg_len = bimodal:8,64,0.1 # or "fixed" (MessageFormat's M)
+//   ...
+//
 // Alternatively the string "preset:1120", "preset:544", "preset:small",
 // "preset:tiny" or "preset:mixed" (heterogeneous topology families) selects
 // a built-in configuration (message format given by the optional
@@ -47,14 +61,26 @@
 #include <string>
 
 #include "system/system_config.h"
+#include "workload/workload.h"
 
 namespace coc {
 
+/// A parsed experiment description: the system plus the workload it runs.
+struct Experiment {
+  SystemConfig system;
+  Workload workload;
+};
+
 /// Parses the text format above. Throws std::invalid_argument with a
 /// line-numbered message on malformed input.
-SystemConfig ParseSystemConfig(const std::string& text);
+Experiment ParseExperiment(const std::string& text);
 
-/// Loads a system from a file path or a "preset:..." specifier.
+/// Loads an experiment from a file path or a "preset:..." specifier
+/// (presets carry the default uniform workload).
+Experiment LoadExperiment(const std::string& path_or_preset);
+
+/// System-only conveniences over the Experiment entry points.
+SystemConfig ParseSystemConfig(const std::string& text);
 SystemConfig LoadSystem(const std::string& path_or_preset);
 
 }  // namespace coc

@@ -24,7 +24,7 @@ std::vector<double> LinearRates(double max, int count) {
 
 std::vector<SweepPoint> RunSweep(const SystemConfig& sys,
                                  const SweepSpec& spec) {
-  LatencyModel model(sys, spec.model_opts);
+  LatencyModel model(sys, spec.workload, spec.model_opts);
   std::optional<CocSystemSim> sim;
   if (spec.run_sim) sim.emplace(sys, spec.slot_policy);
 
@@ -40,6 +40,7 @@ std::vector<SweepPoint> RunSweep(const SystemConfig& sys,
     if (sim_alive) {
       SimConfig cfg = spec.sim_base;
       cfg.lambda_g = rate;
+      cfg.workload = spec.workload;
       const SimResult sr = sim->Run(cfg, scratch);
       p.sim_latency = sr.latency.Mean();
       p.sim_ci95 = sr.latency.HalfWidth95();
@@ -61,7 +62,7 @@ std::vector<SweepPoint> RunSweepParallel(const SystemConfig& sys,
   if (threads <= 1 || spec.rates.size() <= 1 || !spec.run_sim) {
     return RunSweep(sys, spec);
   }
-  LatencyModel model(sys, spec.model_opts);
+  LatencyModel model(sys, spec.workload, spec.model_opts);
   const CocSystemSim sim(sys, spec.slot_policy);
 
   std::vector<SweepPoint> points(spec.rates.size());
@@ -84,6 +85,7 @@ std::vector<SweepPoint> RunSweepParallel(const SystemConfig& sys,
       if (i > abort_after.load()) continue;
       SimConfig cfg = spec.sim_base;
       cfg.lambda_g = points[i].lambda_g;
+      cfg.workload = spec.workload;
       const SimResult sr = sim.Run(cfg, scratch);
       points[i].sim_latency = sr.latency.Mean();
       points[i].sim_ci95 = sr.latency.HalfWidth95();

@@ -28,12 +28,15 @@ struct SweepPoint {
 };
 
 /// Sweep specification. The simulator phases/seed/C-D discipline come from
-/// `sim_base` (its lambda_g is overwritten per point).
+/// `sim_base` (its lambda_g and workload are overwritten per point).
 struct SweepSpec {
   std::vector<double> rates;
   bool run_sim = true;
   SimConfig sim_base;
   ModelOptions model_opts;
+  /// The traffic scenario, driving both the analytical model and every
+  /// simulated point (single source of truth; sim_base.workload is ignored).
+  Workload workload;
   Icn2SlotPolicy slot_policy = Icn2SlotPolicy::kClusterMajor;
   /// Once a simulated point's mean latency exceeds this, later sim points
   /// are skipped (the run is saturated and each further point costs the

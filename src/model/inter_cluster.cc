@@ -4,7 +4,6 @@
 #include <cmath>
 #include <vector>
 
-#include "model/effective_u.h"
 #include "model/mg1.h"
 #include "model/stage_recursion.h"
 #include "topology/topology.h"
@@ -13,31 +12,39 @@ namespace coc {
 namespace {
 
 /// Eq. (23) reconstruction: the ICN2 message rate seen from pair (i, j).
+/// `load_i`/`load_j` are the workload's per-cluster ECN1 load factors
+/// (N U s for unskewed patterns, the symmetrized in+out load under
+/// hot-spot), precomputed by the caller.
 double LambdaIcn2(const SystemConfig& sys, int i, int j, double lambda_g,
+                  double load_i, double load_j, const Workload& workload,
                   const ModelOptions& opts) {
-  const double ni = static_cast<double>(sys.NodesInCluster(i));
-  const double nj = static_cast<double>(sys.NodesInCluster(j));
-  const double ui = EffectiveU(sys, i, opts);
-  const double uj = EffectiveU(sys, j, opts);
   switch (opts.lambda_i2) {
     case ModelOptions::LambdaI2::kPairMean:
-      return lambda_g * (ni * ui + nj * uj) / 2.0;
-    case ModelOptions::LambdaI2::kHarmonic:
+      return lambda_g * (load_i + load_j) / 2.0;
+    case ModelOptions::LambdaI2::kHarmonic: {
+      const double ni = static_cast<double>(sys.NodesInCluster(i));
+      const double nj = static_cast<double>(sys.NodesInCluster(j));
+      const double ui = workload.EffectiveU(sys, i) * workload.RateScale(i);
+      const double uj = workload.EffectiveU(sys, j) * workload.RateScale(j);
       return lambda_g * ni * nj * (ui + uj) / (ni + nj);
+    }
   }
   return 0;
 }
 
-}  // namespace
-
-InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
-                                 double lambda_g,
-                                 const LinkDistribution& icn2_links,
-                                 const ModelOptions& opts) {
+/// ComputeInterPair with the pair's ECN1 load factors already resolved —
+/// ComputeInter precomputes all clusters' factors once and fans them out.
+InterPairResult ComputeInterPairWithLoads(const SystemConfig& sys, int i,
+                                          int j, double lambda_g,
+                                          const LinkDistribution& icn2_links,
+                                          const Workload& workload,
+                                          const ModelOptions& opts,
+                                          double load_i, double load_j) {
   const ClusterConfig& ci = sys.cluster(i);
   const ClusterConfig& cj = sys.cluster(j);
   const MessageFormat& msg = sys.message();
-  const double m_flits = msg.length_flits;
+  const double m_flits = workload.MeanFlits(msg);
+  const double flit_var = workload.FlitVariance(msg);
 
   const double t_cs_ei = ci.ecn1.TCs(msg.flit_bytes);
   const double t_cn_ei = ci.ecn1.TCn(msg.flit_bytes);
@@ -47,8 +54,7 @@ InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
 
   const double ni = static_cast<double>(sys.NodesInCluster(i));
   const double nj = static_cast<double>(sys.NodesInCluster(j));
-  const double ui = EffectiveU(sys, i, opts);
-  const double uj = EffectiveU(sys, j, opts);
+  const double ui = workload.EffectiveU(sys, i);
 
   // Access-journey distributions of the two ECN1 networks (Eq. 6 for the
   // paper's trees), cached on the topology instances.
@@ -57,10 +63,13 @@ InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
   const LinkDistribution& access_i = ecn1_i.AccessLinks();
   const LinkDistribution& access_j = ecn1_j.AccessLinks();
 
-  // Eq. (22): message rate carried by the pair's ECN1 networks.
-  const double lambda_ecn = lambda_g * (ni * ui + nj * uj);
+  // Eq. (22): message rate carried by the pair's ECN1 networks. The load
+  // factors reduce to N_i U_i + N_j U_j for the paper's workload and embed
+  // the hot-spot per-link overlay otherwise.
+  const double lambda_ecn = lambda_g * (load_i + load_j);
   // Eq. (23) reconstruction (see ModelOptions::LambdaI2).
-  const double lambda_i2 = LambdaIcn2(sys, i, j, lambda_g, opts);
+  const double lambda_i2 =
+      LambdaIcn2(sys, i, j, lambda_g, load_i, load_j, workload, opts);
 
   // Eq. (24): per-channel rate of the ECN1 networks. Journeys in an ECN1 are
   // access journeys to/from the concentrator tap, hence the one-way mean.
@@ -133,24 +142,36 @@ InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
   out.e_ex = e_ex;
 
   // Eq. (31): source-queue M/G/1 with the Eq. (17)-style variance
-  // approximation (minimum first-stage service is M t_cn of ECN1(i)).
+  // approximation (minimum first-stage service is M t_cn of ECN1(i)), plus
+  // the workload's message-length variance scaled by the per-flit traversal
+  // time (T_ex is ~linear in the length).
   const double lambda_src =
       opts.source_queue_rate == ModelOptions::SourceQueueRate::kPerNode
-          ? lambda_g * ui
+          ? workload.NodeRate(lambda_g, i) * ui
           : lambda_ecn;
   const double sigma = t_ex - m_flits * t_cn_ei;
-  out.w_ex = MG1Wait(lambda_src, t_ex, sigma * sigma);
+  double service_var = sigma * sigma;
+  if (flit_var > 0) {
+    const double per_flit = t_ex / m_flits;
+    service_var += flit_var * per_flit * per_flit;
+  }
+  out.w_ex = MG1Wait(lambda_src, t_ex, service_var);
 
   // Eqs. (36)-(37): concentrate/dispatch buffer as M/G/1 with deterministic
   // service and the same style of variance approximation. kSupplyLimited
   // accounts for cut-through C/Ds whose ICN2 injection link is occupied at
-  // the (possibly slower) ECN1 flit-supply rate.
-  const double x_cd =
+  // the (possibly slower) ECN1 flit-supply rate. A non-degenerate
+  // message-length distribution adds its variance at the per-flit service
+  // rate.
+  const double per_flit_cd =
       opts.condis_service == ModelOptions::CondisService::kIcn2Rate
-          ? m_flits * t_cs_i2
-          : m_flits * std::max(t_cs_i2, t_cs_ei);
+          ? t_cs_i2
+          : std::max(t_cs_i2, t_cs_ei);
+  const double x_cd = m_flits * per_flit_cd;
   const double sigma_cd = m_flits * (t_cs_i2 - t_cs_ei);
-  out.w_c = MG1Wait(lambda_i2, x_cd, sigma_cd * sigma_cd);
+  double var_cd = sigma_cd * sigma_cd;
+  if (flit_var > 0) var_cd += flit_var * per_flit_cd * per_flit_cd;
+  out.w_c = MG1Wait(lambda_i2, x_cd, var_cd);
   out.condis_rho = lambda_i2 * x_cd;
   out.source_rho = lambda_src * t_ex;
 
@@ -159,28 +180,71 @@ InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
   return out;
 }
 
+}  // namespace
+
+InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
+                                 double lambda_g,
+                                 const LinkDistribution& icn2_links,
+                                 const Workload& workload,
+                                 const ModelOptions& opts) {
+  return ComputeInterPairWithLoads(sys, i, j, lambda_g, icn2_links, workload,
+                                   opts, workload.EcnLoadFactor(sys, i),
+                                   workload.EcnLoadFactor(sys, j));
+}
+
 InterResult ComputeInter(const SystemConfig& sys, int i, double lambda_g,
                          const LinkDistribution& icn2_links,
-                         const ModelOptions& opts) {
+                         const Workload& workload, const ModelOptions& opts) {
   InterResult out;
   const int c = sys.num_clusters();
   if (c < 2) return out;
 
-  // Eqs. (35) and (38): arithmetic averages over destination clusters.
-  double l_ex_sum = 0;
-  double w_d_sum = 0;
-  for (int j = 0; j < c; ++j) {
-    if (j == i) continue;
-    const InterPairResult pair =
-        ComputeInterPair(sys, i, j, lambda_g, icn2_links, opts);
-    l_ex_sum += pair.l_ex;
-    w_d_sum += 2.0 * pair.w_c;  // concentrate + dispatch buffers
-    out.max_condis_rho = std::max(out.max_condis_rho, pair.condis_rho);
-    out.max_source_rho = std::max(out.max_source_rho, pair.source_rho);
-    out.saturated = out.saturated || pair.saturated;
+  // One pass over the clusters' ECN1 load factors; under hot-spot each
+  // factor folds the full incoming-rate sum, so the per-pair equations must
+  // not recompute it.
+  const std::vector<double> loads = workload.EcnLoadFactors(sys);
+  const double load_i = loads[static_cast<std::size_t>(i)];
+
+  if (!workload.DestinationSkewed()) {
+    // Eqs. (35) and (38): the paper's arithmetic averages over destination
+    // clusters (kept verbatim so the uniform workload is bit-identical).
+    double l_ex_sum = 0;
+    double w_d_sum = 0;
+    for (int j = 0; j < c; ++j) {
+      if (j == i) continue;
+      const InterPairResult pair = ComputeInterPairWithLoads(
+          sys, i, j, lambda_g, icn2_links, workload, opts, load_i,
+          loads[static_cast<std::size_t>(j)]);
+      l_ex_sum += pair.l_ex;
+      w_d_sum += 2.0 * pair.w_c;  // concentrate + dispatch buffers
+      out.max_condis_rho = std::max(out.max_condis_rho, pair.condis_rho);
+      out.max_source_rho = std::max(out.max_source_rho, pair.source_rho);
+      out.saturated = out.saturated || pair.saturated;
+    }
+    out.l_ex = l_ex_sum / (c - 1);
+    out.w_d = w_d_sum / (c - 1);
+  } else {
+    // Skewed destinations (hot-spot): weight each destination cluster by the
+    // probability an inter-cluster message actually lands there.
+    double l_ex_sum = 0;
+    double w_d_sum = 0;
+    double w_sum = 0;
+    for (int j = 0; j < c; ++j) {
+      if (j == i) continue;
+      const double w = workload.InterDestProbability(sys, i, j);
+      const InterPairResult pair = ComputeInterPairWithLoads(
+          sys, i, j, lambda_g, icn2_links, workload, opts, load_i,
+          loads[static_cast<std::size_t>(j)]);
+      l_ex_sum += w * pair.l_ex;
+      w_d_sum += w * 2.0 * pair.w_c;
+      w_sum += w;
+      out.max_condis_rho = std::max(out.max_condis_rho, pair.condis_rho);
+      out.max_source_rho = std::max(out.max_source_rho, pair.source_rho);
+      out.saturated = out.saturated || (pair.saturated && w > 0);
+    }
+    out.l_ex = w_sum > 0 ? l_ex_sum / w_sum : 0.0;
+    out.w_d = w_sum > 0 ? w_d_sum / w_sum : 0.0;
   }
-  out.l_ex = l_ex_sum / (c - 1);
-  out.w_d = w_d_sum / (c - 1);
   out.l_out = out.l_ex + out.w_d;  // Eq. (39)
   return out;
 }

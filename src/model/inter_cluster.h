@@ -7,11 +7,19 @@
 // topologies' access distributions (Eq. 6 for the paper's trees) and d_l the
 // ICN2 journey distribution. The concentrator and dispatcher additionally
 // impose M/G/1 waiting (Eqs. 36-38).
+//
+// All traffic quantities (effective U, per-cluster rates, ECN1 load
+// factors, destination-cluster weights, message-length moments) come from
+// the shared Workload layer; the paper's uniform assumption reproduces
+// Eqs. 22-23/35 bit for bit, while hot-spot workloads overlay the elevated
+// per-link rates on the routes into the hot cluster and weight the Eq. (35)
+// average by the actual destination-cluster distribution.
 #pragma once
 
 #include "model/model_options.h"
 #include "system/system_config.h"
 #include "topology/link_distribution.h"
+#include "workload/workload.h"
 
 namespace coc {
 
@@ -43,11 +51,14 @@ struct InterResult {
 InterPairResult ComputeInterPair(const SystemConfig& sys, int i, int j,
                                  double lambda_g,
                                  const LinkDistribution& icn2_links,
+                                 const Workload& workload,
                                  const ModelOptions& opts);
 
-/// Evaluates Eqs. 35, 38, 39 for cluster i (averaging over all j != i).
+/// Evaluates Eqs. 35, 38, 39 for cluster i. Destination clusters are
+/// averaged arithmetically (the paper's Eq. 35) for unskewed workloads, and
+/// by the workload's destination-cluster distribution under hot-spot.
 InterResult ComputeInter(const SystemConfig& sys, int i, double lambda_g,
                          const LinkDistribution& icn2_links,
-                         const ModelOptions& opts);
+                         const Workload& workload, const ModelOptions& opts);
 
 }  // namespace coc

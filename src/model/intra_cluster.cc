@@ -3,7 +3,6 @@
 #include <cmath>
 #include <vector>
 
-#include "model/effective_u.h"
 #include "model/mg1.h"
 #include "model/stage_recursion.h"
 #include "topology/topology.h"
@@ -11,23 +10,26 @@
 namespace coc {
 
 IntraResult ComputeIntra(const SystemConfig& sys, int i, double lambda_g,
-                         const ModelOptions& opts) {
+                         const Workload& workload, const ModelOptions& opts) {
   const ClusterConfig& cluster = sys.cluster(i);
   const Topology& topo = sys.icn1_topology(i);
   const LinkDistribution& links = topo.Links();
   const auto big_n_i = static_cast<double>(sys.NodesInCluster(i));
-  const double u_i = EffectiveU(sys, i, opts);
+  const double u_i = workload.EffectiveU(sys, i);
   const MessageFormat& msg = sys.message();
-  const double m_flits = msg.length_flits;
+  const double m_flits = workload.MeanFlits(msg);
   const double t_cn = cluster.icn1.TCn(msg.flit_bytes);
   const double t_cs = cluster.icn1.TCs(msg.flit_bytes);
+  // Cluster i's per-node rate lambda_g^(i) = s_i lambda_g (s_i = 1 is exact,
+  // preserving the seed arithmetic).
+  const double node_rate = workload.NodeRate(lambda_g, i);
 
   IntraResult out;
 
   // Eq. (7): total message rate received by ICN1(i); Eq. (10): per-channel
   // rate under the paper's directed-endpoint counting convention
   // (ChannelsPerNode() = 4 n for the m-port n-tree).
-  const double lambda_icn1 = big_n_i * lambda_g * (1.0 - u_i);
+  const double lambda_icn1 = big_n_i * node_rate * (1.0 - u_i);
   out.eta = lambda_icn1 * links.MeanLinks() /
             (topo.ChannelsPerNode() * big_n_i);
 
@@ -50,13 +52,21 @@ IntraResult ComputeIntra(const SystemConfig& sys, int i, double lambda_g,
 
   // Eqs. (15)-(18): the source's ICN1 injection channel as an M/G/1 queue.
   // Arrival rate: this node's intra-cluster message rate. Service: T_in with
-  // the Draper-Ghosh variance approximation sigma = T_in - M t_cn (Eq. 17).
+  // the Draper-Ghosh variance approximation sigma = T_in - M t_cn (Eq. 17),
+  // plus the workload's message-length variance scaled by the per-flit
+  // traversal time (T_in is ~linear in the length).
   const double lambda_src =
       opts.source_queue_rate == ModelOptions::SourceQueueRate::kPerNode
-          ? lambda_g * (1.0 - u_i)
+          ? node_rate * (1.0 - u_i)
           : lambda_icn1;
   const double sigma = t_in - m_flits * t_cn;
-  out.w_in = MG1Wait(lambda_src, t_in, sigma * sigma);
+  double service_var = sigma * sigma;
+  const double flit_var = workload.FlitVariance(msg);
+  if (flit_var > 0) {
+    const double per_flit = t_in / m_flits;
+    service_var += flit_var * per_flit * per_flit;
+  }
+  out.w_in = MG1Wait(lambda_src, t_in, service_var);
   out.source_rho = lambda_src * t_in;
 
   // Eq. (19): the tail flit pipelines over the d links behind the header:

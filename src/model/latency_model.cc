@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "model/effective_u.h"
+#include "model/mg1.h"
 #include "topology/topology.h"
 
 namespace coc {
@@ -36,24 +36,87 @@ LinkDistribution MakeIcn2Links(const SystemConfig& sys) {
 LatencyModel::LatencyModel(const SystemConfig& sys, ModelOptions opts)
     : sys_(sys), opts_(opts), icn2_links_(MakeIcn2Links(sys_)) {}
 
+LatencyModel::LatencyModel(const SystemConfig& sys, const Workload& workload,
+                           ModelOptions opts)
+    : sys_(sys),
+      workload_(workload),
+      opts_(opts),
+      icn2_links_(MakeIcn2Links(sys_)) {
+  workload_.Validate(sys_);
+}
+
+LatencyModel::HotEject LatencyModel::HotEjectOverlay(double lambda_g) const {
+  HotEject out;
+  if (!workload_.DestinationSkewed()) return out;
+  // Under the hot-spot pattern a fraction f of every node's messages targets
+  // the hot node, so its two ejection links (ICN1 for same-cluster sources,
+  // ECN1 for remote ones) see Poisson streams far above any other link's and
+  // become the binding resource the per-network mean rates cannot see. Model
+  // each as an M/G/1 server with per-message service M t_cn of its network.
+  const int h = sys_.ClusterOfNode(workload_.hotspot_node);
+  const double f = workload_.hotspot_fraction;
+  const MessageFormat& msg = sys_.message();
+  const double mean_flits = workload_.MeanFlits(msg);
+  const double flit_var = workload_.FlitVariance(msg);
+
+  const double lambda_intra =
+      f * workload_.NodeRate(lambda_g, h) *
+      static_cast<double>(sys_.NodesInCluster(h) - 1);
+  double remote_nodes_rate = 0;
+  for (int c = 0; c < sys_.num_clusters(); ++c) {
+    if (c == h) continue;
+    remote_nodes_rate += workload_.NodeRate(lambda_g, c) *
+                         static_cast<double>(sys_.NodesInCluster(c));
+  }
+  const double lambda_inter = f * remote_nodes_rate;
+
+  const double t_cn_icn1 = sys_.cluster(h).icn1.TCn(msg.flit_bytes);
+  const double t_cn_ecn1 = sys_.cluster(h).ecn1.TCn(msg.flit_bytes);
+  const double x_intra = mean_flits * t_cn_icn1;
+  const double x_inter = mean_flits * t_cn_ecn1;
+  const double var_intra = flit_var * t_cn_icn1 * t_cn_icn1;
+  const double var_inter = flit_var * t_cn_ecn1 * t_cn_ecn1;
+  out.w_intra = MG1Wait(lambda_intra, x_intra, var_intra);
+  out.w_inter = MG1Wait(lambda_inter, x_inter, var_inter);
+  out.rho = std::max(lambda_intra * x_intra, lambda_inter * x_inter);
+  return out;
+}
+
 ModelResult LatencyModel::Evaluate(double lambda_g) const {
   ModelResult result;
   result.clusters.reserve(static_cast<std::size_t>(sys_.num_clusters()));
 
+  const HotEject hot = HotEjectOverlay(lambda_g);
+  const int hot_cluster = workload_.DestinationSkewed()
+                              ? sys_.ClusterOfNode(workload_.hotspot_node)
+                              : -1;
+
+  // Eq. (3) weights: share of generated messages per cluster,
+  // N_i s_i / sum_c N_c s_c (the plain N_i / N for homogeneous rates).
   double weighted = 0;
-  const double total_nodes = static_cast<double>(sys_.TotalNodes());
+  double total_weight = 0;
+  for (int i = 0; i < sys_.num_clusters(); ++i) {
+    total_weight += static_cast<double>(sys_.NodesInCluster(i)) *
+                    workload_.RateScale(i);
+  }
   for (int i = 0; i < sys_.num_clusters(); ++i) {
     ClusterLatency cl;
-    cl.u = EffectiveU(sys_, i, opts_);
-    cl.intra = ComputeIntra(sys_, i, lambda_g, opts_);
-    cl.inter = ComputeInter(sys_, i, lambda_g, icn2_links_, opts_);
+    cl.u = workload_.EffectiveU(sys_, i);
+    cl.intra = ComputeIntra(sys_, i, lambda_g, workload_, opts_);
+    cl.inter = ComputeInter(sys_, i, lambda_g, icn2_links_, workload_, opts_);
     // Eq. (1). A component with zero traffic share cannot saturate the
     // blend (e.g. L_out in a single-cluster system where U = 0).
     cl.blended = 0;
     if (cl.u > 0) cl.blended += cl.u * cl.inter.l_out;
     if (cl.u < 1) cl.blended += (1.0 - cl.u) * cl.intra.l_in;
-    weighted += static_cast<double>(sys_.NodesInCluster(i)) / total_nodes *
-                cl.blended;
+    if (hot_cluster >= 0) {
+      // A fraction f of this cluster's messages queues at the hot node's
+      // ejection link on top of the journey modeled above.
+      cl.blended += workload_.hotspot_fraction *
+                    (i == hot_cluster ? hot.w_intra : hot.w_inter);
+    }
+    weighted += static_cast<double>(sys_.NodesInCluster(i)) *
+                workload_.RateScale(i) / total_weight * cl.blended;
     result.saturated = result.saturated || !std::isfinite(cl.blended);
     result.clusters.push_back(cl);
   }
@@ -71,6 +134,7 @@ BottleneckReport LatencyModel::Bottleneck(double lambda_g) const {
     report.intra_source_rho =
         std::max(report.intra_source_rho, cl.intra.source_rho);
   }
+  report.hot_eject_rho = HotEjectOverlay(lambda_g).rho;
   report.binding = "concentrator/dispatcher";
   if (report.inter_source_rho > report.condis_rho) {
     report.binding = "inter-cluster source queue";
@@ -78,6 +142,11 @@ BottleneckReport LatencyModel::Bottleneck(double lambda_g) const {
   if (report.intra_source_rho >
       std::max(report.condis_rho, report.inter_source_rho)) {
     report.binding = "intra-cluster source queue";
+  }
+  if (report.hot_eject_rho > std::max({report.condis_rho,
+                                       report.inter_source_rho,
+                                       report.intra_source_rho})) {
+    report.binding = "hot-node ejection link";
   }
   return report;
 }

@@ -5,6 +5,13 @@
 //   Latency  = sum_i (N_i / N) l^(i)                           (Eq. 3)
 // The model is a fixed algebraic evaluation per operating point (no
 // iteration), valid below saturation; saturated points report +infinity.
+//
+// Traffic comes from the shared Workload layer: the default Workload is the
+// paper's assumption 2 and reproduces the seed outputs bit for bit, while
+// cluster-local, hot-spot and heterogeneous per-cluster-rate workloads
+// generalize Eqs. 2, 22-23 and 35 (the Eq. 3 cluster weights become message
+// shares N_i s_i / sum N_c s_c, and a hot-spot workload adds the hot node's
+// ejection-link M/G/1 wait to the journeys that target it).
 #pragma once
 
 #include <memory>
@@ -14,12 +21,13 @@
 #include "model/intra_cluster.h"
 #include "model/model_options.h"
 #include "system/system_config.h"
+#include "workload/workload.h"
 
 namespace coc {
 
 /// Per-cluster latency decomposition at one operating point.
 struct ClusterLatency {
-  double u = 0;        ///< U^(i), Eq. (2)
+  double u = 0;        ///< U^(i), Eq. (2) under the workload
   IntraResult intra;   ///< Eqs. 4-19
   InterResult inter;   ///< Eqs. 20-39
   double blended = 0;  ///< Eq. (1); +inf if a needed component saturated
@@ -39,8 +47,9 @@ struct BottleneckReport {
   double condis_rho = 0;        ///< hottest concentrator/dispatcher
   double inter_source_rho = 0;  ///< hottest ECN1 source queue
   double intra_source_rho = 0;  ///< hottest ICN1 source queue
+  double hot_eject_rho = 0;     ///< hot node's ejection link (hot-spot only)
   /// One of "concentrator/dispatcher", "inter-cluster source queue",
-  /// "intra-cluster source queue".
+  /// "intra-cluster source queue", "hot-node ejection link".
   const char* binding = "";
 };
 
@@ -48,12 +57,17 @@ struct BottleneckReport {
 class LatencyModel {
  public:
   explicit LatencyModel(const SystemConfig& sys, ModelOptions opts = {});
+  /// Same, under a non-default workload (validated against `sys`).
+  LatencyModel(const SystemConfig& sys, const Workload& workload,
+               ModelOptions opts = {});
 
   const SystemConfig& system() const { return sys_; }
+  const Workload& workload() const { return workload_; }
   const ModelOptions& options() const { return opts_; }
 
   /// Mean message latency and per-cluster decomposition at per-node
-  /// generation rate lambda_g (messages per microsecond per node).
+  /// generation rate lambda_g (messages per microsecond per node; cluster i
+  /// generates at workload.RateScale(i) * lambda_g).
   ModelResult Evaluate(double lambda_g) const;
 
   /// Utilization of the system's queueing resources at one operating point
@@ -66,7 +80,18 @@ class LatencyModel {
   double SaturationRate(double upper_bound, double rel_tol = 1e-3) const;
 
  private:
+  /// Hot-spot overlay: M/G/1 waits of the hot node's two ejection links
+  /// (ICN1 for same-cluster traffic, ECN1 for remote) at one operating
+  /// point. All zeros for unskewed workloads.
+  struct HotEject {
+    double w_intra = 0;
+    double w_inter = 0;
+    double rho = 0;
+  };
+  HotEject HotEjectOverlay(double lambda_g) const;
+
   SystemConfig sys_;
+  Workload workload_;
   ModelOptions opts_;
   LinkDistribution icn2_links_;
 };

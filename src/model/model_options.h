@@ -5,20 +5,16 @@
 // quantify its effect; defaults are the variants that (a) are dimensionally
 // consistent, (b) reproduce the paper's reported saturation points, and
 // (c) agree best with our discrete-event simulator.
+// Traffic-side knobs (destination pattern, per-cluster rates, message-length
+// distribution) are NOT options of the model: they live in the shared
+// Workload layer (src/workload/workload.h), which the model consumes through
+// LatencyModel's workload argument. ModelOptions only selects between
+// reconstructions of the paper's equations.
 #pragma once
-
-#include <optional>
 
 namespace coc {
 
 struct ModelOptions {
-  /// Extension beyond the paper (its stated §5 future work): cluster-local
-  /// traffic. When set, a node keeps a message inside its own cluster with
-  /// this probability (uniform over the other local nodes) and sends it to
-  /// a uniformly random remote node otherwise — i.e. U^(i) becomes 1 - p
-  /// instead of Eq. (2). Unset reproduces the paper's uniform assumption 2.
-  /// Matches the simulator's TrafficPattern::kClusterLocal.
-  std::optional<double> locality_fraction;
   /// Reconstruction of Eq. (23), the ICN2 message rate seen from the cluster
   /// pair (i, j).
   enum class LambdaI2 {

@@ -6,6 +6,11 @@
 #include "common/rng.h"
 
 namespace coc {
+
+// The workload layer rejects message lengths the engine cannot carry; keep
+// the two ceilings in lockstep.
+static_assert(MessageLength::kMaxFlits == WormholeEngine::kMaxFlits);
+
 namespace {
 
 constexpr std::uint64_t kTagMeasured = 1;
@@ -194,7 +199,6 @@ SimResult CocSystemSim::Run(const SimConfig& cfg, SimScratch& scratch) const {
 
   WormholeEngine& engine = scratch.engine;
   engine.Reset(flit_time_);
-  const auto flits = static_cast<std::int32_t>(sys_.message().length_flits);
   RoutedPath& routed = scratch.routed;
   // Independent stream for routing entropy so traffic draws stay identical
   // across ascent policies (paired-comparison friendly).
@@ -237,7 +241,7 @@ SimResult CocSystemSim::Run(const SimConfig& cfg, SimScratch& scratch) const {
       }
     }
     engine.AddMessage(ev.time, routed.path.data(), scratch.depth.data(),
-                      routed.path.size(), flits, tag,
+                      routed.path.size(), ev.flits, tag,
                       scratch.store_forward.data(),
                       scratch.store_forward.size());
   }

@@ -1,20 +1,16 @@
 // Configuration of a simulation experiment (paper §4 methodology).
+//
+// The traffic scenario itself — destination pattern, per-cluster generation
+// rates, message-length distribution — lives in the shared Workload layer
+// (src/workload/workload.h), the same object the analytical model consumes,
+// so a SimConfig can never describe traffic the model has no view of.
 #pragma once
 
 #include <cstdint>
 
-namespace coc {
+#include "workload/workload.h"
 
-/// Synthetic traffic patterns. kUniform is the paper's assumption 2; the
-/// others implement the paper's stated future work (non-uniform traffic).
-enum class TrafficPattern : std::uint8_t {
-  kUniform,        ///< destination uniform over the other N-1 nodes
-  kHotspot,        ///< with probability hotspot_fraction -> fixed hot node,
-                   ///< otherwise uniform
-  kClusterLocal,   ///< with probability locality_fraction -> own cluster,
-                   ///< otherwise uniform over remote nodes
-  kPermutation,    ///< fixed random derangement of the nodes
-};
+namespace coc {
 
 /// How the concentrator/dispatcher devices forward messages between the
 /// ECN1 networks and ICN2. The paper is ambiguous: §3.2 computes the merged
@@ -64,10 +60,10 @@ struct SimConfig {
   /// bit-identity regression tests; off by default (it allocates O(measured)).
   bool record_deliveries = false;
 
-  TrafficPattern pattern = TrafficPattern::kUniform;
-  double hotspot_fraction = 0.1;   ///< kHotspot: share of traffic to hot node
-  std::int64_t hotspot_node = 0;   ///< kHotspot: global id of the hot node
-  double locality_fraction = 0.8;  ///< kClusterLocal: share kept in-cluster
+  /// The traffic scenario, shared verbatim with the analytical model. The
+  /// default Workload is the paper's assumption 2 (uniform destinations,
+  /// one global rate, fixed message length).
+  Workload workload;
 
   /// Paper-faithful phase sizes (10k / 100k / 10k).
   static SimConfig PaperProtocol(double lambda, std::uint64_t seed = 1) {

@@ -1,5 +1,6 @@
 #include "sim/traffic.h"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
@@ -71,54 +72,90 @@ void GenerateTraffic(const SystemConfig& sys, const SimConfig& cfg,
   if (cfg.lambda_g <= 0) {
     throw std::invalid_argument("lambda_g must be > 0");
   }
+  const Workload& wl = cfg.workload;
+  wl.Validate(sys);
   Rng rng(cfg.seed);
   const std::int64_t n = sys.TotalNodes();
-  const double system_rate = cfg.lambda_g * static_cast<double>(n);
+
+  // Homogeneous rates keep the seed generator's draw sequence (uniform source
+  // over all nodes) bit for bit; heterogeneous rates thin the superposed
+  // process per cluster: P(source cluster = i) = N_i s_i / sum_c N_c s_c.
+  const bool homogeneous = wl.uniform_rates();
+  double system_rate = 0;
+  std::vector<double> cum_weight;  // cumulative N_i s_i over clusters
+  if (homogeneous) {
+    system_rate = cfg.lambda_g * static_cast<double>(n);
+  } else {
+    cum_weight.reserve(static_cast<std::size_t>(sys.num_clusters()));
+    double total = 0;
+    for (int c = 0; c < sys.num_clusters(); ++c) {
+      total +=
+          static_cast<double>(sys.NodesInCluster(c)) * wl.RateScale(c);
+      cum_weight.push_back(total);
+    }
+    system_rate = cfg.lambda_g * total;
+  }
 
   std::vector<std::int64_t> perm;
-  if (cfg.pattern == TrafficPattern::kPermutation) {
+  if (wl.pattern == WorkloadPattern::kPermutation) {
     perm = Derangement(rng, n);
   }
 
+  const int base_flits = sys.message().length_flits;
   out.clear();
   out.reserve(static_cast<std::size_t>(count));
   double t = 0;
   for (std::int64_t i = 0; i < count; ++i) {
     t += rng.NextExponential(system_rate);
-    const auto src = static_cast<std::int64_t>(
-        rng.NextBounded(static_cast<std::uint64_t>(n)));
+    std::int64_t src = 0;
+    if (homogeneous) {
+      src = static_cast<std::int64_t>(
+          rng.NextBounded(static_cast<std::uint64_t>(n)));
+    } else {
+      const double x = rng.NextDouble() * cum_weight.back();
+      const auto it =
+          std::upper_bound(cum_weight.begin(), cum_weight.end(), x);
+      const int c = static_cast<int>(
+          std::min<std::ptrdiff_t>(it - cum_weight.begin(),
+                                   static_cast<std::ptrdiff_t>(
+                                       cum_weight.size()) - 1));
+      src = sys.ClusterBase(c) +
+            static_cast<std::int64_t>(rng.NextBounded(
+                static_cast<std::uint64_t>(sys.NodesInCluster(c))));
+    }
     std::int64_t dst = 0;
-    switch (cfg.pattern) {
-      case TrafficPattern::kUniform:
+    switch (wl.pattern) {
+      case WorkloadPattern::kUniform:
         dst = UniformDest(rng, n, src);
         break;
-      case TrafficPattern::kHotspot:
-        if (rng.NextDouble() < cfg.hotspot_fraction &&
-            cfg.hotspot_node != src) {
-          dst = cfg.hotspot_node;
+      case WorkloadPattern::kHotspot:
+        if (rng.NextDouble() < wl.hotspot_fraction &&
+            wl.hotspot_node != src) {
+          dst = wl.hotspot_node;
         } else {
           dst = UniformDest(rng, n, src);
         }
         break;
-      case TrafficPattern::kClusterLocal: {
+      case WorkloadPattern::kClusterLocal: {
         const int c = sys.ClusterOfNode(src);
         const auto base = sys.ClusterBase(c);
         const auto size = sys.NodesInCluster(c);
         const bool can_stay = size > 1;
         const bool can_leave = size < n;
         if (can_stay &&
-            (!can_leave || rng.NextDouble() < cfg.locality_fraction)) {
+            (!can_leave || rng.NextDouble() < wl.locality_fraction)) {
           dst = UniformWithin(rng, base, size, src);
         } else {
           dst = UniformOutside(rng, n, base, size);
         }
         break;
       }
-      case TrafficPattern::kPermutation:
+      case WorkloadPattern::kPermutation:
         dst = perm[static_cast<std::size_t>(src)];
         break;
     }
-    out.push_back(TrafficEvent{t, src, dst});
+    const std::int32_t flits = wl.message_length.SampleFlits(base_flits, rng);
+    out.push_back(TrafficEvent{t, src, dst, flits});
   }
 }
 

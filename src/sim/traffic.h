@@ -1,11 +1,16 @@
-// Synthetic workload generation (paper §4 and assumption 1-2, plus the
+// Synthetic workload generation (paper §4 and assumptions 1-2, plus the
 // non-uniform patterns named as future work in §5).
 //
-// Per-node independent Poisson processes with rate lambda_g superpose to a
-// system-wide Poisson process with rate N lambda_g whose arrivals are
-// attributed to uniformly random source nodes — the generator draws the
-// superposed process directly, which is statistically identical and lets the
-// total message count be controlled exactly.
+// Per-node independent Poisson processes superpose to a system-wide Poisson
+// process whose arrivals are attributed to random source nodes — the
+// generator draws the superposed process directly, which is statistically
+// identical and lets the total message count be controlled exactly. Under
+// homogeneous rates the source draw is uniform over nodes (bit-identical to
+// the seed generator); heterogeneous per-cluster rates lambda_g^(i) thin the
+// superposition per cluster (source cluster chosen proportional to
+// N_i s_i, node uniform within the cluster). Everything pattern-, rate- and
+// length-related comes from the SimConfig's Workload — the same object the
+// analytical model consumes.
 #pragma once
 
 #include <cstdint>
@@ -20,12 +25,14 @@ namespace coc {
 /// One generated message (before routing).
 struct TrafficEvent {
   double time;
-  std::int64_t src;  // global node id
-  std::int64_t dst;  // global node id, != src
+  std::int64_t src;    // global node id
+  std::int64_t dst;    // global node id, != src
+  std::int32_t flits;  // sampled message length (engine flit path is int32)
 };
 
 /// Draws the full arrival sequence for a run: `count` messages, time-ordered.
-/// Destinations follow the configured pattern; sources are uniform.
+/// Destinations follow the workload's pattern; sources follow its
+/// per-cluster rates.
 std::vector<TrafficEvent> GenerateTraffic(const SystemConfig& sys,
                                           const SimConfig& cfg,
                                           std::int64_t count);

@@ -28,11 +28,13 @@ std::vector<double> PairDistanceCounts(int k, bool torus) {
   return counts;
 }
 
-/// Per-dimension distance-to-zero counts over a in [0, k).
-std::vector<double> AnchorDistanceCounts(int k, bool torus) {
+/// Per-dimension distance-to-anchor counts over a in [0, k); `anchor` is the
+/// tap's coordinate in this dimension (0 for the corner tap).
+std::vector<double> AnchorDistanceCounts(int k, bool torus, int anchor) {
   std::vector<double> counts(static_cast<std::size_t>(k), 0.0);
   for (int a = 0; a < k; ++a) {
-    const int t = torus ? std::min(a, k - a) : a;
+    const int direct = a > anchor ? a - anchor : anchor - a;
+    const int t = torus ? std::min(direct, k - direct) : direct;
     counts[static_cast<std::size_t>(t)] += 1.0;
   }
   return counts;
@@ -51,25 +53,28 @@ std::vector<double> Convolve(const std::vector<double>& a,
 }
 
 std::vector<double> HopCounts(int radix, int dims, bool torus,
-                              bool to_anchor) {
+                              bool to_anchor, int anchor_coord = 0) {
   std::vector<double> counts =
-      to_anchor ? AnchorDistanceCounts(radix, torus)
+      to_anchor ? AnchorDistanceCounts(radix, torus, anchor_coord)
                 : PairDistanceCounts(radix, torus);
   for (int j = 1; j < dims; ++j) {
-    counts = Convolve(counts, to_anchor ? AnchorDistanceCounts(radix, torus)
-                                        : PairDistanceCounts(radix, torus));
+    counts = Convolve(counts, to_anchor
+                                  ? AnchorDistanceCounts(radix, torus,
+                                                         anchor_coord)
+                                  : PairDistanceCounts(radix, torus));
   }
   return counts;
 }
 
 }  // namespace
 
-KAryMesh::KAryMesh(int radix, int dims, bool torus)
+KAryMesh::KAryMesh(int radix, int dims, bool torus, bool center_tap)
     : radix_(radix),
       dims_(dims),
       torus_(torus && radix > 2),
       links_(MakeLinkDistribution(radix, dims, torus)),
-      access_links_(MakeAccessDistribution(radix, dims, torus)) {
+      access_links_(MakeAccessDistribution(radix, dims, torus,
+                                           center_tap ? radix / 2 : 0)) {
   if (radix_ < 2) throw std::invalid_argument("mesh radix must be >= 2");
   if (dims_ < 1) throw std::invalid_argument("mesh dims must be >= 1");
 
@@ -83,6 +88,14 @@ KAryMesh::KAryMesh(int radix, int dims, bool torus)
     }
   }
   num_nodes_ = pow_k_[static_cast<std::size_t>(dims_)];
+  if (center_tap) {
+    // Coordinate radix/2 in every dimension (the upper median for even
+    // radix — any median minimizes the mean access distance).
+    const int c0 = radix_ / 2;
+    for (int j = 0; j < dims_; ++j) {
+      tap_router_ += c0 * pow_k_[static_cast<std::size_t>(j)];
+    }
+  }
 
   // Node links first: [0, N) injection, [N, 2N) ejection.
   channels_.reserve(static_cast<std::size_t>(2 * num_nodes_));
@@ -139,6 +152,7 @@ std::string KAryMesh::Name() const {
     if (j > 0) name += "x";
     name += std::to_string(radix_);
   }
+  if (tap_router_ != 0) name += " (center tap)";
   return name;
 }
 
@@ -207,15 +221,17 @@ void KAryMesh::RouteInto(std::int64_t src, std::int64_t dst,
 
 void KAryMesh::RouteToTapInto(std::int64_t src,
                               std::vector<std::int64_t>& out) const {
-  out.reserve(out.size() + static_cast<std::size_t>(Distance(src, 0)) + 1);
+  out.reserve(out.size() +
+              static_cast<std::size_t>(Distance(src, tap_router_)) + 1);
   out.push_back(src);
-  AppendHops(src, 0, &out);
+  AppendHops(src, tap_router_, &out);
 }
 
 void KAryMesh::RouteFromTapInto(std::int64_t dst,
                                 std::vector<std::int64_t>& out) const {
-  out.reserve(out.size() + static_cast<std::size_t>(Distance(0, dst)) + 1);
-  AppendHops(0, dst, &out);
+  out.reserve(out.size() +
+              static_cast<std::size_t>(Distance(tap_router_, dst)) + 1);
+  AppendHops(tap_router_, dst, &out);
   out.push_back(num_nodes_ + dst);
 }
 
@@ -236,9 +252,11 @@ LinkDistribution KAryMesh::MakeLinkDistribution(int radix, int dims,
 }
 
 LinkDistribution KAryMesh::MakeAccessDistribution(int radix, int dims,
-                                                  bool torus) {
+                                                  bool torus,
+                                                  int anchor_coord) {
   const bool wraps = torus && radix > 2;
-  const auto hop_counts = HopCounts(radix, dims, wraps, /*to_anchor=*/true);
+  const auto hop_counts =
+      HopCounts(radix, dims, wraps, /*to_anchor=*/true, anchor_coord);
   // Access journeys cross dist(router, tap) + 1 links; the tap router's own
   // node contributes at r = 1 (mirroring the tree's nca == 0 -> r = 1 rule).
   std::vector<double> weights(hop_counts.size() + 1, 0.0);

@@ -16,9 +16,12 @@
 // convolution across dimensions, computed once at construction (uniform
 // ordered pairs of distinct nodes; a journey of H router hops crosses
 // H + 2 links including injection and ejection). The concentrator tap sits
-// at router 0 (all-zero coordinate), so access journeys cross
-// dist(router(src), 0) + 1 links — the mesh analogue of the tree's
-// spine-tapped attachment.
+// at router 0 (all-zero coordinate) by default, so access journeys cross
+// dist(router(src), tap) + 1 links — the mesh analogue of the tree's
+// spine-tapped attachment. The center-anchored variant (TopologySpec
+// `tap=center`) moves the tap to coordinate radix/2 in every dimension,
+// roughly halving the mean access distance on meshes (tori are
+// vertex-transitive, so their access distribution is anchor-invariant).
 #pragma once
 
 #include <cstdint>
@@ -35,13 +38,16 @@ namespace coc {
 class KAryMesh : public Topology {
  public:
   /// Throws std::invalid_argument for radix < 2, dims < 1, or more than
-  /// 2^22 routers.
-  KAryMesh(int radix, int dims, bool torus);
+  /// 2^22 routers. `center_tap` anchors the C/D tap at the center router
+  /// (coordinate radix/2 per dimension) instead of router 0.
+  KAryMesh(int radix, int dims, bool torus, bool center_tap = false);
 
   int radix() const { return radix_; }
   int dims() const { return dims_; }
   /// Whether wrap-around links are present (torus with radix > 2).
   bool wraps() const { return torus_; }
+  /// Router hosting the concentrator/dispatcher tap.
+  std::int64_t tap_router() const { return tap_router_; }
 
   std::string Name() const override;
   std::int64_t num_nodes() const override { return num_nodes_; }
@@ -79,13 +85,15 @@ class KAryMesh : public Topology {
                   std::vector<std::int64_t>* path) const;
 
   // Exact uniform-traffic distributions via per-dimension convolution.
+  // `anchor_coord` is the tap's per-dimension coordinate (0 = corner).
   static LinkDistribution MakeLinkDistribution(int radix, int dims,
                                                bool torus);
   static LinkDistribution MakeAccessDistribution(int radix, int dims,
-                                                 bool torus);
+                                                 bool torus, int anchor_coord);
 
   int radix_, dims_;
   bool torus_;
+  std::int64_t tap_router_ = 0;
   std::int64_t num_nodes_;
   std::vector<std::int64_t> pow_k_;        // radix^0 .. radix^dims
   std::vector<std::int64_t> plus_base_;    // per dim, +direction block base

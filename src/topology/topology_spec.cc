@@ -51,9 +51,11 @@ std::string TopologySpec::ToString() const {
     case Type::kCrossbar:
       return "crossbar:" + std::to_string(ports);
     case Type::kMesh:
-      return "mesh:" + std::to_string(radix) + "x" + std::to_string(dims);
+      return "mesh:" + std::to_string(radix) + "x" + std::to_string(dims) +
+             (tap == Tap::kCenter ? ",tap=center" : "");
     case Type::kTorus:
-      return "torus:" + std::to_string(radix) + "x" + std::to_string(dims);
+      return "torus:" + std::to_string(radix) + "x" + std::to_string(dims) +
+             (tap == Tap::kCenter ? ",tap=center" : "");
   }
   return "?";
 }
@@ -93,24 +95,46 @@ TopologySpec ParseTopologySpec(const std::string& text) {
     spec.type = head == "mesh" ? TopologySpec::Type::kMesh
                                : TopologySpec::Type::kTorus;
     if (params.empty()) Fail(text, "mesh/torus need RADIXxDIMS parameters");
-    if (params.find('=') == std::string::npos) {
-      const auto x = params.find('x');
-      if (x == std::string::npos) Fail(text, "expected RADIXxDIMS");
-      spec.radix = static_cast<int>(ToCount(text, params.substr(0, x)));
-      spec.dims = static_cast<int>(ToCount(text, params.substr(x + 1)));
-    } else {
-      for (const auto& [key, value] : KeyValues(text, params)) {
+    // Comma-separated tokens: an optional leading RADIXxDIMS shorthand, then
+    // key=value pairs (radix=, dims=, tap=corner|center).
+    std::size_t start = 0;
+    bool first = true;
+    while (start <= params.size()) {
+      auto comma = params.find(',', start);
+      if (comma == std::string::npos) comma = params.size();
+      const std::string token = params.substr(start, comma - start);
+      start = comma + 1;
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) {
+        if (!first) Fail(text, "expected key=value: " + token);
+        const auto x = token.find('x');
+        if (x == std::string::npos) Fail(text, "expected RADIXxDIMS");
+        spec.radix = static_cast<int>(ToCount(text, token.substr(0, x)));
+        spec.dims = static_cast<int>(ToCount(text, token.substr(x + 1)));
+      } else {
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
         if (key == "radix") {
-          spec.radix = static_cast<int>(value);
+          spec.radix = static_cast<int>(ToCount(text, value));
         } else if (key == "dims") {
-          spec.dims = static_cast<int>(value);
+          spec.dims = static_cast<int>(ToCount(text, value));
+        } else if (key == "tap") {
+          if (value == "corner") {
+            spec.tap = TopologySpec::Tap::kCorner;
+          } else if (value == "center") {
+            spec.tap = TopologySpec::Tap::kCenter;
+          } else {
+            Fail(text, "tap must be corner or center, got '" + value + "'");
+          }
         } else {
           Fail(text, "unknown mesh parameter '" + key + "'");
         }
       }
-      if (spec.radix == 0 || spec.dims == 0) {
-        Fail(text, "mesh/torus need both radix and dims");
-      }
+      first = false;
+      if (comma == params.size()) break;
+    }
+    if (spec.radix == 0 || spec.dims == 0) {
+      Fail(text, "mesh/torus need both radix and dims");
     }
     return spec;
   }
@@ -125,9 +149,13 @@ std::shared_ptr<const Topology> BuildTopology(const TopologySpec& spec) {
     case TopologySpec::Type::kCrossbar:
       return std::make_shared<FullCrossbar>(spec.ports);
     case TopologySpec::Type::kMesh:
-      return std::make_shared<KAryMesh>(spec.radix, spec.dims, false);
+      return std::make_shared<KAryMesh>(
+          spec.radix, spec.dims, false,
+          spec.tap == TopologySpec::Tap::kCenter);
     case TopologySpec::Type::kTorus:
-      return std::make_shared<KAryMesh>(spec.radix, spec.dims, true);
+      return std::make_shared<KAryMesh>(
+          spec.radix, spec.dims, true,
+          spec.tap == TopologySpec::Tap::kCenter);
   }
   throw std::invalid_argument("unknown topology type");
 }

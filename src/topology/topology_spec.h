@@ -16,6 +16,9 @@
 //   mesh:4x2              k-ary d-dim mesh, radix 4, 2 dimensions
 //   torus:4x2             ... with wrap-around links
 //   mesh:radix=4,dims=2   key=value form of the same
+//   mesh:4x2,tap=center   C/D tap at the center router instead of corner
+//                         node 0 (cuts the mean access distance; the
+//                         ROADMAP's non-uniform tap placement item)
 #pragma once
 
 #include <cstdint>
@@ -28,6 +31,12 @@ namespace coc {
 
 struct TopologySpec {
   enum class Type : std::uint8_t { kTree, kCrossbar, kMesh, kTorus };
+  /// Where the concentrator/dispatcher tap attaches (mesh/torus only; trees
+  /// always tap the node-0 spine and crossbars have no interior distance).
+  enum class Tap : std::uint8_t {
+    kCorner,  ///< router 0, the all-zero coordinate (default)
+    kCenter,  ///< the center router (coordinate radix/2 in every dimension)
+  };
 
   Type type = Type::kTree;
   int m = 0;              ///< tree arity; 0 = inherit the system's m
@@ -35,6 +44,7 @@ struct TopologySpec {
   std::int64_t ports = 0; ///< crossbar ports; 0 = fit the node count
   int radix = 0;          ///< mesh/torus k
   int dims = 0;           ///< mesh/torus d
+  Tap tap = Tap::kCorner; ///< mesh/torus C/D tap placement
 
   friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
 
@@ -51,11 +61,13 @@ struct TopologySpec {
     s.ports = ports;
     return s;
   }
-  static TopologySpec Mesh(int radix, int dims, bool torus = false) {
+  static TopologySpec Mesh(int radix, int dims, bool torus = false,
+                           Tap tap = Tap::kCorner) {
     TopologySpec s;
     s.type = torus ? Type::kTorus : Type::kMesh;
     s.radix = radix;
     s.dims = dims;
+    s.tap = tap;
     return s;
   }
 

@@ -1,0 +1,339 @@
+#include "workload/workload.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/parse_num.h"
+#include "system/system_config.h"
+
+namespace coc {
+
+const char* WorkloadPatternName(WorkloadPattern pattern) {
+  switch (pattern) {
+    case WorkloadPattern::kUniform:
+      return "uniform";
+    case WorkloadPattern::kHotspot:
+      return "hotspot";
+    case WorkloadPattern::kClusterLocal:
+      return "local";
+    case WorkloadPattern::kPermutation:
+      return "permutation";
+  }
+  return "?";
+}
+
+WorkloadPattern ParseWorkloadPattern(const std::string& name) {
+  if (name == "uniform") return WorkloadPattern::kUniform;
+  if (name == "hotspot") return WorkloadPattern::kHotspot;
+  if (name == "local" || name == "cluster-local") {
+    return WorkloadPattern::kClusterLocal;
+  }
+  if (name == "permutation") return WorkloadPattern::kPermutation;
+  throw std::invalid_argument("unknown workload pattern '" + name +
+                              "' (use uniform, hotspot, local or permutation)");
+}
+
+// --- MessageLength ---------------------------------------------------------
+
+MessageLength MessageLength::Bimodal(int short_flits, int long_flits,
+                                     double long_fraction) {
+  if (short_flits < 1 || long_flits < 1) {
+    throw std::invalid_argument("message lengths must be >= 1 flit");
+  }
+  if (short_flits > kMaxFlits || long_flits > kMaxFlits) {
+    throw std::invalid_argument(
+        "message lengths must be <= " + std::to_string(kMaxFlits) +
+        " flits (the wormhole engine's per-message ceiling)");
+  }
+  if (!(long_fraction >= 0.0 && long_fraction <= 1.0)) {
+    throw std::invalid_argument("bimodal long fraction must be in [0, 1]");
+  }
+  MessageLength len;
+  len.kind_ = Kind::kBimodal;
+  len.short_flits_ = short_flits;
+  len.long_flits_ = long_flits;
+  len.long_fraction_ = long_fraction;
+  return len;
+}
+
+double MessageLength::MeanFlits(int base_flits) const {
+  if (kind_ == Kind::kFixed) return static_cast<double>(base_flits);
+  return (1.0 - long_fraction_) * short_flits_ + long_fraction_ * long_flits_;
+}
+
+double MessageLength::SecondMomentFlits(int base_flits) const {
+  if (kind_ == Kind::kFixed) {
+    const double m = static_cast<double>(base_flits);
+    return m * m;
+  }
+  return (1.0 - long_fraction_) * short_flits_ * short_flits_ +
+         long_fraction_ * long_flits_ * long_flits_;
+}
+
+double MessageLength::VarianceFlits(int base_flits) const {
+  if (kind_ == Kind::kFixed) return 0.0;
+  const double mean = MeanFlits(base_flits);
+  return SecondMomentFlits(base_flits) - mean * mean;
+}
+
+std::int32_t MessageLength::SampleFlits(int base_flits, Rng& rng) const {
+  if (kind_ == Kind::kFixed) return base_flits;
+  return rng.NextDouble() < long_fraction_ ? long_flits_ : short_flits_;
+}
+
+std::string MessageLength::ToString() const {
+  if (kind_ == Kind::kFixed) return "fixed";
+  std::string out = "bimodal:" + std::to_string(short_flits_) + "," +
+                    std::to_string(long_flits_) + ",";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", long_fraction_);
+  return out + buf;
+}
+
+MessageLength MessageLength::Parse(const std::string& text) {
+  if (text == "fixed") return Fixed();
+  const std::string prefix = "bimodal:";
+  if (text.rfind(prefix, 0) != 0) {
+    throw std::invalid_argument("message length spec '" + text +
+                                "': use fixed or bimodal:SHORT,LONG,FRACTION");
+  }
+  const std::string params = text.substr(prefix.size());
+  const auto c1 = params.find(',');
+  const auto c2 = c1 == std::string::npos ? c1 : params.find(',', c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos) {
+    throw std::invalid_argument("message length spec '" + text +
+                                "': bimodal needs SHORT,LONG,FRACTION");
+  }
+  const auto to_int = [&text](const std::string& tok) {
+    const auto v = ParseFullInt(tok);
+    if (!v) {
+      throw std::invalid_argument("message length spec '" + text + "': '" +
+                                  tok + "' is not a valid flit count");
+    }
+    return *v;
+  };
+  const auto frac_tok = params.substr(c2 + 1);
+  const auto frac = ParseFullDouble(frac_tok);
+  if (!frac) {
+    throw std::invalid_argument("message length spec '" + text + "': '" +
+                                frac_tok + "' is not a valid fraction");
+  }
+  return Bimodal(to_int(params.substr(0, c1)),
+                 to_int(params.substr(c1 + 1, c2 - c1 - 1)), *frac);
+}
+
+// --- Workload --------------------------------------------------------------
+
+Workload Workload::ClusterLocal(double locality) {
+  Workload wl;
+  wl.pattern = WorkloadPattern::kClusterLocal;
+  wl.locality_fraction = locality;
+  return wl;
+}
+
+Workload Workload::Hotspot(double fraction, std::int64_t hot_node) {
+  Workload wl;
+  wl.pattern = WorkloadPattern::kHotspot;
+  wl.hotspot_fraction = fraction;
+  wl.hotspot_node = hot_node;
+  return wl;
+}
+
+Workload Workload::Permutation() {
+  Workload wl;
+  wl.pattern = WorkloadPattern::kPermutation;
+  return wl;
+}
+
+Workload& Workload::WithRateScale(std::vector<double> per_cluster) {
+  rate_scale = std::move(per_cluster);
+  return *this;
+}
+
+Workload& Workload::WithMessageLength(MessageLength length) {
+  message_length = length;
+  return *this;
+}
+
+bool Workload::uniform_rates() const {
+  for (double s : rate_scale) {
+    if (s != 1.0) return false;
+  }
+  return true;
+}
+
+void Workload::Validate(const SystemConfig& sys) const {
+  if (!rate_scale.empty() &&
+      rate_scale.size() != static_cast<std::size_t>(sys.num_clusters())) {
+    throw std::invalid_argument(
+        "workload rate_scale must have one entry per cluster (" +
+        std::to_string(sys.num_clusters()) + "), got " +
+        std::to_string(rate_scale.size()));
+  }
+  double total = 0;
+  for (double s : rate_scale) {
+    if (!(s >= 0.0) || !std::isfinite(s)) {
+      throw std::invalid_argument("workload rate scales must be finite and >= 0");
+    }
+    total += s;
+  }
+  if (!rate_scale.empty() && total <= 0.0) {
+    throw std::invalid_argument("workload rate scales must not all be zero");
+  }
+  if (pattern == WorkloadPattern::kClusterLocal &&
+      !(locality_fraction >= 0.0 && locality_fraction <= 1.0)) {
+    throw std::invalid_argument("locality fraction must be in [0, 1]");
+  }
+  if (pattern == WorkloadPattern::kHotspot) {
+    if (!(hotspot_fraction >= 0.0 && hotspot_fraction < 1.0)) {
+      throw std::invalid_argument("hotspot fraction must be in [0, 1)");
+    }
+    if (hotspot_node < 0 || hotspot_node >= sys.TotalNodes()) {
+      throw std::invalid_argument("hotspot node " +
+                                  std::to_string(hotspot_node) +
+                                  " outside [0, N)");
+    }
+  }
+}
+
+std::string Workload::Describe() const {
+  std::string out = WorkloadPatternName(pattern);
+  char buf[64];
+  if (pattern == WorkloadPattern::kClusterLocal) {
+    std::snprintf(buf, sizeof buf, " %.0f%%", 100.0 * locality_fraction);
+    out += buf;
+  } else if (pattern == WorkloadPattern::kHotspot) {
+    std::snprintf(buf, sizeof buf, " %.0f%% -> node %lld",
+                  100.0 * hotspot_fraction,
+                  static_cast<long long>(hotspot_node));
+    out += buf;
+  }
+  if (!uniform_rates()) out += ", per-cluster rates";
+  if (!message_length.is_fixed()) out += ", " + message_length.ToString();
+  return out;
+}
+
+double Workload::EffectiveU(const SystemConfig& sys, int i) const {
+  switch (pattern) {
+    case WorkloadPattern::kUniform:
+    case WorkloadPattern::kPermutation:
+      // A uniform random derangement's marginal destination distribution is
+      // uniform, so the permutation pattern shares Eq. (2).
+      return sys.OutgoingProbability(i);
+    case WorkloadPattern::kClusterLocal:
+      // Mirror the generator's edge cases: a single-node cluster cannot keep
+      // traffic local; a single-cluster system cannot send any away.
+      if (sys.NodesInCluster(i) <= 1) return 1.0;
+      if (sys.NodesInCluster(i) == sys.TotalNodes()) return 0.0;
+      return 1.0 - locality_fraction;
+    case WorkloadPattern::kHotspot: {
+      // With probability f the destination is the hot node (local to its own
+      // cluster, remote to every other); the remaining 1-f is uniform. The
+      // src == hot fall-through to uniform is a 1/N_h correction we absorb.
+      const double base = sys.OutgoingProbability(i);
+      if (sys.ClusterOfNode(hotspot_node) == i) {
+        return (1.0 - hotspot_fraction) * base;
+      }
+      return hotspot_fraction + (1.0 - hotspot_fraction) * base;
+    }
+  }
+  return sys.OutgoingProbability(i);
+}
+
+double Workload::InterDestProbability(const SystemConfig& sys, int i,
+                                      int j) const {
+  if (i == j || sys.num_clusters() < 2) return 0.0;
+  const double n = static_cast<double>(sys.TotalNodes());
+  const double ni = static_cast<double>(sys.NodesInCluster(i));
+  const double nj = static_cast<double>(sys.NodesInCluster(j));
+  if (!DestinationSkewed()) return nj / (n - ni);
+  // Hotspot: unnormalized mass per destination cluster, then normalize over
+  // the inter-cluster destinations of cluster i.
+  const int h = sys.ClusterOfNode(hotspot_node);
+  const double f = hotspot_fraction;
+  double total = 0;
+  double target = 0;
+  for (int c = 0; c < sys.num_clusters(); ++c) {
+    if (c == i) continue;
+    const double nc = static_cast<double>(sys.NodesInCluster(c));
+    double q = (1.0 - f) * nc / (n - 1.0);
+    if (c == h && i != h) q += f;
+    total += q;
+    if (c == j) target = q;
+  }
+  return total > 0 ? target / total : 0.0;
+}
+
+double Workload::EcnLoadFactor(const SystemConfig& sys, int c) const {
+  // Ordered so the default workload reproduces Eq. (22)'s N_c U_c term bit
+  // for bit (the trailing * 1.0 is exact).
+  const double out = static_cast<double>(sys.NodesInCluster(c)) *
+                     EffectiveU(sys, c) * RateScale(c);
+  if (!DestinationSkewed()) return out;
+  // Hotspot overlay: an ECN1 carries access journeys (outgoing) and egress
+  // journeys (incoming); the hot cluster's incoming side dwarfs its outgoing
+  // one, so use the symmetrized actual load instead of the Eq. (22) proxy.
+  double in = 0;
+  for (int i = 0; i < sys.num_clusters(); ++i) {
+    if (i == c) continue;
+    in += static_cast<double>(sys.NodesInCluster(i)) * EffectiveU(sys, i) *
+          RateScale(i) * InterDestProbability(sys, i, c);
+  }
+  return 0.5 * (out + in);
+}
+
+std::vector<double> Workload::EcnLoadFactors(const SystemConfig& sys) const {
+  const int c = sys.num_clusters();
+  std::vector<double> out(static_cast<std::size_t>(c));
+  for (int i = 0; i < c; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<double>(sys.NodesInCluster(i)) * EffectiveU(sys, i) *
+        RateScale(i);
+  }
+  if (!DestinationSkewed()) return out;
+  // Accumulate each cluster's incoming inter rate row by row — the same
+  // terms, in the same source order, as EcnLoadFactor's per-cluster loop,
+  // but with each source's destination-probability row (and its normalizer)
+  // computed once instead of per (source, destination) pair.
+  const double n = static_cast<double>(sys.TotalNodes());
+  const int h = sys.ClusterOfNode(hotspot_node);
+  const double f = hotspot_fraction;
+  std::vector<double> in(static_cast<std::size_t>(c), 0.0);
+  std::vector<double> row(static_cast<std::size_t>(c), 0.0);
+  for (int i = 0; i < c; ++i) {
+    const double out_raw = static_cast<double>(sys.NodesInCluster(i)) *
+                           EffectiveU(sys, i) * RateScale(i);
+    double total = 0;
+    for (int j = 0; j < c; ++j) {
+      if (j == i) continue;
+      const double nj = static_cast<double>(sys.NodesInCluster(j));
+      double q = (1.0 - f) * nj / (n - 1.0);
+      if (j == h && i != h) q += f;
+      row[static_cast<std::size_t>(j)] = q;
+      total += q;
+    }
+    if (total <= 0) continue;
+    for (int j = 0; j < c; ++j) {
+      if (j == i) continue;
+      in[static_cast<std::size_t>(j)] +=
+          out_raw * (row[static_cast<std::size_t>(j)] / total);
+    }
+  }
+  for (int j = 0; j < c; ++j) {
+    out[static_cast<std::size_t>(j)] =
+        0.5 * (out[static_cast<std::size_t>(j)] +
+               in[static_cast<std::size_t>(j)]);
+  }
+  return out;
+}
+
+double Workload::MeanFlits(const MessageFormat& msg) const {
+  return message_length.MeanFlits(msg.length_flits);
+}
+
+double Workload::FlitVariance(const MessageFormat& msg) const {
+  return message_length.VarianceFlits(msg.length_flits);
+}
+
+}  // namespace coc

@@ -109,14 +109,12 @@ TEST(Integration, LocalityExtensionMatchesClusterLocalSim) {
   // The locality-aware model (future-work extension) against the
   // simulator's kClusterLocal pattern on a homogeneous system.
   const auto sys = MakeTinySystem(MessageFormat{16, 64});
-  ModelOptions opts;
-  opts.locality_fraction = 0.8;
-  LatencyModel model(sys, opts);
+  const Workload workload = Workload::ClusterLocal(0.8);
+  LatencyModel model(sys, workload);
   CocSystemSim sim(sys);
   SimConfig cfg;
   cfg.lambda_g = 5e-4;
-  cfg.pattern = TrafficPattern::kClusterLocal;
-  cfg.locality_fraction = 0.8;
+  cfg.workload = workload;
   cfg.warmup_messages = 1000;
   cfg.measured_messages = 10000;
   cfg.drain_messages = 1000;
@@ -132,8 +130,7 @@ TEST(Integration, LocalityRaisesSaturationInModelAndSim) {
   // Keeping 80% of traffic local bypasses the C/D bottleneck: both sides
   // must sustain a rate far above the uniform saturation point.
   const auto sys = MakeSmallSystem(MessageFormat{16, 64});
-  ModelOptions local;
-  local.locality_fraction = 0.8;
+  const Workload local = Workload::ClusterLocal(0.8);
   LatencyModel uniform_model(sys), local_model(sys, local);
   const double sat_uniform = uniform_model.SaturationRate(1e-1);
   const double sat_local = local_model.SaturationRate(1e-1);
@@ -142,8 +139,7 @@ TEST(Integration, LocalityRaisesSaturationInModelAndSim) {
   CocSystemSim sim(sys);
   SimConfig cfg;
   cfg.lambda_g = sat_uniform * 1.5;
-  cfg.pattern = TrafficPattern::kClusterLocal;
-  cfg.locality_fraction = 0.8;
+  cfg.workload = local;
   cfg.warmup_messages = 500;
   cfg.measured_messages = 5000;
   cfg.drain_messages = 500;

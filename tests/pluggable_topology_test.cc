@@ -244,6 +244,66 @@ TEST(KAryMesh, RejectsBadParameters) {
   EXPECT_THROW(KAryMesh(4, 0, false), std::invalid_argument);
 }
 
+TEST(KAryMesh, CenterTapShortensMeshAccessJourneys) {
+  // The ROADMAP's non-uniform tap placement: anchoring the C/D at the
+  // center router must cut the mean access distance on a mesh, with the
+  // AccessLinks distribution regenerated to match the actual tap routes.
+  for (const MeshCase c : {MeshCase{4, 2, false}, MeshCase{5, 2, false},
+                           MeshCase{3, 3, false}, MeshCase{4, 2, true}}) {
+    SCOPED_TRACE(std::to_string(c.radix) + "x" + std::to_string(c.dims) +
+                 (c.torus ? " torus" : " mesh"));
+    const KAryMesh corner(c.radix, c.dims, c.torus);
+    const KAryMesh center(c.radix, c.dims, c.torus, /*center_tap=*/true);
+    // The tap sits at coordinate radix/2 in every dimension.
+    std::int64_t expected_tap = 0;
+    std::int64_t stride = 1;
+    for (int j = 0; j < c.dims; ++j) {
+      expected_tap += (c.radix / 2) * stride;
+      stride *= c.radix;
+    }
+    EXPECT_EQ(center.tap_router(), expected_tap);
+    // Regenerated distribution matches the actual routes, and the tap round
+    // trips still close.
+    CheckAccessMatchesCensus(center);
+    CheckTapClosure(center);
+    // Full src->dst journeys are tap-independent.
+    EXPECT_EQ(center.Links().MeanLinks(), corner.Links().MeanLinks());
+    if (center.wraps()) {
+      // Tori are vertex-transitive: the anchor cannot matter.
+      EXPECT_EQ(center.AccessLinks().MeanLinks(),
+                corner.AccessLinks().MeanLinks());
+    } else {
+      EXPECT_LT(center.AccessLinks().MeanLinks(),
+                corner.AccessLinks().MeanLinks());
+    }
+  }
+}
+
+TEST(KAryMesh, CenterTapWorksEndToEndInASystem) {
+  // A cluster whose ECN1 taps the mesh center must run through the full
+  // model + simulator stack (the sim draws tap routes, the model the
+  // regenerated access distribution).
+  std::vector<ClusterConfig> clusters(4, ClusterConfig{1, Net1(), Net2()});
+  for (auto& c : clusters) {
+    c.icn1_topo = TopologySpec::Mesh(3, 2);
+    c.ecn1_topo =
+        TopologySpec::Mesh(3, 2, false, TopologySpec::Tap::kCenter);
+  }
+  const SystemConfig sys(4, clusters, Net1(), MessageFormat{8, 64});
+  LatencyModel model(sys);
+  const auto mr = model.Evaluate(1e-3);
+  EXPECT_FALSE(mr.saturated);
+  CocSystemSim sim(sys);
+  SimConfig cfg;
+  cfg.lambda_g = 1e-3;
+  cfg.warmup_messages = 200;
+  cfg.measured_messages = 2000;
+  cfg.drain_messages = 200;
+  const auto sr = sim.Run(cfg);
+  EXPECT_EQ(sr.delivered, 2400);
+  EXPECT_GT(sr.latency.Mean(), 0);
+}
+
 TEST(TopologySpec, ParsesAllForms) {
   EXPECT_EQ(ParseTopologySpec("tree").type, TopologySpec::Type::kTree);
   EXPECT_EQ(ParseTopologySpec("tree:3").n, 3);
@@ -260,11 +320,19 @@ TEST(TopologySpec, ParsesAllForms) {
   EXPECT_EQ(torus.type, TopologySpec::Type::kTorus);
   EXPECT_EQ(torus.radix, 3);
   EXPECT_EQ(torus.dims, 2);
+  EXPECT_EQ(torus.tap, TopologySpec::Tap::kCorner);
+  const auto center = ParseTopologySpec("mesh:4x2,tap=center");
+  EXPECT_EQ(center.radix, 4);
+  EXPECT_EQ(center.dims, 2);
+  EXPECT_EQ(center.tap, TopologySpec::Tap::kCenter);
+  const auto center_kv = ParseTopologySpec("mesh:radix=4,dims=2,tap=center");
+  EXPECT_EQ(center_kv, center);
 }
 
 TEST(TopologySpec, RoundTripsThroughToString) {
   for (const char* text : {"tree:m=8,n=2", "crossbar:16", "mesh:4x2",
-                           "torus:3x3"}) {
+                           "torus:3x3", "mesh:4x2,tap=center",
+                           "torus:5x2,tap=center"}) {
     const auto spec = ParseTopologySpec(text);
     EXPECT_EQ(ParseTopologySpec(spec.ToString()), spec) << text;
   }
@@ -277,6 +345,9 @@ TEST(TopologySpec, RejectsMalformedInput) {
   EXPECT_THROW(ParseTopologySpec("tree:m=0"), std::invalid_argument);
   EXPECT_THROW(ParseTopologySpec("tree:depth=2"), std::invalid_argument);
   EXPECT_THROW(ParseTopologySpec("crossbar:-4"), std::invalid_argument);
+  EXPECT_THROW(ParseTopologySpec("mesh:4x2,tap=middle"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseTopologySpec("mesh:tap=center"), std::invalid_argument);
 }
 
 TEST(TopologySpec, BuildsEveryFamily) {

@@ -199,9 +199,7 @@ TEST(ModelProperties, LocalityFractionMonotone) {
   double prev_latency = 1e100;
   double prev_sat = 0;
   for (double p : {0.2, 0.5, 0.8, 0.95}) {
-    ModelOptions opts;
-    opts.locality_fraction = p;
-    LatencyModel model(sys, opts);
+    LatencyModel model(sys, Workload::ClusterLocal(p));
     const double latency = model.Evaluate(1e-3).mean_latency;
     const double sat = model.SaturationRate(1.0);
     EXPECT_LT(latency, prev_latency) << "p=" << p;

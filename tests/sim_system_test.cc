@@ -122,9 +122,7 @@ TEST(Traffic, HotspotFractionRespected) {
   const auto sys = MakeTinySystem(MessageFormat{16, 64});
   SimConfig cfg;
   cfg.lambda_g = 1e-3;
-  cfg.pattern = TrafficPattern::kHotspot;
-  cfg.hotspot_fraction = 0.3;
-  cfg.hotspot_node = 5;
+  cfg.workload = Workload::Hotspot(0.3, 5);
   cfg.seed = 17;
   const auto events = GenerateTraffic(sys, cfg, 50000);
   int hot = 0;
@@ -140,8 +138,7 @@ TEST(Traffic, ClusterLocalKeepsRequestedShareInside) {
   const auto sys = MakeSmallSystem(MessageFormat{16, 64});
   SimConfig cfg;
   cfg.lambda_g = 1e-3;
-  cfg.pattern = TrafficPattern::kClusterLocal;
-  cfg.locality_fraction = 0.7;
+  cfg.workload = Workload::ClusterLocal(0.7);
   cfg.seed = 19;
   const auto events = GenerateTraffic(sys, cfg, 50000);
   int local = 0;
@@ -155,7 +152,7 @@ TEST(Traffic, PermutationIsFixedAndFixedPointFree) {
   const auto sys = MakeTinySystem(MessageFormat{16, 64});
   SimConfig cfg;
   cfg.lambda_g = 1e-3;
-  cfg.pattern = TrafficPattern::kPermutation;
+  cfg.workload = Workload::Permutation();
   cfg.seed = 23;
   const auto events = GenerateTraffic(sys, cfg, 5000);
   std::map<std::int64_t, std::int64_t> mapping;

@@ -1,6 +1,8 @@
 // Perf-trajectory reporter: runs the google-benchmark perf suites
-// (bench_perf_sim, bench_perf_model) and emits the tracked artifacts
-// BENCH_sim.json / BENCH_model.json (google-benchmark's JSON schema:
+// (bench_perf_sim, bench_perf_model) plus the workload-layer validation
+// bench (bench_ablation_workload) and emits the tracked artifacts
+// BENCH_sim.json / BENCH_model.json / BENCH_workload.json
+// (google-benchmark's JSON schema:
 // a "context" block plus a "benchmarks" array with per-benchmark
 // "name", "real_time"/"cpu_time" in ns, and user counters such as
 // "msgs/s"). Prints a compact summary, and — given a baseline artifact —
@@ -9,7 +11,8 @@
 //
 // Usage:
 //   perf_report [--bench-dir DIR] [--out-dir DIR] [--baseline FILE]
-//               [--model-baseline FILE] [--min-time SECONDS]
+//               [--model-baseline FILE] [--workload-baseline FILE]
+//               [--min-time SECONDS]
 //
 //   --bench-dir        directory holding bench_perf_sim / bench_perf_model
 //                      (default: ".")
@@ -19,6 +22,8 @@
 //                      (e.g. perf/BENCH_sim.baseline.json) to compare
 //                      msgs/s and ns/op against
 //   --model-baseline   same for the model suite (BENCH_model.json)
+//   --workload-baseline same for the workload validation suite
+//                      (BENCH_workload.json; compares model-vs-sim err%)
 //   --min-time         per-benchmark measuring time (default 1 second)
 //
 // Exit code: 0 on success, 1 when a bench binary is missing or fails.
@@ -38,6 +43,14 @@ namespace {
 struct BenchResult {
   double real_time_ns = 0;
   double msgs_per_s = 0;  // 0 when the benchmark has no msgs/s counter
+  double model_us = 0;    // workload suite: analytical mean latency
+  double sim_us = 0;      // workload suite: simulated mean latency
+  bool model_saturated = false;  // workload suite: model is past saturation
+
+  /// Workload-suite entries carry a model-vs-sim validation error instead of
+  /// a throughput; that error is what baselines compare.
+  bool HasErrPct() const { return sim_us > 0 && !model_saturated; }
+  double ErrPct() const { return 100.0 * (model_us - sim_us) / sim_us; }
 };
 
 /// Minimal extraction from google-benchmark's JSON output: scans the
@@ -71,6 +84,22 @@ std::map<std::string, BenchResult> ParseBenchJson(const std::string& path) {
     const auto rate_pos = line.find("\"msgs/s\":");
     if (rate_pos != std::string::npos) {
       results[current].msgs_per_s = number_after(line, line.find(':', rate_pos));
+      continue;
+    }
+    const auto model_pos = line.find("\"model_us\":");
+    if (model_pos != std::string::npos) {
+      results[current].model_us = number_after(line, line.find(':', model_pos));
+      continue;
+    }
+    const auto sim_pos = line.find("\"sim_us\":");
+    if (sim_pos != std::string::npos) {
+      results[current].sim_us = number_after(line, line.find(':', sim_pos));
+      continue;
+    }
+    const auto sat_pos = line.find("\"model_saturated\":");
+    if (sat_pos != std::string::npos) {
+      results[current].model_saturated =
+          number_after(line, line.find(':', sat_pos)) != 0.0;
     }
   }
   return results;
@@ -103,6 +132,14 @@ void PrintSuite(const char* title, const std::string& path,
     if (r.msgs_per_s > 0) {
       std::printf("  %-36s %12.0f ns/op  %10.1f k msgs/s\n", name.c_str(),
                   r.real_time_ns, r.msgs_per_s / 1000.0);
+    } else if (r.HasErrPct()) {
+      std::printf("  %-36s model %8.1f us  sim %8.1f us  (%+.1f%%)\n",
+                  name.c_str(), r.model_us, r.sim_us, r.ErrPct());
+    } else if (r.sim_us > 0) {
+      std::printf("  %-36s model saturated  sim %8.1f us\n", name.c_str(),
+                  r.sim_us);
+    } else if (r.model_saturated) {
+      std::printf("  %-36s model saturated  sim aborted\n", name.c_str());
     } else {
       std::printf("  %-36s %12.0f ns/op\n", name.c_str(), r.real_time_ns);
     }
@@ -116,6 +153,21 @@ void CompareToBaseline(const std::string& baseline_path,
   for (const auto& [name, r] : current) {
     const auto it = base.find(name);
     if (it == base.end()) continue;
+    if (r.sim_us > 0 || it->second.sim_us > 0 || r.model_saturated ||
+        it->second.model_saturated) {
+      // Workload validation entries: compare the model-vs-sim error, the
+      // metric the artifact exists for (wall time is sweep noise).
+      if (r.HasErrPct() && it->second.HasErrPct()) {
+        std::printf("  %-36s err %+6.1f%% -> %+6.1f%%\n", name.c_str(),
+                    it->second.ErrPct(), r.ErrPct());
+      } else if (r.model_saturated != it->second.model_saturated) {
+        std::printf("  %-36s model saturation changed: %s -> %s\n",
+                    name.c_str(),
+                    it->second.model_saturated ? "saturated" : "finite",
+                    r.model_saturated ? "saturated" : "finite");
+      }
+      continue;
+    }
     if (r.msgs_per_s > 0 && it->second.msgs_per_s > 0) {
       std::printf("  %-36s %10.1f -> %10.1f k msgs/s  (%.2fx)\n", name.c_str(),
                   it->second.msgs_per_s / 1000.0, r.msgs_per_s / 1000.0,
@@ -135,6 +187,7 @@ int main(int argc, char** argv) {
   std::string out_dir = ".";
   std::string baseline;
   std::string model_baseline;
+  std::string workload_baseline;
   double min_time = 1.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -153,34 +206,46 @@ int main(int argc, char** argv) {
       baseline = next();
     } else if (arg == "--model-baseline") {
       model_baseline = next();
+    } else if (arg == "--workload-baseline") {
+      workload_baseline = next();
     } else if (arg == "--min-time") {
       min_time = std::strtod(next(), nullptr);
     } else {
       std::fprintf(stderr,
                    "usage: perf_report [--bench-dir DIR] [--out-dir DIR] "
                    "[--baseline FILE] [--model-baseline FILE] "
-                   "[--min-time SECONDS]\n");
+                   "[--workload-baseline FILE] [--min-time SECONDS]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
 
   const std::string sim_out = out_dir + "/BENCH_sim.json";
   const std::string model_out = out_dir + "/BENCH_model.json";
+  const std::string workload_out = out_dir + "/BENCH_workload.json";
   if (RunSuite(bench_dir, "bench_perf_sim", sim_out, min_time) != 0) return 1;
   if (RunSuite(bench_dir, "bench_perf_model", model_out, min_time) != 0) {
+    return 1;
+  }
+  if (RunSuite(bench_dir, "bench_ablation_workload", workload_out,
+               min_time) != 0) {
     return 1;
   }
 
   const auto sim = ParseBenchJson(sim_out);
   const auto model = ParseBenchJson(model_out);
-  if (sim.empty() || model.empty()) {
+  const auto workload = ParseBenchJson(workload_out);
+  if (sim.empty() || model.empty() || workload.empty()) {
     std::fprintf(stderr, "error: benchmark output missing or unparseable\n");
     return 1;
   }
   PrintSuite("simulator suite", sim_out, sim);
   PrintSuite("model suite", model_out, model);
+  PrintSuite("workload validation suite", workload_out, workload);
 
   if (!baseline.empty()) CompareToBaseline(baseline, sim);
   if (!model_baseline.empty()) CompareToBaseline(model_baseline, model);
+  if (!workload_baseline.empty()) {
+    CompareToBaseline(workload_baseline, workload);
+  }
   return 0;
 }
