@@ -35,19 +35,19 @@ see the same traffic):
   --pattern uniform|hotspot|local|permutation
   --locality P            (implies --pattern local)
   --hotspot-fraction F    (implies --pattern hotspot)
-  --hotspot-node ID       (implies --pattern hotspot; rejected if the
-                           workload is explicitly local/permutation)
+  --hotspot-node ID       (implies --pattern hotspot; rejected against an
+                           explicitly non-hotspot workload)
   --rate-scale I=S[,I=S...]   per-cluster generation-rate multipliers
   --msg-len fixed|bimodal:SHORT,LONG,FRACTION
 
 Every command accepts --icn2-topology SPEC to override the global network's
 topology (SPEC: tree[:n], crossbar[:ports], mesh:RADIXxDIMS[,tap=center],
-torus:RADIXxDIMS[,tap=center]). Per-cluster topologies are set in the config
-file ('topology =' keys).
+torus:RADIXxDIMS[,tap=center], dragonfly:A,P,H[,routing=min|valiant]).
+Per-cluster topologies are set in the config file ('topology =' keys).
 
 <system> is a config file (see src/cli/config_parser.h) or preset:1120,
-preset:544, preset:small, preset:tiny, preset:mixed — optionally
-preset:NAME:M:dm.
+preset:544, preset:small, preset:tiny, preset:mixed, preset:dragonfly —
+optionally preset:NAME:M:dm.
 )";
 
 /// Minimal --flag/value parser; flags without a value are boolean.
@@ -118,16 +118,50 @@ Workload WorkloadFromFlags(Flags& flags, const SystemConfig& sys,
     base.pattern = ParseWorkloadPattern(flags.Text("pattern", "uniform"));
   }
   if (flags.Present("locality")) {
+    // --locality implies the cluster-local pattern, but never by silently
+    // overriding an explicitly contradictory pattern flag: --pattern hotspot
+    // --locality 0.6 is a hard error, not a locality run.
+    if (flags.Present("pattern") &&
+        base.pattern != WorkloadPattern::kClusterLocal) {
+      throw std::invalid_argument(
+          std::string("--locality implies --pattern local and cannot be "
+                      "combined with --pattern ") +
+          WorkloadPatternName(base.pattern) +
+          " (drop --locality or use --pattern local)");
+    }
+    if (flags.Present("hotspot-fraction") || flags.Present("hotspot-node")) {
+      throw std::invalid_argument(
+          "--locality cannot be combined with --hotspot-fraction or "
+          "--hotspot-node (pick one pattern)");
+    }
     base.pattern = WorkloadPattern::kClusterLocal;
     base.locality_fraction = flags.Number("locality");
   }
   if (flags.Present("hotspot-fraction")) {
+    if (flags.Present("pattern") &&
+        base.pattern != WorkloadPattern::kHotspot) {
+      throw std::invalid_argument(
+          std::string("--hotspot-fraction implies --pattern hotspot and "
+                      "cannot be combined with --pattern ") +
+          WorkloadPatternName(base.pattern) +
+          " (drop --hotspot-fraction or use --pattern hotspot)");
+    }
     base.pattern = WorkloadPattern::kHotspot;
     base.hotspot_fraction = flags.Number("hotspot-fraction");
   }
   if (flags.Present("hotspot-node")) {
     // Implies the hotspot pattern from the uniform default, but never
-    // silently overrides an explicitly non-hotspot scenario.
+    // silently overrides an explicitly non-hotspot scenario — neither an
+    // explicit conflicting --pattern flag (mirrors the --hotspot-fraction
+    // guard) nor a config file's local/permutation workload.
+    if (flags.Present("pattern") &&
+        base.pattern != WorkloadPattern::kHotspot) {
+      throw std::invalid_argument(
+          std::string("--hotspot-node implies --pattern hotspot and cannot "
+                      "be combined with --pattern ") +
+          WorkloadPatternName(base.pattern) +
+          " (drop --hotspot-node or use --pattern hotspot)");
+    }
     if (base.pattern == WorkloadPattern::kClusterLocal ||
         base.pattern == WorkloadPattern::kPermutation) {
       throw std::invalid_argument(
@@ -136,6 +170,14 @@ Workload WorkloadFromFlags(Flags& flags, const SystemConfig& sys,
     }
     base.pattern = WorkloadPattern::kHotspot;
     base.hotspot_node = static_cast<std::int64_t>(flags.Number("hotspot-node"));
+    // Range-check against this system here so the failure names the flag
+    // instead of surfacing from deep inside the model.
+    if (base.hotspot_node < 0 || base.hotspot_node >= sys.TotalNodes()) {
+      throw std::invalid_argument(
+          "--hotspot-node " + std::to_string(base.hotspot_node) +
+          " outside [0, " + std::to_string(sys.TotalNodes()) +
+          ") for this system");
+    }
   }
   if (flags.Present("msg-len")) {
     base.message_length = MessageLength::Parse(flags.Text("msg-len", "fixed"));
@@ -207,6 +249,9 @@ int CmdModel(const SystemConfig& sys, const Workload& workload, Flags& flags,
   const auto r = model.Evaluate(rate);
   out << "lambda_g = " << FormatSci(rate) << "  (workload: "
       << workload.Describe() << ")\n";
+  if (const char* note = workload.ModelApproximationNote()) {
+    out << note << "\n";
+  }
   if (r.saturated) {
     out << "mean latency: saturated (model invalid at this rate)\n";
   } else {
@@ -299,6 +344,9 @@ int CmdBottleneck(const SystemConfig& sys, const Workload& workload,
   flags.CheckAllUsed();
   LatencyModel model(sys, workload);
   const auto b = model.Bottleneck(rate);
+  if (const char* note = workload.ModelApproximationNote()) {
+    out << note << "\n";
+  }
   Table t({"resource", "utilization"});
   t.AddRow({"concentrator/dispatcher", FormatDouble(b.condis_rho, 4)});
   t.AddRow({"inter-cluster source queue", FormatDouble(b.inter_source_rho, 4)});

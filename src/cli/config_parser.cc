@@ -304,7 +304,16 @@ Experiment ParseExperiment(const std::string& text) {
                               net_by_name(*system, "icn2"), msg,
                               topo_by_key(*system, "icn2_topology")),
                  workload};
-  exp.workload.Validate(exp.system);
+  // System-dependent workload validation (e.g. workload.hotspot_node against
+  // the total node count) can only run once the SystemConfig exists; re-wrap
+  // its failures with the [system] section's location so a bad value fails
+  // here, at parse time, instead of deep inside the model's EffectiveU.
+  try {
+    exp.workload.Validate(exp.system);
+  } catch (const std::invalid_argument& e) {
+    Fail(system->line,
+         std::string(e.what()) + " (check the workload.* keys)");
+  }
   return exp;
 }
 
@@ -331,8 +340,12 @@ Experiment LoadExperiment(const std::string& path_or_preset) {
     if (rest == "mixed") {
       return Experiment{MakeMixedTopologySystem(msg), Workload{}};
     }
-    throw std::invalid_argument("unknown preset '" + rest +
-                                "' (use 1120, 544, small, tiny or mixed)");
+    if (rest == "dragonfly") {
+      return Experiment{MakeDragonflySystem(msg), Workload{}};
+    }
+    throw std::invalid_argument(
+        "unknown preset '" + rest +
+        "' (use 1120, 544, small, tiny, mixed or dragonfly)");
   }
   std::ifstream in(path_or_preset);
   if (!in) {

@@ -65,4 +65,18 @@ SystemConfig MakeMixedTopologySystem(MessageFormat message) {
   return SystemConfig(/*m=*/4, std::move(clusters), /*icn2=*/Net1(), message);
 }
 
+SystemConfig MakeDragonflySystem(MessageFormat message) {
+  std::vector<ClusterConfig> clusters;
+  clusters.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    ClusterConfig c{1, Net1(), Net2()};
+    c.icn1_topo = TopologySpec::Dragonfly(
+        /*a=*/2, /*p=*/2, /*h=*/1,
+        i < 2 ? TopologySpec::Routing::kMin
+              : TopologySpec::Routing::kValiant);
+    clusters.push_back(c);
+  }
+  return SystemConfig(/*m=*/4, std::move(clusters), /*icn2=*/Net1(), message);
+}
+
 }  // namespace coc

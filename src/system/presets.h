@@ -29,4 +29,11 @@ SystemConfig MakeTinySystem(MessageFormat message);
 /// Topology layer end to end (model + simulator) with mixed families.
 SystemConfig MakeMixedTopologySystem(MessageFormat message);
 
+/// A dragonfly system (C=4, m=4): every cluster is a balanced dragonfly
+/// a=2, p=2, h=1 (3 groups, 6 routers, 12 nodes) — clusters 0-1 route
+/// minimally, clusters 2-3 use Valiant group-level randomization, so one
+/// run exercises both routing oracles. ECN1 mirrors the dragonfly; the
+/// ICN2 stays the paper's tree (4 slots, exact fit).
+SystemConfig MakeDragonflySystem(MessageFormat message);
+
 }  // namespace coc

@@ -1,8 +1,10 @@
 #include "topology/topology_spec.h"
 
+#include <limits>
 #include <map>
 #include <stdexcept>
 
+#include "topology/dragonfly.h"
 #include "topology/full_crossbar.h"
 #include "topology/k_ary_mesh.h"
 #include "topology/m_port_n_tree.h"
@@ -23,6 +25,16 @@ std::int64_t ToCount(const std::string& text, const std::string& token) {
   } catch (...) {
     Fail(text, "'" + token + "' is not a positive integer");
   }
+}
+
+/// ToCount for int-typed spec fields: rejects values past INT_MAX instead
+/// of letting a narrowing cast wrap them into a different (valid) value.
+int ToSmallCount(const std::string& text, const std::string& token) {
+  const std::int64_t v = ToCount(text, token);
+  if (v > std::numeric_limits<int>::max()) {
+    Fail(text, "'" + token + "' is out of range");
+  }
+  return static_cast<int>(v);
 }
 
 /// Parses "k1=v1,k2=v2" into a map; every value must be a positive integer.
@@ -56,6 +68,10 @@ std::string TopologySpec::ToString() const {
     case Type::kTorus:
       return "torus:" + std::to_string(radix) + "x" + std::to_string(dims) +
              (tap == Tap::kCenter ? ",tap=center" : "");
+    case Type::kDragonfly:
+      return "dragonfly:" + std::to_string(a) + "," + std::to_string(p) +
+             "," + std::to_string(h) +
+             (routing == Routing::kValiant ? ",routing=valiant" : "");
   }
   return "?";
 }
@@ -71,9 +87,12 @@ TopologySpec ParseTopologySpec(const std::string& text) {
     spec.type = TopologySpec::Type::kTree;
     if (!params.empty()) {
       if (params.find('=') == std::string::npos) {
-        spec.n = static_cast<int>(ToCount(text, params));
+        spec.n = ToSmallCount(text, params);
       } else {
         for (const auto& [key, value] : KeyValues(text, params)) {
+          if (value > std::numeric_limits<int>::max()) {
+            Fail(text, "'" + key + "' is out of range");
+          }
           if (key == "m") {
             spec.m = static_cast<int>(value);
           } else if (key == "n") {
@@ -109,15 +128,15 @@ TopologySpec ParseTopologySpec(const std::string& text) {
         if (!first) Fail(text, "expected key=value: " + token);
         const auto x = token.find('x');
         if (x == std::string::npos) Fail(text, "expected RADIXxDIMS");
-        spec.radix = static_cast<int>(ToCount(text, token.substr(0, x)));
-        spec.dims = static_cast<int>(ToCount(text, token.substr(x + 1)));
+        spec.radix = ToSmallCount(text, token.substr(0, x));
+        spec.dims = ToSmallCount(text, token.substr(x + 1));
       } else {
         const std::string key = token.substr(0, eq);
         const std::string value = token.substr(eq + 1);
         if (key == "radix") {
-          spec.radix = static_cast<int>(ToCount(text, value));
+          spec.radix = ToSmallCount(text, value);
         } else if (key == "dims") {
-          spec.dims = static_cast<int>(ToCount(text, value));
+          spec.dims = ToSmallCount(text, value);
         } else if (key == "tap") {
           if (value == "corner") {
             spec.tap = TopologySpec::Tap::kCorner;
@@ -138,8 +157,63 @@ TopologySpec ParseTopologySpec(const std::string& text) {
     }
     return spec;
   }
+  if (head == "dragonfly") {
+    spec.type = TopologySpec::Type::kDragonfly;
+    if (params.empty()) Fail(text, "dragonfly needs A,P,H parameters");
+    // Comma-separated tokens: up to three positional ints (a, p, h in that
+    // order), then key=value pairs (a=, p=, h=, routing=min|valiant).
+    // Positional tokens after a key=value pair are rejected (mirroring the
+    // mesh parser) — they would silently overwrite the keyed values.
+    int positional = 0;
+    bool keyed = false;
+    std::size_t start = 0;
+    while (start <= params.size()) {
+      auto comma = params.find(',', start);
+      if (comma == std::string::npos) comma = params.size();
+      const std::string token = params.substr(start, comma - start);
+      start = comma + 1;
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) {
+        if (keyed) Fail(text, "expected key=value: " + token);
+        const int value = ToSmallCount(text, token);
+        switch (positional++) {
+          case 0: spec.a = value; break;
+          case 1: spec.p = value; break;
+          case 2: spec.h = value; break;
+          default: Fail(text, "dragonfly takes three positional parameters "
+                              "(a, p, h), got extra '" + token + "'");
+        }
+      } else {
+        keyed = true;
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        if (key == "a") {
+          spec.a = ToSmallCount(text, value);
+        } else if (key == "p") {
+          spec.p = ToSmallCount(text, value);
+        } else if (key == "h") {
+          spec.h = ToSmallCount(text, value);
+        } else if (key == "routing") {
+          if (value == "min") {
+            spec.routing = TopologySpec::Routing::kMin;
+          } else if (value == "valiant") {
+            spec.routing = TopologySpec::Routing::kValiant;
+          } else {
+            Fail(text, "routing must be min or valiant, got '" + value + "'");
+          }
+        } else {
+          Fail(text, "unknown dragonfly parameter '" + key + "'");
+        }
+      }
+      if (comma == params.size()) break;
+    }
+    if (spec.a == 0 || spec.p == 0 || spec.h == 0) {
+      Fail(text, "dragonfly needs all of a, p and h");
+    }
+    return spec;
+  }
   Fail(text, "unknown topology type '" + head +
-                 "' (use tree, crossbar, mesh or torus)");
+                 "' (use tree, crossbar, mesh, torus or dragonfly)");
 }
 
 std::shared_ptr<const Topology> BuildTopology(const TopologySpec& spec) {
@@ -156,6 +230,12 @@ std::shared_ptr<const Topology> BuildTopology(const TopologySpec& spec) {
       return std::make_shared<KAryMesh>(
           spec.radix, spec.dims, true,
           spec.tap == TopologySpec::Tap::kCenter);
+    case TopologySpec::Type::kDragonfly:
+      return std::make_shared<Dragonfly>(
+          spec.a, spec.p, spec.h,
+          spec.routing == TopologySpec::Routing::kValiant
+              ? Dragonfly::Routing::kValiant
+              : Dragonfly::Routing::kMin);
   }
   throw std::invalid_argument("unknown topology type");
 }
@@ -184,6 +264,11 @@ TopologySpec ResolveTopologySpec(TopologySpec spec, int system_m,
     case TopologySpec::Type::kTorus:
       if (spec.radix == 0 || spec.dims == 0) {
         throw std::invalid_argument("mesh/torus topology needs radix and dims");
+      }
+      break;
+    case TopologySpec::Type::kDragonfly:
+      if (spec.a == 0 || spec.p == 0 || spec.h == 0) {
+        throw std::invalid_argument("dragonfly topology needs a, p and h");
       }
       break;
   }

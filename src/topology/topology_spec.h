@@ -19,6 +19,13 @@
 //   mesh:4x2,tap=center   C/D tap at the center router instead of corner
 //                         node 0 (cuts the mean access distance; the
 //                         ROADMAP's non-uniform tap placement item)
+//   dragonfly:4,2,2       balanced dragonfly: a=4 routers per group, p=2
+//                         nodes per router, h=2 global links per router
+//                         (g = a*h + 1 groups, palmtree global wiring)
+//   dragonfly:a=4,p=2,h=2 key=value form of the same
+//   dragonfly:4,2,2,routing=valiant
+//                         Valiant group-level randomized routing instead of
+//                         the default minimal (routing=min) l-g-l routing
 #pragma once
 
 #include <cstdint>
@@ -30,12 +37,23 @@
 namespace coc {
 
 struct TopologySpec {
-  enum class Type : std::uint8_t { kTree, kCrossbar, kMesh, kTorus };
+  enum class Type : std::uint8_t {
+    kTree,
+    kCrossbar,
+    kMesh,
+    kTorus,
+    kDragonfly,
+  };
   /// Where the concentrator/dispatcher tap attaches (mesh/torus only; trees
   /// always tap the node-0 spine and crossbars have no interior distance).
   enum class Tap : std::uint8_t {
     kCorner,  ///< router 0, the all-zero coordinate (default)
     kCenter,  ///< the center router (coordinate radix/2 in every dimension)
+  };
+  /// Dragonfly routing mode (other families have a single oracle).
+  enum class Routing : std::uint8_t {
+    kMin,      ///< minimal l-g-l routing (default)
+    kValiant,  ///< Valiant group-level randomization for inter-group traffic
   };
 
   Type type = Type::kTree;
@@ -45,6 +63,10 @@ struct TopologySpec {
   int radix = 0;          ///< mesh/torus k
   int dims = 0;           ///< mesh/torus d
   Tap tap = Tap::kCorner; ///< mesh/torus C/D tap placement
+  int a = 0;              ///< dragonfly routers per group
+  int p = 0;              ///< dragonfly nodes per router
+  int h = 0;              ///< dragonfly global links per router
+  Routing routing = Routing::kMin;  ///< dragonfly routing mode
 
   friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
 
@@ -70,6 +92,16 @@ struct TopologySpec {
     s.tap = tap;
     return s;
   }
+  static TopologySpec Dragonfly(int a, int p, int h,
+                                Routing routing = Routing::kMin) {
+    TopologySpec s;
+    s.type = Type::kDragonfly;
+    s.a = a;
+    s.p = p;
+    s.h = h;
+    s.routing = routing;
+    return s;
+  }
 
   /// Canonical text form (round-trips through ParseTopologySpec); doubles as
   /// the dedup cache key once the spec is fully resolved.
@@ -87,7 +119,7 @@ std::shared_ptr<const Topology> BuildTopology(const TopologySpec& spec);
 /// Resolves context-dependent parameters: tree m = 0 inherits `system_m`,
 /// tree n = 0 takes `default_depth` (must be > 0 then), crossbar ports = 0
 /// takes `fit_nodes` (must be > 0 then). Mesh/torus require explicit
-/// radix/dims and are returned unchanged.
+/// radix/dims, dragonfly explicit a/p/h; both are returned unchanged.
 TopologySpec ResolveTopologySpec(TopologySpec spec, int system_m,
                                  int default_depth, std::int64_t fit_nodes);
 

@@ -214,6 +214,16 @@ std::string Workload::Describe() const {
   return out;
 }
 
+const char* Workload::ModelApproximationNote() const {
+  if (pattern == WorkloadPattern::kPermutation) {
+    return "note: permutation is modeled by its uniform destination marginal "
+           "(Eq. 2); the fixed pairing's per-link contention is averaged out "
+           "(tests/workload_test.cc pins the resulting model-vs-sim "
+           "tolerance)";
+  }
+  return nullptr;
+}
+
 double Workload::EffectiveU(const SystemConfig& sys, int i) const {
   switch (pattern) {
     case WorkloadPattern::kUniform:

@@ -145,6 +145,14 @@ struct Workload {
   /// One-line human-readable description for tables and logs.
   std::string Describe() const;
 
+  /// Non-null when the analytical model approximates this pattern rather
+  /// than representing it exactly: the permutation pattern is modeled by its
+  /// uniform destination marginal (a uniform random derangement's marginal
+  /// IS uniform, so Eq. 2 applies), which averages out the fixed pairing's
+  /// per-link contention. The CLI prints the returned line next to model and
+  /// bottleneck output so the approximation is never silent.
+  const char* ModelApproximationNote() const;
+
   // --- model-facing accessors --------------------------------------------
   /// U^(i): probability a message generated in cluster i leaves the cluster.
   /// Uniform (and permutation, whose marginal is uniform) reproduces the

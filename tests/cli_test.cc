@@ -124,6 +124,7 @@ TEST(ConfigParser, PresetsLoad) {
   EXPECT_EQ(LoadSystem("preset:544").TotalNodes(), 544);
   EXPECT_EQ(LoadSystem("preset:small").num_clusters(), 8);
   EXPECT_EQ(LoadSystem("preset:tiny").num_clusters(), 4);
+  EXPECT_EQ(LoadSystem("preset:dragonfly").TotalNodes(), 48);
   const auto custom = LoadSystem("preset:1120:64:512");
   EXPECT_EQ(custom.message().length_flits, 64);
   EXPECT_DOUBLE_EQ(custom.message().flit_bytes, 512);
@@ -180,6 +181,90 @@ TEST(Cli, ModelWithLocalityExtension) {
   EXPECT_NE(base.out, local.out);
 }
 
+TEST(Cli, LocalityWithExplicitLocalPatternIsConsistent) {
+  // --pattern local --locality P is the one legal combination: both flags
+  // describe the same workload.
+  const auto r = RunCommand({"model", "preset:tiny:16:64", "--rate", "1e-4",
+                             "--pattern", "local", "--locality", "0.9"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  const auto implicit = RunCommand({"model", "preset:tiny:16:64", "--rate",
+                                    "1e-4", "--locality", "0.9"});
+  EXPECT_EQ(r.out, implicit.out);
+}
+
+TEST(Cli, LocalityConflictingWithExplicitPatternIsAHardError) {
+  // The old shim silently overwrote --pattern hotspot with the local
+  // pattern; the combination must fail loudly instead.
+  const auto r = RunCommand({"model", "preset:tiny:16:64", "--rate", "1e-4",
+                             "--pattern", "hotspot", "--locality", "0.6"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--locality"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("--pattern hotspot"), std::string::npos) << r.err;
+  const auto perm = RunCommand({"sim", "preset:tiny:16:64", "--rate", "1e-4",
+                                "--messages", "500", "--pattern",
+                                "permutation", "--locality", "0.6"});
+  EXPECT_EQ(perm.code, 1);
+  const auto hf = RunCommand({"model", "preset:tiny:16:64", "--rate", "1e-4",
+                              "--locality", "0.6", "--hotspot-fraction",
+                              "0.2"});
+  EXPECT_EQ(hf.code, 1);
+  EXPECT_NE(hf.err.find("--locality"), std::string::npos) << hf.err;
+  // Symmetric direction: --hotspot-fraction against an explicit non-hotspot
+  // pattern fails too.
+  const auto hp = RunCommand({"model", "preset:tiny:16:64", "--rate", "1e-4",
+                              "--pattern", "local", "--hotspot-fraction",
+                              "0.2"});
+  EXPECT_EQ(hp.code, 1);
+  EXPECT_NE(hp.err.find("--hotspot-fraction"), std::string::npos) << hp.err;
+}
+
+TEST(Cli, HotspotNodeConflictingWithExplicitPatternIsAHardError) {
+  // Mirrors the --hotspot-fraction guard: --pattern uniform --hotspot-node
+  // must not silently convert the run to a hotspot workload.
+  const auto r = RunCommand({"model", "preset:tiny:16:64", "--rate", "1e-4",
+                             "--pattern", "uniform", "--hotspot-node", "5"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--hotspot-node"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("--pattern uniform"), std::string::npos) << r.err;
+  const auto ok = RunCommand({"model", "preset:tiny:16:64", "--rate", "1e-4",
+                              "--pattern", "hotspot", "--hotspot-node", "5"});
+  EXPECT_EQ(ok.code, 0) << ok.err;
+}
+
+TEST(Cli, HotspotNodeOutOfRangeNamesTheFlag) {
+  // preset:tiny has 32 nodes; the range failure must surface at flag level
+  // (naming --hotspot-node), not from deep inside the model.
+  const auto r = RunCommand({"model", "preset:tiny:16:64", "--rate", "1e-4",
+                             "--hotspot-node", "999"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--hotspot-node 999"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("outside [0, 32)"), std::string::npos) << r.err;
+  const auto ok = RunCommand({"model", "preset:tiny:16:64", "--rate", "1e-4",
+                              "--hotspot-node", "31"});
+  EXPECT_EQ(ok.code, 0) << ok.err;
+}
+
+TEST(Cli, PermutationModelOutputCarriesTheApproximationNote) {
+  // The model treats permutation by its uniform marginal; model and
+  // bottleneck output must say so in one line, and only for permutation.
+  const auto model = RunCommand({"model", "preset:tiny:16:64", "--rate",
+                                 "1e-4", "--pattern", "permutation"});
+  EXPECT_EQ(model.code, 0) << model.err;
+  EXPECT_NE(model.out.find("uniform destination marginal"),
+            std::string::npos)
+      << model.out;
+  const auto bottleneck = RunCommand({"bottleneck", "preset:tiny:16:64",
+                                      "--rate", "1e-4", "--pattern",
+                                      "permutation"});
+  EXPECT_EQ(bottleneck.code, 0) << bottleneck.err;
+  EXPECT_NE(bottleneck.out.find("uniform destination marginal"),
+            std::string::npos);
+  const auto uniform = RunCommand({"model", "preset:tiny:16:64", "--rate",
+                                   "1e-4"});
+  EXPECT_EQ(uniform.out.find("uniform destination marginal"),
+            std::string::npos);
+}
+
 TEST(Cli, ModelMissingRateFails) {
   const auto r = RunCommand({"model", "preset:tiny"});
   EXPECT_EQ(r.code, 1);
@@ -212,6 +297,20 @@ TEST(Cli, SimPatternAndCondisFlags) {
   const auto bad = RunCommand({"sim", "preset:tiny:8:32", "--rate", "1e-4",
                         "--pattern", "zipf"});
   EXPECT_EQ(bad.code, 1);
+}
+
+TEST(Cli, DragonflyPresetAndIcn2OverrideRunEndToEnd) {
+  const auto info = RunCommand({"info", "preset:dragonfly:16:64"});
+  EXPECT_EQ(info.code, 0) << info.err;
+  EXPECT_NE(info.out.find("dragonfly 2,2,1"), std::string::npos) << info.out;
+  EXPECT_NE(info.out.find("dragonfly 2,2,1 (valiant)"), std::string::npos);
+  const auto sim = RunCommand({"sim", "preset:dragonfly:8:32", "--rate",
+                               "1e-4", "--messages", "1000"});
+  EXPECT_EQ(sim.code, 0) << sim.err;
+  const auto icn2 = RunCommand({"model", "preset:tiny:16:64", "--rate",
+                                "1e-4", "--icn2-topology",
+                                "dragonfly:2,1,1,routing=valiant"});
+  EXPECT_EQ(icn2.code, 0) << icn2.err;
 }
 
 TEST(Cli, SweepEmitsTableAndPlot) {

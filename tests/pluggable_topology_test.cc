@@ -15,6 +15,7 @@
 #include "model/latency_model.h"
 #include "sim/coc_system_sim.h"
 #include "system/presets.h"
+#include "topology/dragonfly.h"
 #include "topology/full_crossbar.h"
 #include "topology/k_ary_mesh.h"
 #include "topology/m_port_n_tree.h"
@@ -304,6 +305,31 @@ TEST(KAryMesh, CenterTapWorksEndToEndInASystem) {
   EXPECT_GT(sr.latency.Mean(), 0);
 }
 
+TEST(DragonflyFamily, MinRoutingJourneyStatisticsMatchCensus) {
+  // The generic census helpers enumerate entropy-0 routes, which is exact
+  // for minimal routing (the Valiant censuses need the entropy sweep and
+  // live in tests/dragonfly_test.cc). dragonfly:4,2,2 is the ISSUE's
+  // acceptance shape: 9 groups, 36 routers, 72 nodes.
+  const Dragonfly df(4, 2, 2);
+  EXPECT_EQ(df.num_nodes(), 72);
+  CheckLinksMatchCensus(df);
+  CheckAccessMatchesCensus(df);
+  CheckTapClosure(df);
+  for (std::int64_t a = 0; a < df.num_nodes(); a += 5) {
+    for (std::int64_t b = 1; b < df.num_nodes(); b += 7) {
+      if (a != b) CheckRoute(df, a, b);
+    }
+  }
+}
+
+TEST(DragonflyFamily, AccessJourneysAreTapPinnedAndShort) {
+  // Minimal dragonfly diameter is 3 router hops, so access journeys cross
+  // at most 4 links — compare with the 2n of a same-size tree.
+  const Dragonfly df(4, 2, 2);
+  EXPECT_EQ(df.AccessLinks().max_links(), 4);
+  EXPECT_EQ(df.Links().max_links(), 5);
+}
+
 TEST(TopologySpec, ParsesAllForms) {
   EXPECT_EQ(ParseTopologySpec("tree").type, TopologySpec::Type::kTree);
   EXPECT_EQ(ParseTopologySpec("tree:3").n, 3);
@@ -327,12 +353,25 @@ TEST(TopologySpec, ParsesAllForms) {
   EXPECT_EQ(center.tap, TopologySpec::Tap::kCenter);
   const auto center_kv = ParseTopologySpec("mesh:radix=4,dims=2,tap=center");
   EXPECT_EQ(center_kv, center);
+  const auto df = ParseTopologySpec("dragonfly:4,2,2");
+  EXPECT_EQ(df.type, TopologySpec::Type::kDragonfly);
+  EXPECT_EQ(df.a, 4);
+  EXPECT_EQ(df.p, 2);
+  EXPECT_EQ(df.h, 2);
+  EXPECT_EQ(df.routing, TopologySpec::Routing::kMin);
+  EXPECT_EQ(ParseTopologySpec("dragonfly:a=4,p=2,h=2"), df);
+  EXPECT_EQ(ParseTopologySpec("dragonfly:4,2,2,routing=min"), df);
+  const auto val = ParseTopologySpec("dragonfly:4,2,2,routing=valiant");
+  EXPECT_EQ(val.routing, TopologySpec::Routing::kValiant);
+  EXPECT_EQ(val, TopologySpec::Dragonfly(4, 2, 2,
+                                         TopologySpec::Routing::kValiant));
 }
 
 TEST(TopologySpec, RoundTripsThroughToString) {
   for (const char* text : {"tree:m=8,n=2", "crossbar:16", "mesh:4x2",
                            "torus:3x3", "mesh:4x2,tap=center",
-                           "torus:5x2,tap=center"}) {
+                           "torus:5x2,tap=center", "dragonfly:4,2,2",
+                           "dragonfly:2,1,3,routing=valiant"}) {
     const auto spec = ParseTopologySpec(text);
     EXPECT_EQ(ParseTopologySpec(spec.ToString()), spec) << text;
   }
@@ -348,6 +387,26 @@ TEST(TopologySpec, RejectsMalformedInput) {
   EXPECT_THROW(ParseTopologySpec("mesh:4x2,tap=middle"),
                std::invalid_argument);
   EXPECT_THROW(ParseTopologySpec("mesh:tap=center"), std::invalid_argument);
+  EXPECT_THROW(ParseTopologySpec("dragonfly"), std::invalid_argument);
+  EXPECT_THROW(ParseTopologySpec("dragonfly:4,2"), std::invalid_argument);
+  EXPECT_THROW(ParseTopologySpec("dragonfly:4,2,2,1"), std::invalid_argument);
+  EXPECT_THROW(ParseTopologySpec("dragonfly:4,2,2,routing=adaptive"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseTopologySpec("dragonfly:4,2,2,tap=center"),
+               std::invalid_argument);
+  // int-typed parameters past INT_MAX must be rejected, not wrapped into a
+  // different valid value (4294967300 would truncate to 4).
+  EXPECT_THROW(ParseTopologySpec("dragonfly:4294967300,2,2"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseTopologySpec("mesh:4294967300x2"), std::invalid_argument);
+  EXPECT_THROW(ParseTopologySpec("tree:m=4294967300,n=2"),
+               std::invalid_argument);
+  // Positional tokens after key=value pairs would silently overwrite the
+  // keyed values; rejected like the mesh parser's equivalent shape.
+  EXPECT_THROW(ParseTopologySpec("dragonfly:a=8,4,2,2"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseTopologySpec("dragonfly:4,2,2,routing=valiant,3"),
+               std::invalid_argument);
 }
 
 TEST(TopologySpec, BuildsEveryFamily) {
@@ -355,6 +414,13 @@ TEST(TopologySpec, BuildsEveryFamily) {
   EXPECT_EQ(BuildTopology(TopologySpec::Crossbar(5))->num_nodes(), 5);
   EXPECT_EQ(BuildTopology(TopologySpec::Mesh(3, 2))->num_nodes(), 9);
   EXPECT_EQ(BuildTopology(TopologySpec::Mesh(3, 2, true))->num_nodes(), 9);
+  // dragonfly:4,2,2 -> (4*2+1) groups * 4 routers * 2 nodes = 72.
+  EXPECT_EQ(BuildTopology(TopologySpec::Dragonfly(4, 2, 2))->num_nodes(), 72);
+  EXPECT_EQ(BuildTopology(
+                TopologySpec::Dragonfly(2, 2, 1,
+                                        TopologySpec::Routing::kValiant))
+                ->Name(),
+            "dragonfly 2,2,1 (valiant)");
 }
 
 TEST(SystemConfigTopologies, DefaultsReproduceThePaperTrees) {
@@ -439,15 +505,23 @@ topology = mesh:2x3
 icn1 = fast
 ecn1 = slow
 ecn1_topology = crossbar
+
+[clusters]
+topology = dragonfly:1,4,1,routing=valiant
+icn1 = fast
+ecn1 = slow
 )";
   const auto sys = ParseSystemConfig(config);
-  ASSERT_EQ(sys.num_clusters(), 2);
+  ASSERT_EQ(sys.num_clusters(), 3);
   EXPECT_EQ(sys.icn1_topology(0).Name(), "4-port 2-tree");
   EXPECT_EQ(sys.icn1_topology(1).Name(), "mesh 2x2x2");
   EXPECT_EQ(sys.ecn1_topology(1).Name(), "crossbar 8");
-  EXPECT_EQ(sys.icn2_topology().Name(), "crossbar 2");
+  EXPECT_EQ(sys.icn1_topology(2).Name(), "dragonfly 1,4,1 (valiant)");
+  EXPECT_EQ(sys.ecn1_topology(2).Name(), "dragonfly 1,4,1 (valiant)");
+  EXPECT_EQ(sys.icn2_topology().Name(), "crossbar 3");
   EXPECT_EQ(sys.NodesInCluster(0), 8);
   EXPECT_EQ(sys.NodesInCluster(1), 8);
+  EXPECT_EQ(sys.NodesInCluster(2), 8);
 }
 
 TEST(SystemConfigTopologies, Icn2AutoDepthHonorsExplicitTreeArity) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "topology/dragonfly.h"
 #include "topology/full_crossbar.h"
 #include "topology/k_ary_mesh.h"
 #include "topology/m_port_n_tree.h"
@@ -79,6 +80,15 @@ TEST(RouteInto, KAryMeshMatchesRoute) {
   CheckFamily(KAryMesh(3, 2, /*torus=*/false), {0, 3});
   CheckFamily(KAryMesh(4, 2, /*torus=*/true), {0, 9});
   CheckFamily(KAryMesh(2, 3, /*torus=*/false), {0});
+}
+
+TEST(RouteInto, DragonflyMatchesRoute) {
+  CheckFamily(Dragonfly(2, 2, 1), {0, 5});
+  // Valiant consumes the entropy for its intermediate-group choice; cover
+  // the full eligible range plus a large mixer.
+  CheckFamily(Dragonfly(2, 2, 1, Dragonfly::Routing::kValiant),
+              {0, 1, 2, 0x123456789abcdefULL});
+  CheckFamily(Dragonfly(4, 1, 2, Dragonfly::Routing::kValiant), {0, 3, 6});
 }
 
 TEST(RouteInto, SelfRouteAppendsNothing) {

@@ -115,5 +115,38 @@ TEST(ZeroAlloc, SimRunAllocationsIndependentOfMessageCount) {
   EXPECT_LE(large_allocs, 8);
 }
 
+TEST(ZeroAlloc, DragonflyRoutingStaysAllocationFree) {
+  // The dragonfly oracle (including the Valiant clusters' entropy-driven
+  // intermediate-group selection) must preserve the zero-alloc streaming
+  // path: it only appends into the reused RoutedPath buffers.
+  const auto sys = MakeDragonflySystem(MessageFormat{16, 64});
+  const CocSystemSim sim(sys);
+  SimScratch scratch;
+
+  SimConfig large;
+  large.lambda_g = 2e-4;
+  large.warmup_messages = 200;
+  large.measured_messages = 2000;
+  large.drain_messages = 200;
+  large.ascent = SimConfig::AscentPolicy::kRandomized;  // live Valiant draws
+  SimConfig small = large;
+  small.measured_messages = 600;
+
+  sim.Run(large, scratch);  // warm every buffer to the larger shape
+
+  auto count_allocs = [&](const SimConfig& cfg) {
+    const long before = g_alloc_count.load(std::memory_order_relaxed);
+    const auto r = sim.Run(cfg, scratch);
+    EXPECT_GT(r.delivered, 0);
+    return g_alloc_count.load(std::memory_order_relaxed) - before;
+  };
+
+  const long small_allocs = count_allocs(small);
+  const long large_allocs = count_allocs(large);
+  EXPECT_EQ(small_allocs, large_allocs)
+      << "per-run allocations must not scale with message count";
+  EXPECT_LE(large_allocs, 8);
+}
+
 }  // namespace
 }  // namespace coc

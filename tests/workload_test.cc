@@ -299,10 +299,28 @@ INSTANTIATE_TEST_SUITE_P(
         AgreementCase{"BimodalLengths",
                       Workload().WithMessageLength(
                           MessageLength::Bimodal(8, 32, 0.25)),
-                      1e-4, 15}),
+                      1e-4, 15},
+        // Pins the tolerance under which the permutation pattern's
+        // uniform-marginal approximation holds (the model routes Eq. 2
+        // while the sim replays the actual fixed derangement; see
+        // Workload::ModelApproximationNote). The fixed pairing removes the
+        // destination mixing the M/G/1 equations assume, so the band is
+        // the widest of the family.
+        AgreementCase{"PermutationMarginal", Workload::Permutation(), 2e-4,
+                      20}),
     [](const ::testing::TestParamInfo<AgreementCase>& info) {
       return info.param.name;
     });
+
+TEST(WorkloadModel, OnlyPermutationCarriesAnApproximationNote) {
+  EXPECT_EQ(Workload::Uniform().ModelApproximationNote(), nullptr);
+  EXPECT_EQ(Workload::ClusterLocal(0.5).ModelApproximationNote(), nullptr);
+  EXPECT_EQ(Workload::Hotspot(0.1).ModelApproximationNote(), nullptr);
+  const char* note = Workload::Permutation().ModelApproximationNote();
+  ASSERT_NE(note, nullptr);
+  EXPECT_NE(std::string(note).find("uniform destination marginal"),
+            std::string::npos);
+}
 
 TEST(WorkloadModel, HotspotPredictsEarlierSaturationThanUniform) {
   // The hot node's ejection link binds far below the uniform C/D point —
@@ -439,7 +457,14 @@ INSTANTIATE_TEST_SUITE_P(
         BadKeyCase{"HotspotNodeOutOfRange",
                    "workload.pattern = hotspot\nworkload.hotspot_node = "
                    "999\n",
-                   "outside [0, N)"}),
+                   "outside [0, N)"},
+        // System-dependent validation failures must carry the config
+        // location (the [system] section's line), not surface bare from
+        // Workload::Validate deep inside the model.
+        BadKeyCase{"HotspotNodeOutOfRangeNamesTheConfigLine",
+                   "workload.pattern = hotspot\nworkload.hotspot_node = "
+                   "999\n",
+                   "config line"}),
     [](const ::testing::TestParamInfo<BadKeyCase>& info) {
       return info.param.name;
     });

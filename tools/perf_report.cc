@@ -1,8 +1,8 @@
 // Perf-trajectory reporter: runs the google-benchmark perf suites
-// (bench_perf_sim, bench_perf_model) plus the workload-layer validation
-// bench (bench_ablation_workload) and emits the tracked artifacts
-// BENCH_sim.json / BENCH_model.json / BENCH_workload.json
-// (google-benchmark's JSON schema:
+// (bench_perf_sim, bench_perf_model) plus the validation benches
+// (bench_ablation_workload, bench_ablation_dragonfly) and emits the tracked
+// artifacts BENCH_sim.json / BENCH_model.json / BENCH_workload.json /
+// BENCH_dragonfly.json (google-benchmark's JSON schema:
 // a "context" block plus a "benchmarks" array with per-benchmark
 // "name", "real_time"/"cpu_time" in ns, and user counters such as
 // "msgs/s"). Prints a compact summary, and — given a baseline artifact —
@@ -12,7 +12,7 @@
 // Usage:
 //   perf_report [--bench-dir DIR] [--out-dir DIR] [--baseline FILE]
 //               [--model-baseline FILE] [--workload-baseline FILE]
-//               [--min-time SECONDS]
+//               [--dragonfly-baseline FILE] [--min-time SECONDS]
 //
 //   --bench-dir        directory holding bench_perf_sim / bench_perf_model
 //                      (default: ".")
@@ -24,6 +24,8 @@
 //   --model-baseline   same for the model suite (BENCH_model.json)
 //   --workload-baseline same for the workload validation suite
 //                      (BENCH_workload.json; compares model-vs-sim err%)
+//   --dragonfly-baseline same for the dragonfly validation suite
+//                      (BENCH_dragonfly.json; compares model-vs-sim err%)
 //   --min-time         per-benchmark measuring time (default 1 second)
 //
 // Exit code: 0 on success, 1 when a bench binary is missing or fails.
@@ -182,12 +184,32 @@ void CompareToBaseline(const std::string& baseline_path,
 
 }  // namespace
 
+/// One tracked bench suite: the binary to run, the artifact it emits, and
+/// the CLI flag naming its baseline. Adding a suite is one table entry.
+struct Suite {
+  const char* binary;
+  const char* artifact;       // file name under --out-dir
+  const char* title;
+  const char* baseline_flag;  // e.g. "--model-baseline"
+  std::string baseline;       // filled from the flag
+  std::string out_path;
+  std::map<std::string, BenchResult> results;
+};
+
 int main(int argc, char** argv) {
+  Suite suites[] = {
+      {"bench_perf_sim", "BENCH_sim.json", "simulator suite", "--baseline",
+       {}, {}, {}},
+      {"bench_perf_model", "BENCH_model.json", "model suite",
+       "--model-baseline", {}, {}, {}},
+      {"bench_ablation_workload", "BENCH_workload.json",
+       "workload validation suite", "--workload-baseline", {}, {}, {}},
+      {"bench_ablation_dragonfly", "BENCH_dragonfly.json",
+       "dragonfly validation suite", "--dragonfly-baseline", {}, {}, {}},
+  };
+
   std::string bench_dir = ".";
   std::string out_dir = ".";
-  std::string baseline;
-  std::string model_baseline;
-  std::string workload_baseline;
   double min_time = 1.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -198,54 +220,42 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--bench-dir") {
+    Suite* flagged = nullptr;
+    for (Suite& s : suites) {
+      if (arg == s.baseline_flag) flagged = &s;
+    }
+    if (flagged != nullptr) {
+      flagged->baseline = next();
+    } else if (arg == "--bench-dir") {
       bench_dir = next();
     } else if (arg == "--out-dir") {
       out_dir = next();
-    } else if (arg == "--baseline") {
-      baseline = next();
-    } else if (arg == "--model-baseline") {
-      model_baseline = next();
-    } else if (arg == "--workload-baseline") {
-      workload_baseline = next();
     } else if (arg == "--min-time") {
       min_time = std::strtod(next(), nullptr);
     } else {
       std::fprintf(stderr,
                    "usage: perf_report [--bench-dir DIR] [--out-dir DIR] "
                    "[--baseline FILE] [--model-baseline FILE] "
-                   "[--workload-baseline FILE] [--min-time SECONDS]\n");
+                   "[--workload-baseline FILE] [--dragonfly-baseline FILE] "
+                   "[--min-time SECONDS]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
 
-  const std::string sim_out = out_dir + "/BENCH_sim.json";
-  const std::string model_out = out_dir + "/BENCH_model.json";
-  const std::string workload_out = out_dir + "/BENCH_workload.json";
-  if (RunSuite(bench_dir, "bench_perf_sim", sim_out, min_time) != 0) return 1;
-  if (RunSuite(bench_dir, "bench_perf_model", model_out, min_time) != 0) {
-    return 1;
+  for (Suite& s : suites) {
+    s.out_path = out_dir + "/" + s.artifact;
+    if (RunSuite(bench_dir, s.binary, s.out_path, min_time) != 0) return 1;
+    s.results = ParseBenchJson(s.out_path);
+    if (s.results.empty()) {
+      std::fprintf(stderr,
+                   "error: benchmark output missing or unparseable: %s\n",
+                   s.out_path.c_str());
+      return 1;
+    }
   }
-  if (RunSuite(bench_dir, "bench_ablation_workload", workload_out,
-               min_time) != 0) {
-    return 1;
-  }
-
-  const auto sim = ParseBenchJson(sim_out);
-  const auto model = ParseBenchJson(model_out);
-  const auto workload = ParseBenchJson(workload_out);
-  if (sim.empty() || model.empty() || workload.empty()) {
-    std::fprintf(stderr, "error: benchmark output missing or unparseable\n");
-    return 1;
-  }
-  PrintSuite("simulator suite", sim_out, sim);
-  PrintSuite("model suite", model_out, model);
-  PrintSuite("workload validation suite", workload_out, workload);
-
-  if (!baseline.empty()) CompareToBaseline(baseline, sim);
-  if (!model_baseline.empty()) CompareToBaseline(model_baseline, model);
-  if (!workload_baseline.empty()) {
-    CompareToBaseline(workload_baseline, workload);
+  for (const Suite& s : suites) PrintSuite(s.title, s.out_path, s.results);
+  for (const Suite& s : suites) {
+    if (!s.baseline.empty()) CompareToBaseline(s.baseline, s.results);
   }
   return 0;
 }
