@@ -1,0 +1,272 @@
+#include "api/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "common/json.h"
+#include "harness/sweep.h"
+
+namespace coc {
+namespace {
+
+/// Cache key of a (system spec, ICN2 override) pair. '\x1f' (ASCII unit
+/// separator) cannot appear in specs, so the concatenation is injective.
+std::string SystemKey(const Scenario& s) {
+  std::string key = s.system;
+  key += '\x1f';
+  if (s.icn2_override) key += s.icn2_override->ToString();
+  return key;
+}
+
+/// Canonical dump of a resolved Workload, injective over its fields.
+std::string WorkloadKey(const Workload& w) {
+  std::string key = WorkloadPatternName(w.pattern);
+  key += '\x1f';
+  key += JsonNumber(w.locality_fraction);
+  key += '\x1f';
+  key += JsonNumber(w.hotspot_fraction);
+  key += '\x1f';
+  key += std::to_string(w.hotspot_node);
+  key += '\x1f';
+  for (const double s : w.rate_scale) {
+    key += JsonNumber(s);
+    key += ',';
+  }
+  key += '\x1f';
+  key += w.message_length.ToString();
+  return key;
+}
+
+std::string OptionsKey(const ModelOptions& o) {
+  std::string key;
+  key += static_cast<char>('0' + static_cast<int>(o.lambda_i2));
+  key += static_cast<char>('0' + static_cast<int>(o.ecn_eta));
+  key += static_cast<char>('0' + static_cast<int>(o.condis_service));
+  key += static_cast<char>('0' + static_cast<int>(o.relaxing_factor));
+  key += static_cast<char>('0' + static_cast<int>(o.source_queue_rate));
+  key += o.include_last_stage_wait ? '1' : '0';
+  return key;
+}
+
+/// The sim budget a scenario asks for: the environment-controlled default,
+/// with the scenario's overrides applied the way the CLI's flags are.
+SimConfig ScenarioSimBudget(const Scenario& s, double lambda_g) {
+  SimConfig cfg = DefaultSimBudget(lambda_g);
+  cfg.seed = s.sim_seed;
+  if (s.sim_messages) {
+    cfg.measured_messages = *s.sim_messages;
+    cfg.warmup_messages = cfg.measured_messages / 10;
+    cfg.drain_messages = cfg.measured_messages / 10;
+  }
+  cfg.condis_mode = s.condis;
+  return cfg;
+}
+
+}  // namespace
+
+// The cache getters construct outside the lock so a cache miss (file I/O,
+// topology/channel-table/model construction — the expensive part of a cold
+// batch) never serializes other workers; on a racing double-build the first
+// insert wins and the duplicate is dropped.
+
+std::shared_ptr<Engine::SystemEntry> Engine::GetSystem(
+    const Scenario& scenario) {
+  const std::string key = SystemKey(scenario);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = systems_.find(key);
+    if (it != systems_.end()) return it->second;
+  }
+  auto entry = std::make_shared<SystemEntry>(LoadExperiment(scenario.system));
+  if (scenario.icn2_override) {
+    entry->experiment.system =
+        entry->experiment.system.WithIcn2Topology(*scenario.icn2_override);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return systems_.emplace(key, std::move(entry)).first->second;
+}
+
+std::shared_ptr<const CocSystemSim> Engine::GetSim(
+    const std::shared_ptr<SystemEntry>& entry) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry->sim) return entry->sim;
+  }
+  auto sim = std::make_shared<const CocSystemSim>(entry->experiment.system);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entry->sim) entry->sim = std::move(sim);
+  return entry->sim;
+}
+
+std::shared_ptr<const LatencyModel> Engine::GetModel(
+    const std::string& system_key, const SystemEntry& entry,
+    const Workload& workload, const ModelOptions& opts) {
+  std::string key = system_key;
+  key += '\x1e';
+  key += WorkloadKey(workload);
+  key += '\x1e';
+  key += OptionsKey(opts);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = models_.find(key);
+    if (it != models_.end()) return it->second;
+  }
+  auto model = std::make_shared<const LatencyModel>(entry.experiment.system,
+                                                    workload, opts);
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.emplace(std::move(key), std::move(model)).first->second;
+}
+
+Engine::CacheStats Engine::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats stats;
+  stats.systems = systems_.size();
+  for (const auto& [key, entry] : systems_) {
+    if (entry->sim) ++stats.sims;
+  }
+  stats.models = models_.size();
+  return stats;
+}
+
+Report Engine::EvaluateWith(const Scenario& scenario, SimScratch& scratch,
+                            int sweep_threads) {
+  scenario.Validate();
+  const auto entry = GetSystem(scenario);
+  const SystemConfig& sys = entry->experiment.system;
+  const Workload workload =
+      scenario.workload.ApplyTo(entry->experiment.workload, sys);
+
+  Report report;
+  report.scenario = scenario.name;
+  report.system_spec = scenario.system;
+  report.clusters = sys.num_clusters();
+  report.nodes = sys.TotalNodes();
+  report.m = sys.m();
+  report.icn2_topology = sys.icn2_topology().Name();
+  report.icn2_exact_fit = sys.icn2_exact_fit();
+  report.message_flits = sys.message().length_flits;
+  report.flit_bytes = sys.message().flit_bytes;
+  report.workload = workload.Describe();
+
+  const char* note = workload.ModelApproximationNote();
+  std::shared_ptr<const LatencyModel> model;
+  double saturation_rate = 0;
+  if (scenario.Has(Analysis::kModel) || scenario.Has(Analysis::kBottleneck) ||
+      scenario.Has(Analysis::kSaturation)) {
+    model = GetModel(SystemKey(scenario), *entry, workload, scenario.model);
+    // One bisection serves every analysis that reports the saturation point.
+    saturation_rate = model->SaturationRate(1.0);
+  }
+
+  if (scenario.Has(Analysis::kModel)) {
+    ModelAnalysisResult a;
+    a.rate = scenario.rate;
+    a.result = model->Evaluate(scenario.rate);
+    a.saturation_rate = saturation_rate;
+    if (note != nullptr) a.note = note;
+    report.model = std::move(a);
+  }
+  if (scenario.Has(Analysis::kBottleneck)) {
+    BottleneckAnalysisResult a;
+    a.rate = scenario.rate;
+    a.report = model->Bottleneck(scenario.rate);
+    a.destination_skewed = workload.DestinationSkewed();
+    a.saturation_rate = saturation_rate;
+    if (note != nullptr) a.note = note;
+    report.bottleneck = std::move(a);
+  }
+  if (scenario.Has(Analysis::kSaturation)) {
+    report.saturation_rate = saturation_rate;
+  }
+  if (scenario.Has(Analysis::kSweep)) {
+    SweepSpec spec;
+    spec.rates = LinearRates(*scenario.sweep_max_rate, scenario.sweep_points);
+    spec.run_sim = scenario.sweep_sim;
+    spec.sim_base = ScenarioSimBudget(scenario, /*lambda_g=*/1e-4);
+    spec.model_opts = scenario.model;
+    spec.workload = workload;
+    spec.sim_abort_latency = 3000;
+    SweepAnalysisResult a;
+    a.points = RunSweepParallel(sys, spec, sweep_threads);
+    report.sweep = std::move(a);
+  }
+  if (scenario.Has(Analysis::kSim)) {
+    SimConfig cfg = ScenarioSimBudget(scenario, scenario.rate);
+    cfg.workload = workload;
+    const auto sim = GetSim(entry);
+    const SimResult sr = sim->Run(cfg, scratch);
+    SimAnalysisResult a;
+    a.rate = scenario.rate;
+    a.seed = cfg.seed;
+    a.delivered = sr.delivered;
+    a.duration = sr.duration;
+    a.mean = sr.latency.Mean();
+    a.ci95 = sr.latency.HalfWidth95();
+    a.min = sr.latency.Min();
+    a.max = sr.latency.Max();
+    a.intra_mean = sr.intra_latency.Mean();
+    a.intra_count = static_cast<std::int64_t>(sr.intra_latency.Count());
+    a.inter_mean = sr.inter_latency.Mean();
+    a.inter_count = static_cast<std::int64_t>(sr.inter_latency.Count());
+    a.icn1_mean = sr.icn1_util.Mean(sr.duration);
+    a.icn1_max = sr.icn1_util.Max(sr.duration);
+    a.ecn1_mean = sr.ecn1_util.Mean(sr.duration);
+    a.ecn1_max = sr.ecn1_util.Max(sr.duration);
+    a.icn2_mean = sr.icn2_util.Mean(sr.duration);
+    a.icn2_max = sr.icn2_util.Max(sr.duration);
+    report.sim = std::move(a);
+  }
+  return report;
+}
+
+Report Engine::Evaluate(const Scenario& scenario, int threads) {
+  SimScratch scratch;
+  return EvaluateWith(scenario, scratch, threads);
+}
+
+std::vector<Report> Engine::EvaluateBatch(
+    const std::vector<Scenario>& scenarios, int threads) {
+  std::vector<Report> reports(scenarios.size());
+  if (scenarios.empty()) return reports;
+  const int workers =
+      std::min<int>(std::max(threads, 1), static_cast<int>(scenarios.size()));
+  if (workers <= 1) {
+    SimScratch scratch;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      // Per-scenario sweeps run serially (sweep_threads = 1) in batches, on
+      // the serial path as well, so thread counts cannot change any result.
+      reports[i] = EvaluateWith(scenarios[i], scratch, /*sweep_threads=*/1);
+    }
+    return reports;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    SimScratch scratch;  // per-thread arena, reused across scenarios
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= scenarios.size() || failed.load()) return;
+      try {
+        reports[i] = EvaluateWith(scenarios[i], scratch, /*sweep_threads=*/1);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return reports;
+}
+
+}  // namespace coc

@@ -1,0 +1,91 @@
+// Engine — the one evaluator behind every consumer (CLI commands, the batch
+// service path, embedding code): it turns a Scenario into a Report.
+//
+// The facade earns its keep by reusing expensive state across calls, which
+// is what makes evaluating thousands of heterogeneous scenarios in one
+// process cheap:
+//   * systems dedupe by (system spec, ICN2 override): one SystemConfig —
+//     and therefore one shared Topology instance per distinct resolved spec,
+//     with its cached link distributions — no matter how many scenarios
+//     reference it;
+//   * the discrete-event simulator (CocSystemSim, whose construction builds
+//     the global channel table and route-skeleton caches) is built lazily
+//     once per system and shared;
+//   * LatencyModel instances memoize per (system, workload, options) key —
+//     scenarios that sweep the rate dial against one model build it once;
+//   * each batch worker thread owns a SimScratch, so steady-state simulation
+//     stays allocation-free across the scenarios it evaluates.
+//
+// Batch evaluation is deterministic: every scenario is evaluated
+// independently (seeded sim, pure model), results land at the scenario's
+// index, and per-scenario sweeps run serially inside batches — so the
+// resulting reports (and their JSON) are bit-identical for any thread count.
+//
+// Thread-safety: one Engine may be shared; the caches are mutex-guarded and
+// the cached objects are immutable after construction (LatencyModel and
+// CocSystemSim evaluate via const methods with no hidden state).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/report.h"
+#include "api/scenario.h"
+#include "cli/config_parser.h"
+#include "sim/coc_system_sim.h"
+
+namespace coc {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Evaluates one scenario. `threads` parallelizes a sweep analysis'
+  /// simulation points (<= 1 = serial; the results are bit-identical either
+  /// way). Throws std::invalid_argument on unloadable systems or invalid
+  /// scenarios.
+  Report Evaluate(const Scenario& scenario, int threads = 1);
+
+  /// Evaluates a batch over `threads` worker threads (<= 1 = serial).
+  /// Reports come back in scenario order, bit-identical for any thread
+  /// count. The first scenario failure aborts the batch and rethrows.
+  std::vector<Report> EvaluateBatch(const std::vector<Scenario>& scenarios,
+                                    int threads = 1);
+
+  /// Cache occupancy, for tests and diagnostics.
+  struct CacheStats {
+    std::size_t systems = 0;  ///< distinct (system, ICN2 override) entries
+    std::size_t sims = 0;     ///< of those, with a simulator built
+    std::size_t models = 0;   ///< distinct (system, workload, opts) models
+  };
+  CacheStats Stats() const;
+
+ private:
+  struct SystemEntry {
+    explicit SystemEntry(Experiment exp) : experiment(std::move(exp)) {}
+    Experiment experiment;
+    std::shared_ptr<const CocSystemSim> sim;  ///< lazy; guarded by mu_
+  };
+
+  std::shared_ptr<SystemEntry> GetSystem(const Scenario& scenario);
+  std::shared_ptr<const CocSystemSim> GetSim(
+      const std::shared_ptr<SystemEntry>& entry);
+  std::shared_ptr<const LatencyModel> GetModel(const std::string& system_key,
+                                               const SystemEntry& entry,
+                                               const Workload& workload,
+                                               const ModelOptions& opts);
+
+  Report EvaluateWith(const Scenario& scenario, SimScratch& scratch,
+                      int sweep_threads);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<SystemEntry>> systems_;
+  std::map<std::string, std::shared_ptr<const LatencyModel>> models_;
+};
+
+}  // namespace coc

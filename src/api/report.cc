@@ -1,0 +1,186 @@
+#include "api/report.h"
+
+#include <cmath>
+
+#include "common/table.h"
+
+namespace coc {
+namespace {
+
+/// Finite doubles pass through; non-finite serialize as null (JSON has no
+/// inf/nan spelling — the adjacent "saturated" flag carries the semantics).
+Json Num(double v) { return std::isfinite(v) ? Json(v) : Json(); }
+
+Json ModelToJson(const ModelAnalysisResult& a) {
+  Json j = Json::Object();
+  j.Set("rate", Num(a.rate));
+  j.Set("saturated", a.result.saturated);
+  j.Set("mean_latency_us", Num(a.result.mean_latency));
+  j.Set("saturation_rate", Num(a.saturation_rate));
+  if (!a.note.empty()) j.Set("note", a.note);
+  Json clusters = Json::Array();
+  for (const ClusterLatency& cl : a.result.clusters) {
+    Json c = Json::Object();
+    c.Set("u", Num(cl.u));
+    c.Set("l_in", Num(cl.intra.l_in));
+    c.Set("w_in", Num(cl.intra.w_in));
+    c.Set("l_out", Num(cl.inter.l_out));
+    c.Set("w_d", Num(cl.inter.w_d));
+    c.Set("blended", Num(cl.blended));
+    clusters.Push(std::move(c));
+  }
+  j.Set("clusters", std::move(clusters));
+  return j;
+}
+
+Json BottleneckToJson(const BottleneckAnalysisResult& a) {
+  Json j = Json::Object();
+  j.Set("rate", Num(a.rate));
+  j.Set("condis_rho", Num(a.report.condis_rho));
+  j.Set("inter_source_rho", Num(a.report.inter_source_rho));
+  j.Set("intra_source_rho", Num(a.report.intra_source_rho));
+  if (a.destination_skewed) {
+    j.Set("hot_eject_rho", Num(a.report.hot_eject_rho));
+  }
+  j.Set("binding", a.report.binding);
+  j.Set("saturation_rate", Num(a.saturation_rate));
+  if (!a.note.empty()) j.Set("note", a.note);
+  return j;
+}
+
+Json SweepPointToJson(const SweepPoint& p) {
+  Json j = Json::Object();
+  j.Set("lambda_g", Num(p.lambda_g));
+  j.Set("model_latency_us", Num(p.model_latency));
+  j.Set("model_saturated", p.model_saturated);
+  if (p.sim_latency) {
+    j.Set("sim_latency_us", Num(*p.sim_latency));
+    j.Set("sim_ci95", Num(p.sim_ci95));
+    j.Set("sim_intra_us", Num(p.sim_intra));
+    j.Set("sim_inter_us", Num(p.sim_inter));
+    j.Set("sim_icn2_max_util", Num(p.sim_icn2_max_util));
+  }
+  return j;
+}
+
+Json SimToJson(const SimAnalysisResult& a) {
+  Json j = Json::Object();
+  j.Set("rate", Num(a.rate));
+  j.Set("seed", a.seed);
+  j.Set("delivered", a.delivered);
+  j.Set("duration_us", Num(a.duration));
+  Json latency = Json::Object();
+  latency.Set("mean", Num(a.mean));
+  latency.Set("ci95", Num(a.ci95));
+  latency.Set("min", Num(a.min));
+  latency.Set("max", Num(a.max));
+  j.Set("latency_us", std::move(latency));
+  Json intra = Json::Object();
+  intra.Set("mean_us", Num(a.intra_mean));
+  intra.Set("messages", a.intra_count);
+  j.Set("intra", std::move(intra));
+  Json inter = Json::Object();
+  inter.Set("mean_us", Num(a.inter_mean));
+  inter.Set("messages", a.inter_count);
+  j.Set("inter", std::move(inter));
+  Json util = Json::Object();
+  const auto net = [](double mean, double max) {
+    Json n = Json::Object();
+    n.Set("mean", Num(mean));
+    n.Set("max", Num(max));
+    return n;
+  };
+  util.Set("icn1", net(a.icn1_mean, a.icn1_max));
+  util.Set("ecn1", net(a.ecn1_mean, a.ecn1_max));
+  util.Set("icn2", net(a.icn2_mean, a.icn2_max));
+  j.Set("utilization", std::move(util));
+  return j;
+}
+
+}  // namespace
+
+Json Report::ToJson() const {
+  Json j = Json::Object();
+  j.Set("schema_version", kReportSchemaVersion);
+  j.Set("scenario", scenario);
+  Json system = Json::Object();
+  system.Set("spec", system_spec);
+  system.Set("clusters", clusters);
+  system.Set("nodes", nodes);
+  system.Set("m", m);
+  system.Set("icn2_topology", icn2_topology);
+  system.Set("icn2_exact_fit", icn2_exact_fit);
+  system.Set("message_flits", message_flits);
+  system.Set("flit_bytes", Num(flit_bytes));
+  j.Set("system", std::move(system));
+  j.Set("workload", workload);
+  if (model) j.Set("model", ModelToJson(*model));
+  if (bottleneck) j.Set("bottleneck", BottleneckToJson(*bottleneck));
+  if (saturation_rate) {
+    Json s = Json::Object();
+    s.Set("rate", Num(*saturation_rate));
+    j.Set("saturation", std::move(s));
+  }
+  if (sweep) {
+    Json s = Json::Object();
+    Json points = Json::Array();
+    for (const SweepPoint& p : sweep->points) {
+      points.Push(SweepPointToJson(p));
+    }
+    s.Set("points", std::move(points));
+    j.Set("sweep", std::move(s));
+  }
+  if (sim) j.Set("sim", SimToJson(*sim));
+  return j;
+}
+
+Json BatchToJson(const std::vector<Report>& reports) {
+  Json j = Json::Object();
+  j.Set("schema_version", kReportSchemaVersion);
+  Json arr = Json::Array();
+  for (const Report& r : reports) arr.Push(r.ToJson());
+  j.Set("reports", std::move(arr));
+  return j;
+}
+
+std::string ModelCsv(const ModelAnalysisResult& a) {
+  Table t({"cluster", "u", "l_in", "w_in", "l_out", "w_d", "blended"});
+  for (std::size_t i = 0; i < a.result.clusters.size(); ++i) {
+    const ClusterLatency& cl = a.result.clusters[i];
+    t.AddRow({std::to_string(i), JsonNumber(cl.u), JsonNumber(cl.intra.l_in),
+              JsonNumber(cl.intra.w_in), JsonNumber(cl.inter.l_out),
+              JsonNumber(cl.inter.w_d), JsonNumber(cl.blended)});
+  }
+  return t.ToCsv();
+}
+
+std::string BottleneckCsv(const BottleneckAnalysisResult& a) {
+  Table t({"resource", "utilization"});
+  t.AddRow({"concentrator/dispatcher", JsonNumber(a.report.condis_rho)});
+  t.AddRow({"inter-cluster source queue",
+            JsonNumber(a.report.inter_source_rho)});
+  t.AddRow({"intra-cluster source queue",
+            JsonNumber(a.report.intra_source_rho)});
+  if (a.destination_skewed) {
+    t.AddRow({"hot-node ejection link", JsonNumber(a.report.hot_eject_rho)});
+  }
+  return t.ToCsv();
+}
+
+std::string SimCsv(const SimAnalysisResult& a) {
+  Table t({"rate", "seed", "delivered", "duration_us", "mean_us", "ci95",
+           "min_us", "max_us", "intra_mean_us", "inter_mean_us",
+           "icn2_max_util"});
+  t.AddRow({JsonNumber(a.rate), std::to_string(a.seed),
+            std::to_string(a.delivered), JsonNumber(a.duration),
+            JsonNumber(a.mean), JsonNumber(a.ci95), JsonNumber(a.min),
+            JsonNumber(a.max), JsonNumber(a.intra_mean),
+            JsonNumber(a.inter_mean), JsonNumber(a.icn2_max)});
+  return t.ToCsv();
+}
+
+std::string SweepCsv(const SweepAnalysisResult& a) {
+  return FormatSweepCsv(a.points);
+}
+
+}  // namespace coc

@@ -9,12 +9,13 @@
 #include <stdexcept>
 #include <thread>
 
+#include "api/engine.h"
+#include "api/report.h"
+#include "api/scenario.h"
 #include "cli/config_parser.h"
 #include "common/parse_num.h"
 #include "common/table.h"
 #include "harness/sweep.h"
-#include "model/latency_model.h"
-#include "sim/coc_system_sim.h"
 #include "topology/topology_spec.h"
 
 namespace coc {
@@ -22,12 +23,14 @@ namespace {
 
 constexpr const char* kUsage = R"(usage:
   coc_cli info       <system>
-  coc_cli model      <system> --rate R [workload flags]
+  coc_cli model      <system> --rate R [workload flags] [--format F]
   coc_cli sim        <system> --rate R [--messages N] [--seed S]
                      [--condis cut-through|store-forward] [workload flags]
+                     [--format F]
   coc_cli sweep      <system> --max-rate R [--points N] [--no-sim]
-                     [--threads N] [workload flags]
-  coc_cli bottleneck <system> --rate R [workload flags]
+                     [--threads N] [workload flags] [--format F]
+  coc_cli bottleneck <system> --rate R [workload flags] [--format F]
+  coc_cli batch      <scenarios-file> [--threads N] [--format text|json]
 
 Workload flags (shared by model, sim, sweep and bottleneck; they override the
 config file's workload.* keys so the analytical model and the simulator always
@@ -40,15 +43,29 @@ see the same traffic):
   --rate-scale I=S[,I=S...]   per-cluster generation-rate multipliers
   --msg-len fixed|bimodal:SHORT,LONG,FRACTION
 
-Every command accepts --icn2-topology SPEC to override the global network's
-topology (SPEC: tree[:n], crossbar[:ports], mesh:RADIXxDIMS[,tap=center],
-torus:RADIXxDIMS[,tap=center], dragonfly:A,P,H[,routing=min|valiant]).
+--format F selects the output encoding: text (default, human-readable),
+json (the schema-versioned Report tree), or csv.
+
+Every single-system command (info, model, sim, sweep, bottleneck) accepts
+--icn2-topology SPEC to override the global network's topology (SPEC:
+tree[:n], crossbar[:ports], mesh:RADIXxDIMS[,tap=center],
+torus:RADIXxDIMS[,tap=center], dragonfly:A,P,H[,routing=min|valiant]);
+batch scenarios set it per section with the icn2_topology key.
 Per-cluster topologies are set in the config file ('topology =' keys).
 
 <system> is a config file (see src/cli/config_parser.h) or preset:1120,
 preset:544, preset:small, preset:tiny, preset:mixed, preset:dragonfly —
 optionally preset:NAME:M:dm.
+
+<scenarios-file> holds [scenario NAME] sections (see src/api/scenario.h and
+examples/batch_scenarios.cfg); the batch is evaluated in parallel over
+--threads workers with bit-identical output for any worker count.
 )";
+
+/// Malformed invocations (vs. bad input files/values): exit code 2.
+struct UsageError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
 
 /// Minimal --flag/value parser; flags without a value are boolean.
 class Flags {
@@ -110,82 +127,40 @@ class Flags {
   std::set<std::string> used_;
 };
 
-/// Applies the shared workload flags on top of the config file's workload.
-/// One Workload drives both the model and the simulator in every command.
-Workload WorkloadFromFlags(Flags& flags, const SystemConfig& sys,
-                           Workload base) {
+enum class Format { kText, kJson, kCsv };
+
+Format FormatFromFlags(Flags& flags) {
+  const std::string f = flags.Text("format", "text");
+  if (f == "text") return Format::kText;
+  if (f == "json") return Format::kJson;
+  if (f == "csv") return Format::kCsv;
+  throw UsageError("--format expects text, json or csv, got '" + f + "'");
+}
+
+/// Lifts the shared workload flags into a field-wise overlay; the conflict
+/// guards and range checks run when the overlay is applied to a concrete
+/// system (WorkloadOverlay::ApplyTo), so one code path serves the CLI and
+/// scenario files.
+WorkloadOverlay OverlayFromFlags(Flags& flags) {
+  WorkloadOverlay overlay;
   if (flags.Present("pattern")) {
-    base.pattern = ParseWorkloadPattern(flags.Text("pattern", "uniform"));
+    overlay.pattern = ParseWorkloadPattern(flags.Text("pattern", "uniform"));
   }
   if (flags.Present("locality")) {
-    // --locality implies the cluster-local pattern, but never by silently
-    // overriding an explicitly contradictory pattern flag: --pattern hotspot
-    // --locality 0.6 is a hard error, not a locality run.
-    if (flags.Present("pattern") &&
-        base.pattern != WorkloadPattern::kClusterLocal) {
-      throw std::invalid_argument(
-          std::string("--locality implies --pattern local and cannot be "
-                      "combined with --pattern ") +
-          WorkloadPatternName(base.pattern) +
-          " (drop --locality or use --pattern local)");
-    }
-    if (flags.Present("hotspot-fraction") || flags.Present("hotspot-node")) {
-      throw std::invalid_argument(
-          "--locality cannot be combined with --hotspot-fraction or "
-          "--hotspot-node (pick one pattern)");
-    }
-    base.pattern = WorkloadPattern::kClusterLocal;
-    base.locality_fraction = flags.Number("locality");
+    overlay.locality = flags.Number("locality");
   }
   if (flags.Present("hotspot-fraction")) {
-    if (flags.Present("pattern") &&
-        base.pattern != WorkloadPattern::kHotspot) {
-      throw std::invalid_argument(
-          std::string("--hotspot-fraction implies --pattern hotspot and "
-                      "cannot be combined with --pattern ") +
-          WorkloadPatternName(base.pattern) +
-          " (drop --hotspot-fraction or use --pattern hotspot)");
-    }
-    base.pattern = WorkloadPattern::kHotspot;
-    base.hotspot_fraction = flags.Number("hotspot-fraction");
+    overlay.hotspot_fraction = flags.Number("hotspot-fraction");
   }
   if (flags.Present("hotspot-node")) {
-    // Implies the hotspot pattern from the uniform default, but never
-    // silently overrides an explicitly non-hotspot scenario — neither an
-    // explicit conflicting --pattern flag (mirrors the --hotspot-fraction
-    // guard) nor a config file's local/permutation workload.
-    if (flags.Present("pattern") &&
-        base.pattern != WorkloadPattern::kHotspot) {
-      throw std::invalid_argument(
-          std::string("--hotspot-node implies --pattern hotspot and cannot "
-                      "be combined with --pattern ") +
-          WorkloadPatternName(base.pattern) +
-          " (drop --hotspot-node or use --pattern hotspot)");
-    }
-    if (base.pattern == WorkloadPattern::kClusterLocal ||
-        base.pattern == WorkloadPattern::kPermutation) {
-      throw std::invalid_argument(
-          "--hotspot-node requires the hotspot pattern (add "
-          "--pattern hotspot or --hotspot-fraction F)");
-    }
-    base.pattern = WorkloadPattern::kHotspot;
-    base.hotspot_node = static_cast<std::int64_t>(flags.Number("hotspot-node"));
-    // Range-check against this system here so the failure names the flag
-    // instead of surfacing from deep inside the model.
-    if (base.hotspot_node < 0 || base.hotspot_node >= sys.TotalNodes()) {
-      throw std::invalid_argument(
-          "--hotspot-node " + std::to_string(base.hotspot_node) +
-          " outside [0, " + std::to_string(sys.TotalNodes()) +
-          ") for this system");
-    }
+    overlay.hotspot_node =
+        static_cast<std::int64_t>(flags.Number("hotspot-node"));
   }
   if (flags.Present("msg-len")) {
-    base.message_length = MessageLength::Parse(flags.Text("msg-len", "fixed"));
+    overlay.msg_len = MessageLength::Parse(flags.Text("msg-len", "fixed"));
   }
   if (flags.Present("rate-scale")) {
     // I=S pairs; unnamed clusters keep scale 1.
-    std::vector<double> scale(static_cast<std::size_t>(sys.num_clusters()),
-                              1.0);
     std::istringstream in(flags.Text("rate-scale", ""));
     std::string pair;
     while (std::getline(in, pair, ',')) {
@@ -199,19 +174,141 @@ Workload WorkloadFromFlags(Flags& flags, const SystemConfig& sys,
       if (!idx_opt || !s_opt) {
         throw std::invalid_argument("--rate-scale: bad entry '" + pair + "'");
       }
-      const int idx = *idx_opt;
-      const double s = *s_opt;
-      if (idx < 0 || idx >= sys.num_clusters()) {
-        throw std::invalid_argument("--rate-scale: cluster index " +
-                                    std::to_string(idx) + " out of range");
-      }
-      scale[static_cast<std::size_t>(idx)] = s;
+      overlay.rate_scale.emplace_back(*idx_opt, *s_opt);
     }
-    base.rate_scale = std::move(scale);
   }
-  base.Validate(sys);
-  return base;
+  return overlay;
 }
+
+/// The shared <system> + --icn2-topology + workload-flag prefix of every
+/// evaluating command, as a Scenario (analyses/rate filled per command).
+Scenario ScenarioFromFlags(const std::string& system, Flags& flags) {
+  Scenario s;
+  s.name = "cli";
+  s.system = system;
+  s.analyses = 0;
+  if (flags.Present("icn2-topology")) {
+    s.icn2_override = ParseTopologySpec(flags.Text("icn2-topology", ""));
+  }
+  s.workload = OverlayFromFlags(flags);
+  return s;
+}
+
+/// --rate for model/sim/bottleneck: validated at flag level so a bad value
+/// is a usage error naming the flag, not a scenario-vocabulary rejection.
+double RateFromFlags(Flags& flags) {
+  const double rate = flags.Number("rate");
+  if (!(rate > 0)) {
+    throw UsageError("--rate must be > 0, got " + FormatSci(rate));
+  }
+  return rate;
+}
+
+/// --threads for sweep and batch: defaults to the hardware concurrency;
+/// results are bit-identical for any worker count, so this only sizes the
+/// pool. Non-positive values are usage errors.
+int ThreadsFromFlags(Flags& flags) {
+  const int default_threads =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int threads = static_cast<int>(
+      flags.Number("threads", static_cast<double>(default_threads)));
+  if (threads < 1) {
+    throw UsageError("--threads must be >= 1, got " + std::to_string(threads));
+  }
+  return threads;
+}
+
+// --- text renderers --------------------------------------------------------
+// These reproduce the pre-facade command output byte for byte (pinned by
+// cli_test); the Report carries every number they print.
+
+void RenderModelText(const Report& r, std::ostream& out) {
+  const ModelAnalysisResult& a = *r.model;
+  out << "lambda_g = " << FormatSci(a.rate) << "  (workload: " << r.workload
+      << ")\n";
+  if (!a.note.empty()) {
+    out << a.note << "\n";
+  }
+  if (a.result.saturated) {
+    out << "mean latency: saturated (model invalid at this rate)\n";
+  } else {
+    out << "mean latency: " << FormatDouble(a.result.mean_latency, 2)
+        << " us\n";
+  }
+  Table t({"cluster", "U^(i)", "L_in", "W_in", "L_out", "W_d", "blended"});
+  for (std::size_t i = 0; i < a.result.clusters.size(); ++i) {
+    const auto& cl = a.result.clusters[i];
+    t.AddRow({std::to_string(i), FormatDouble(cl.u, 3),
+              FormatDouble(cl.intra.l_in, 2), FormatDouble(cl.intra.w_in, 2),
+              FormatDouble(cl.inter.l_out, 2), FormatDouble(cl.inter.w_d, 2),
+              FormatDouble(cl.blended, 2)});
+  }
+  out << t.ToString();
+  out << "saturation rate: " << FormatSci(a.saturation_rate) << "\n";
+}
+
+void RenderSimText(const Report& r, std::ostream& out) {
+  const SimAnalysisResult& a = *r.sim;
+  out << "workload: " << r.workload << "\n";
+  out << "delivered " << a.delivered << " messages over "
+      << FormatDouble(a.duration, 1) << " us simulated time\n";
+  out << "mean latency: " << FormatDouble(a.mean, 2) << " +/- "
+      << FormatDouble(a.ci95, 2) << " us  (min " << FormatDouble(a.min, 2)
+      << ", max " << FormatDouble(a.max, 2) << ")\n";
+  out << "intra: " << FormatDouble(a.intra_mean, 2) << " us ("
+      << a.intra_count << " msgs), inter: " << FormatDouble(a.inter_mean, 2)
+      << " us (" << a.inter_count << " msgs)\n";
+  out << "utilization (mean/max): ICN1 " << FormatDouble(a.icn1_mean, 3)
+      << "/" << FormatDouble(a.icn1_max, 3) << ", ECN1 "
+      << FormatDouble(a.ecn1_mean, 3) << "/" << FormatDouble(a.ecn1_max, 3)
+      << ", ICN2 " << FormatDouble(a.icn2_mean, 3) << "/"
+      << FormatDouble(a.icn2_max, 3) << "\n";
+}
+
+void RenderSweepText(const Report& r, std::ostream& out) {
+  out << FormatSweepTable(
+      "mean message latency (us), workload: " + r.workload, r.sweep->points);
+  out << FormatSweepPlot("analysis vs simulation", r.sweep->points);
+}
+
+void RenderBottleneckText(const Report& r, std::ostream& out) {
+  const BottleneckAnalysisResult& a = *r.bottleneck;
+  if (!a.note.empty()) {
+    out << a.note << "\n";
+  }
+  Table t({"resource", "utilization"});
+  t.AddRow({"concentrator/dispatcher", FormatDouble(a.report.condis_rho, 4)});
+  t.AddRow({"inter-cluster source queue",
+            FormatDouble(a.report.inter_source_rho, 4)});
+  t.AddRow({"intra-cluster source queue",
+            FormatDouble(a.report.intra_source_rho, 4)});
+  if (a.destination_skewed) {
+    t.AddRow({"hot-node ejection link",
+              FormatDouble(a.report.hot_eject_rho, 4)});
+  }
+  out << t.ToString();
+  out << "binding resource: " << a.report.binding << "\n";
+  out << "saturation rate: " << FormatSci(a.saturation_rate) << "\n";
+}
+
+/// Batch text mode: every present analysis of every report, in order. The
+/// model and bottleneck renderers already end with the saturation rate, so
+/// the standalone saturation line prints only when neither ran.
+void RenderReportText(const Report& r, std::ostream& out) {
+  if (r.model) RenderModelText(r, out);
+  if (r.bottleneck) RenderBottleneckText(r, out);
+  if (r.saturation_rate && !r.model && !r.bottleneck) {
+    out << "saturation rate: " << FormatSci(*r.saturation_rate) << "\n";
+  }
+  if (r.sweep) RenderSweepText(r, out);
+  if (r.sim) RenderSimText(r, out);
+}
+
+void EmitJson(const Json& json, std::ostream& out) {
+  out << json.Dump(2) << "\n";
+}
+
+// --- commands --------------------------------------------------------------
 
 void PrintSystem(const SystemConfig& sys, const Workload& workload,
                  std::ostream& out) {
@@ -234,129 +331,126 @@ void PrintSystem(const SystemConfig& sys, const Workload& workload,
   out << t.ToString();
 }
 
-int CmdInfo(const SystemConfig& sys, const Workload& workload, Flags& flags,
-            std::ostream& out) {
+int CmdInfo(const std::string& system, Flags& flags, std::ostream& out) {
+  const Scenario s = ScenarioFromFlags(system, flags);
   flags.CheckAllUsed();
-  PrintSystem(sys, workload, out);
+  Experiment exp = LoadExperiment(s.system);
+  SystemConfig& sys = exp.system;
+  if (s.icn2_override) sys = sys.WithIcn2Topology(*s.icn2_override);
+  PrintSystem(sys, s.workload.ApplyTo(exp.workload, sys), out);
   return 0;
 }
 
-int CmdModel(const SystemConfig& sys, const Workload& workload, Flags& flags,
-             std::ostream& out) {
-  const double rate = flags.Number("rate");
+int CmdModel(const std::string& system, Flags& flags, std::ostream& out) {
+  Scenario s = ScenarioFromFlags(system, flags);
+  s.Request(Analysis::kModel);
+  s.rate = RateFromFlags(flags);
+  const Format format = FormatFromFlags(flags);
   flags.CheckAllUsed();
-  LatencyModel model(sys, workload);
-  const auto r = model.Evaluate(rate);
-  out << "lambda_g = " << FormatSci(rate) << "  (workload: "
-      << workload.Describe() << ")\n";
-  if (const char* note = workload.ModelApproximationNote()) {
-    out << note << "\n";
+  Engine engine;
+  const Report r = engine.Evaluate(s);
+  switch (format) {
+    case Format::kText: RenderModelText(r, out); break;
+    case Format::kJson: EmitJson(r.ToJson(), out); break;
+    case Format::kCsv: out << ModelCsv(*r.model); break;
   }
-  if (r.saturated) {
-    out << "mean latency: saturated (model invalid at this rate)\n";
-  } else {
-    out << "mean latency: " << FormatDouble(r.mean_latency, 2) << " us\n";
-  }
-  Table t({"cluster", "U^(i)", "L_in", "W_in", "L_out", "W_d", "blended"});
-  for (std::size_t i = 0; i < r.clusters.size(); ++i) {
-    const auto& cl = r.clusters[i];
-    t.AddRow({std::to_string(i), FormatDouble(cl.u, 3),
-              FormatDouble(cl.intra.l_in, 2), FormatDouble(cl.intra.w_in, 2),
-              FormatDouble(cl.inter.l_out, 2), FormatDouble(cl.inter.w_d, 2),
-              FormatDouble(cl.blended, 2)});
-  }
-  out << t.ToString();
-  out << "saturation rate: " << FormatSci(model.SaturationRate(1.0)) << "\n";
   return 0;
 }
 
-int CmdSim(const SystemConfig& sys, const Workload& workload, Flags& flags,
-           std::ostream& out) {
-  SimConfig cfg = DefaultSimBudget(flags.Number("rate"));
-  cfg.seed = static_cast<std::uint64_t>(flags.Number("seed", 1));
+int CmdSim(const std::string& system, Flags& flags, std::ostream& out) {
+  Scenario s = ScenarioFromFlags(system, flags);
+  s.Request(Analysis::kSim);
+  s.rate = RateFromFlags(flags);
+  s.sim_seed = static_cast<std::uint64_t>(flags.Number("seed", 1));
   if (flags.Present("messages")) {
-    cfg.measured_messages = static_cast<std::int64_t>(flags.Number("messages"));
-    cfg.warmup_messages = cfg.measured_messages / 10;
-    cfg.drain_messages = cfg.measured_messages / 10;
+    s.sim_messages = static_cast<std::int64_t>(flags.Number("messages"));
   }
-  cfg.workload = workload;
   const std::string condis = flags.Text("condis", "cut-through");
   if (condis == "cut-through") {
-    cfg.condis_mode = CondisMode::kCutThrough;
+    s.condis = CondisMode::kCutThrough;
   } else if (condis == "store-forward") {
-    cfg.condis_mode = CondisMode::kStoreForward;
+    s.condis = CondisMode::kStoreForward;
   } else {
     throw std::invalid_argument("unknown --condis '" + condis + "'");
   }
+  const Format format = FormatFromFlags(flags);
   flags.CheckAllUsed();
-
-  CocSystemSim sim(sys);
-  const auto r = sim.Run(cfg);
-  out << "workload: " << workload.Describe() << "\n";
-  out << "delivered " << r.delivered << " messages over "
-      << FormatDouble(r.duration, 1) << " us simulated time\n";
-  out << "mean latency: " << FormatDouble(r.latency.Mean(), 2) << " +/- "
-      << FormatDouble(r.latency.HalfWidth95(), 2) << " us  (min "
-      << FormatDouble(r.latency.Min(), 2) << ", max "
-      << FormatDouble(r.latency.Max(), 2) << ")\n";
-  out << "intra: " << FormatDouble(r.intra_latency.Mean(), 2) << " us ("
-      << r.intra_latency.Count() << " msgs), inter: "
-      << FormatDouble(r.inter_latency.Mean(), 2) << " us ("
-      << r.inter_latency.Count() << " msgs)\n";
-  out << "utilization (mean/max): ICN1 "
-      << FormatDouble(r.icn1_util.Mean(r.duration), 3) << "/"
-      << FormatDouble(r.icn1_util.Max(r.duration), 3) << ", ECN1 "
-      << FormatDouble(r.ecn1_util.Mean(r.duration), 3) << "/"
-      << FormatDouble(r.ecn1_util.Max(r.duration), 3) << ", ICN2 "
-      << FormatDouble(r.icn2_util.Mean(r.duration), 3) << "/"
-      << FormatDouble(r.icn2_util.Max(r.duration), 3) << "\n";
+  Engine engine;
+  const Report r = engine.Evaluate(s);
+  switch (format) {
+    case Format::kText: RenderSimText(r, out); break;
+    case Format::kJson: EmitJson(r.ToJson(), out); break;
+    case Format::kCsv: out << SimCsv(*r.sim); break;
+  }
   return 0;
 }
 
-int CmdSweep(const SystemConfig& sys, const Workload& workload, Flags& flags,
-             std::ostream& out) {
-  SweepSpec spec;
+int CmdSweep(const std::string& system, Flags& flags, std::ostream& out) {
+  Scenario s = ScenarioFromFlags(system, flags);
+  s.Request(Analysis::kSweep);
+  // Malformed grids are usage errors (exit 2): the old behavior silently
+  // produced an empty or nonsensical sweep.
   const double max_rate = flags.Number("max-rate");
+  if (!(max_rate > 0)) {
+    throw UsageError("--max-rate must be > 0, got " + FormatSci(max_rate));
+  }
   const int points = static_cast<int>(flags.Number("points", 8));
-  spec.rates = LinearRates(max_rate, points);
-  spec.run_sim = !flags.Present("no-sim");
-  spec.sim_base = DefaultSimBudget();
-  spec.workload = workload;
-  spec.sim_abort_latency = 3000;
-  // Simulation points are independent; spread them over worker threads
-  // (results are bit-identical to the serial sweep for any thread count).
-  const int default_threads =
-      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-  const int threads = static_cast<int>(
-      flags.Number("threads", static_cast<double>(default_threads)));
-  if (threads < 1) throw std::invalid_argument("--threads must be >= 1");
+  if (points < 1) {
+    throw UsageError("--points must be >= 1, got " + std::to_string(points));
+  }
+  s.sweep_max_rate = max_rate;
+  s.sweep_points = points;
+  s.sweep_sim = !flags.Present("no-sim");
+  const int threads = ThreadsFromFlags(flags);
+  const Format format = FormatFromFlags(flags);
   flags.CheckAllUsed();
-  const auto pts = RunSweepParallel(sys, spec, threads);
-  out << FormatSweepTable(
-      "mean message latency (us), workload: " + workload.Describe(), pts);
-  out << FormatSweepPlot("analysis vs simulation", pts);
+  Engine engine;
+  const Report r = engine.Evaluate(s, threads);
+  switch (format) {
+    case Format::kText: RenderSweepText(r, out); break;
+    case Format::kJson: EmitJson(r.ToJson(), out); break;
+    case Format::kCsv: out << SweepCsv(*r.sweep); break;
+  }
   return 0;
 }
 
-int CmdBottleneck(const SystemConfig& sys, const Workload& workload,
-                  Flags& flags, std::ostream& out) {
-  const double rate = flags.Number("rate");
+int CmdBottleneck(const std::string& system, Flags& flags, std::ostream& out) {
+  Scenario s = ScenarioFromFlags(system, flags);
+  s.Request(Analysis::kBottleneck);
+  s.rate = RateFromFlags(flags);
+  const Format format = FormatFromFlags(flags);
   flags.CheckAllUsed();
-  LatencyModel model(sys, workload);
-  const auto b = model.Bottleneck(rate);
-  if (const char* note = workload.ModelApproximationNote()) {
-    out << note << "\n";
+  Engine engine;
+  const Report r = engine.Evaluate(s);
+  switch (format) {
+    case Format::kText: RenderBottleneckText(r, out); break;
+    case Format::kJson: EmitJson(r.ToJson(), out); break;
+    case Format::kCsv: out << BottleneckCsv(*r.bottleneck); break;
   }
-  Table t({"resource", "utilization"});
-  t.AddRow({"concentrator/dispatcher", FormatDouble(b.condis_rho, 4)});
-  t.AddRow({"inter-cluster source queue", FormatDouble(b.inter_source_rho, 4)});
-  t.AddRow({"intra-cluster source queue", FormatDouble(b.intra_source_rho, 4)});
-  if (workload.DestinationSkewed()) {
-    t.AddRow({"hot-node ejection link", FormatDouble(b.hot_eject_rho, 4)});
+  return 0;
+}
+
+int CmdBatch(const std::vector<std::string>& args, std::ostream& out) {
+  Flags flags(args, 2);
+  const int threads = ThreadsFromFlags(flags);
+  const Format format = FormatFromFlags(flags);
+  if (format == Format::kCsv) {
+    throw UsageError("batch supports --format text or json");
   }
-  out << t.ToString();
-  out << "binding resource: " << b.binding << "\n";
-  out << "saturation rate: " << FormatSci(model.SaturationRate(1.0)) << "\n";
+  flags.CheckAllUsed();
+  const std::vector<Scenario> scenarios = LoadScenarios(args[1]);
+  Engine engine;
+  const std::vector<Report> reports = engine.EvaluateBatch(scenarios, threads);
+  if (format == Format::kJson) {
+    EmitJson(BatchToJson(reports), out);
+    return 0;
+  }
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i != 0) out << "\n";
+    out << "=== scenario " << reports[i].scenario << " ("
+        << reports[i].system_spec << ") ===\n";
+    RenderReportText(reports[i], out);
+  }
   return 0;
 }
 
@@ -370,31 +464,18 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   }
   const std::string& command = args[0];
   try {
+    if (command == "batch") return CmdBatch(args, out);
     Flags flags(args, 2);
-    Experiment exp = LoadExperiment(args[1]);
-    SystemConfig& sys = exp.system;
-    if (flags.Present("icn2-topology")) {
-      // Rebuild the system with the overridden global-network topology;
-      // clusters round-trip unchanged (they carry their own specs).
-      const TopologySpec spec =
-          ParseTopologySpec(flags.Text("icn2-topology", ""));
-      std::vector<ClusterConfig> clusters;
-      clusters.reserve(static_cast<std::size_t>(sys.num_clusters()));
-      for (int i = 0; i < sys.num_clusters(); ++i) {
-        clusters.push_back(sys.cluster(i));
-      }
-      sys = SystemConfig(sys.m(), std::move(clusters), sys.icn2(),
-                         sys.message(), spec);
-    }
-    const Workload workload = WorkloadFromFlags(flags, sys, exp.workload);
-    if (command == "info") return CmdInfo(sys, workload, flags, out);
-    if (command == "model") return CmdModel(sys, workload, flags, out);
-    if (command == "sim") return CmdSim(sys, workload, flags, out);
-    if (command == "sweep") return CmdSweep(sys, workload, flags, out);
-    if (command == "bottleneck") {
-      return CmdBottleneck(sys, workload, flags, out);
-    }
+    const std::string& system = args[1];
+    if (command == "info") return CmdInfo(system, flags, out);
+    if (command == "model") return CmdModel(system, flags, out);
+    if (command == "sim") return CmdSim(system, flags, out);
+    if (command == "sweep") return CmdSweep(system, flags, out);
+    if (command == "bottleneck") return CmdBottleneck(system, flags, out);
     err << "unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  } catch (const UsageError& e) {
+    err << "error: " << e.what() << "\n";
     return 2;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";

@@ -1,20 +1,27 @@
 // Command-line front end for the library: model evaluation, simulation,
-// sweeps, and bottleneck analysis over systems described in text files or
-// built-in presets. Kept as a library so every command is unit-testable;
-// tools/coc_cli.cc is the thin binary wrapper.
+// sweeps, bottleneck analysis and scenario-batch evaluation over systems
+// described in text files or built-in presets. Every evaluating command is
+// a thin Scenario builder over the api layer (src/api/): it assembles a
+// coc::Scenario, runs it through coc::Engine, and renders the coc::Report
+// as text (default), schema-versioned JSON, or CSV (--format). Kept as a
+// library so every command is unit-testable; tools/coc_cli.cc is the thin
+// binary wrapper.
 //
 // Usage:
 //   coc_cli info   <system>
-//   coc_cli model  <system> --rate R [--locality P]
+//   coc_cli model  <system> --rate R [--locality P] [--format F]
 //   coc_cli sim    <system> --rate R [--messages N] [--seed S]
 //                  [--pattern uniform|hotspot|local|permutation]
-//                  [--condis cut-through|store-forward]
+//                  [--condis cut-through|store-forward] [--format F]
 //   coc_cli sweep  <system> --max-rate R [--points N] [--no-sim] [--threads N]
-//   coc_cli bottleneck <system> --rate R
+//                  [--format F]
+//   coc_cli bottleneck <system> --rate R [--format F]
+//   coc_cli batch  <scenarios-file> [--threads N] [--format text|json]
 //
 // <system> is a config file path (see config_parser.h) or "preset:1120",
 // "preset:544", "preset:small", "preset:tiny", optionally with a message
 // format suffix "preset:1120:64:512" (M flits : flit bytes).
+// <scenarios-file> holds [scenario NAME] sections (src/api/scenario.h).
 #pragma once
 
 #include <iosfwd>

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/ini.h"
 #include "common/parse_num.h"
 #include "system/presets.h"
 #include "topology/topology_spec.h"
@@ -15,62 +16,22 @@
 namespace coc {
 namespace {
 
-struct Section {
-  std::string kind;  // "system", "network", "clusters"
-  std::string name;  // network name; empty otherwise
-  std::map<std::string, std::string> values;
-  int line = 0;
-};
+using Section = IniSection;
 
 [[noreturn]] void Fail(int line, const std::string& what) {
-  throw std::invalid_argument("config line " + std::to_string(line) + ": " +
-                              what);
+  IniFail(line, what);
 }
 
-std::string Trim(const std::string& s) {
-  const auto b = s.find_first_not_of(" \t\r");
-  if (b == std::string::npos) return "";
-  const auto e = s.find_last_not_of(" \t\r");
-  return s.substr(b, e - b + 1);
-}
-
+/// Line-level parse via the shared tokenizer plus this format's section-kind
+/// validation (the tokenizer accepts any kind; scenario files use others).
 std::vector<Section> Tokenize(const std::string& text) {
-  std::vector<Section> sections;
-  std::istringstream in(text);
-  std::string raw;
-  int line_no = 0;
-  while (std::getline(in, raw)) {
-    ++line_no;
-    std::string line = raw;
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line = line.substr(0, hash);
-    line = Trim(line);
-    if (line.empty()) continue;
-    if (line.front() == '[') {
-      if (line.back() != ']') Fail(line_no, "unterminated section header");
-      const std::string header = Trim(line.substr(1, line.size() - 2));
-      const auto space = header.find(' ');
-      Section s;
-      s.kind = space == std::string::npos ? header : header.substr(0, space);
-      s.name = space == std::string::npos ? "" : Trim(header.substr(space + 1));
-      s.line = line_no;
-      if (s.kind != "system" && s.kind != "network" && s.kind != "clusters") {
-        Fail(line_no, "unknown section kind '" + s.kind + "'");
-      }
-      if (s.kind == "network" && s.name.empty()) {
-        Fail(line_no, "[network ...] needs a name");
-      }
-      sections.push_back(std::move(s));
-      continue;
+  std::vector<Section> sections = ParseIniSections(text);
+  for (const Section& s : sections) {
+    if (s.kind != "system" && s.kind != "network" && s.kind != "clusters") {
+      Fail(s.line, "unknown section kind '" + s.kind + "'");
     }
-    const auto eq = line.find('=');
-    if (eq == std::string::npos) Fail(line_no, "expected 'key = value'");
-    if (sections.empty()) Fail(line_no, "key outside of any section");
-    const std::string key = Trim(line.substr(0, eq));
-    const std::string value = Trim(line.substr(eq + 1));
-    if (key.empty() || value.empty()) Fail(line_no, "empty key or value");
-    if (!sections.back().values.emplace(key, value).second) {
-      Fail(line_no, "duplicate key '" + key + "'");
+    if (s.kind == "network" && s.name.empty()) {
+      Fail(s.line, "[network ...] needs a name");
     }
   }
   return sections;

@@ -1,0 +1,58 @@
+#include "common/ini.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace coc {
+
+void IniFail(int line, const std::string& what) {
+  throw std::invalid_argument("config line " + std::to_string(line) + ": " +
+                              what);
+}
+
+std::string IniTrim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<IniSection> ParseIniSections(const std::string& text) {
+  std::vector<IniSection> sections;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = raw;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = IniTrim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') IniFail(line_no, "unterminated section header");
+      const std::string header = IniTrim(line.substr(1, line.size() - 2));
+      const auto space = header.find(' ');
+      IniSection s;
+      s.kind = space == std::string::npos ? header : header.substr(0, space);
+      s.name =
+          space == std::string::npos ? "" : IniTrim(header.substr(space + 1));
+      s.line = line_no;
+      sections.push_back(std::move(s));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) IniFail(line_no, "expected 'key = value'");
+    if (sections.empty()) IniFail(line_no, "key outside of any section");
+    const std::string key = IniTrim(line.substr(0, eq));
+    const std::string value = IniTrim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) IniFail(line_no, "empty key or value");
+    if (!sections.back().values.emplace(key, value).second) {
+      IniFail(line_no, "duplicate key '" + key + "'");
+    }
+    sections.back().key_lines.emplace(key, line_no);
+  }
+  return sections;
+}
+
+}  // namespace coc

@@ -1,9 +1,11 @@
 #include "harness/sweep.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <atomic>
 #include <sstream>
 #include <thread>
@@ -194,9 +196,22 @@ std::string MaybeWriteCsv(const std::string& name, const std::string& csv) {
   if (dir == nullptr || dir[0] == '\0') return "";
   const std::string path = std::string(dir) + "/" + name + ".csv";
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return "";
-  std::fwrite(csv.data(), 1, csv.size(), f);
-  std::fclose(f);
+  if (f == nullptr) {
+    // The caller opted in via $COC_CSV_DIR, so a silent empty return would
+    // hide a lost artifact; say why the write failed and keep going.
+    std::fprintf(stderr, "warning: cannot write %s: %s (COC_CSV_DIR=%s)\n",
+                 path.c_str(), std::strerror(errno), dir);
+    return "";
+  }
+  const std::size_t written = std::fwrite(csv.data(), 1, csv.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != csv.size() || !flushed) {
+    // Same contract for short writes / failed flushes (e.g. ENOSPC): warn
+    // and report the artifact as not written.
+    std::fprintf(stderr, "warning: cannot write %s: %s (COC_CSV_DIR=%s)\n",
+                 path.c_str(), std::strerror(errno), dir);
+    return "";
+  }
   return path;
 }
 

@@ -82,11 +82,16 @@ struct ReplicatedResult {
 ReplicatedResult RunReplicated(const CocSystemSim& sim, const SimConfig& cfg,
                                int replications);
 
-/// Renders a sweep as CSV (same columns as FormatSweepTable).
+/// Renders a sweep as CSV (same columns as FormatSweepTable). This is the
+/// one sweep-CSV projection in the tree: the api layer's Report --format csv
+/// output (coc::SweepCsv) delegates here, and the cells render through
+/// Table::ToCsv like every other CSV artifact.
 std::string FormatSweepCsv(const std::vector<SweepPoint>& points);
 
 /// Writes `csv` to $COC_CSV_DIR/<name>.csv when that environment variable is
-/// set; returns the path written to, or an empty string when disabled.
+/// set; returns the path written to, or an empty string when disabled. A
+/// failed write (unwritable directory, bad path) warns on stderr with the
+/// errno reason instead of failing silently, and still returns "".
 std::string MaybeWriteCsv(const std::string& name, const std::string& csv);
 
 /// Environment-controlled simulation budget: the paper-faithful

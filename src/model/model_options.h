@@ -79,6 +79,8 @@ struct ModelOptions {
   /// W_{K-1} in the backward sums of Eqs. (14)/(29), as printed. Disabling
   /// treats the ejection stage as contention-free.
   bool include_last_stage_wait = true;
+
+  friend bool operator==(const ModelOptions&, const ModelOptions&) = default;
 };
 
 }  // namespace coc

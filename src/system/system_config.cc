@@ -108,4 +108,8 @@ int SystemConfig::ClusterOfNode(std::int64_t global_node) const {
   return static_cast<int>(it - cluster_bases_.begin()) - 1;
 }
 
+SystemConfig SystemConfig::WithIcn2Topology(const TopologySpec& spec) const {
+  return SystemConfig(m_, clusters_, icn2_, message_, spec);
+}
+
 }  // namespace coc

@@ -111,6 +111,11 @@ class SystemConfig {
   /// Maps a global node id to its cluster index.
   int ClusterOfNode(std::int64_t global_node) const;
 
+  /// This system rebuilt with a different global-network topology; clusters
+  /// round-trip unchanged (they carry their own specs). The one override
+  /// every consumer (CLI --icn2-topology, Scenario::icn2_override) shares.
+  SystemConfig WithIcn2Topology(const TopologySpec& spec) const;
+
  private:
   int m_;
   std::vector<ClusterConfig> clusters_;

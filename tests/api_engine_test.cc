@@ -1,0 +1,316 @@
+// Engine facade tests: the golden JSON snapshot (schema-versioned, stable
+// key order — any byte change here is a schema change and must bump
+// kReportSchemaVersion or be additive), batch determinism across thread
+// counts, and the cross-call caches the facade exists for.
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/report.h"
+#include "api/scenario.h"
+#include "common/json.h"
+#include "gtest/gtest.h"
+
+namespace coc {
+namespace {
+
+// The exact scenarios behind the golden below; regenerate the golden with
+//   coc_cli batch <this text> --threads 1 --format json
+constexpr const char* kGoldenScenarios = R"cfg([scenario tiny]
+system = preset:tiny:16:64
+analyses = model,bottleneck,sweep
+rate = 1e-4
+sweep.max_rate = 1e-3
+sweep.points = 3
+sweep.sim = false
+
+[scenario dragonfly]
+system = preset:dragonfly:16:64
+analyses = model,bottleneck,saturation
+rate = 1e-4
+workload.pattern = local
+workload.locality = 0.9
+)cfg";
+
+constexpr const char* kGoldenJson = R"json({
+  "schema_version": 1,
+  "reports": [
+    {
+      "schema_version": 1,
+      "scenario": "tiny",
+      "system": {
+        "spec": "preset:tiny:16:64",
+        "clusters": 4,
+        "nodes": 32,
+        "m": 4,
+        "icn2_topology": "4-port 1-tree",
+        "icn2_exact_fit": true,
+        "message_flits": 16,
+        "flit_bytes": 64
+      },
+      "workload": "uniform",
+      "model": {
+        "rate": 1e-04,
+        "saturated": false,
+        "mean_latency_us": 4.962604158902051,
+        "saturation_rate": 0.06817626953125,
+        "clusters": [
+          {
+            "u": 0.7741935483870968,
+            "l_in": 2.853536086279237,
+            "w_in": 6.197327273605172e-05,
+            "l_out": 5.577749013417039,
+            "w_d": 0.005689046500405447,
+            "blended": 4.962604158902051
+          },
+          {
+            "u": 0.7741935483870968,
+            "l_in": 2.853536086279237,
+            "w_in": 6.197327273605172e-05,
+            "l_out": 5.577749013417039,
+            "w_d": 0.005689046500405447,
+            "blended": 4.962604158902051
+          },
+          {
+            "u": 0.7741935483870968,
+            "l_in": 2.853536086279237,
+            "w_in": 6.197327273605172e-05,
+            "l_out": 5.577749013417039,
+            "w_d": 0.005689046500405447,
+            "blended": 4.962604158902051
+          },
+          {
+            "u": 0.7741935483870968,
+            "l_in": 2.853536086279237,
+            "w_in": 6.197327273605172e-05,
+            "l_out": 5.577749013417039,
+            "w_d": 0.005689046500405447,
+            "blended": 4.962604158902051
+          }
+        ]
+      },
+      "bottleneck": {
+        "rate": 1e-04,
+        "condis_rho": 0.0014666322580645162,
+        "inter_source_rho": 0.0003296017482061004,
+        "intra_source_rho": 5.269780255175971e-05,
+        "binding": "concentrator/dispatcher",
+        "saturation_rate": 0.06817626953125
+      },
+      "sweep": {
+        "points": [
+          {
+            "lambda_g": 0.0003333333333333333,
+            "model_latency_us": 4.976716030015545,
+            "model_saturated": false
+          },
+          {
+            "lambda_g": 0.0006666666666666666,
+            "model_latency_us": 4.9970155649356895,
+            "model_saturated": false
+          },
+          {
+            "lambda_g": 0.001,
+            "model_latency_us": 5.017481532002339,
+            "model_saturated": false
+          }
+        ]
+      }
+    },
+    {
+      "schema_version": 1,
+      "scenario": "dragonfly",
+      "system": {
+        "spec": "preset:dragonfly:16:64",
+        "clusters": 4,
+        "nodes": 48,
+        "m": 4,
+        "icn2_topology": "4-port 1-tree",
+        "icn2_exact_fit": true,
+        "message_flits": 16,
+        "flit_bytes": 64
+      },
+      "workload": "local 90%",
+      "model": {
+        "rate": 1e-04,
+        "saturated": false,
+        "mean_latency_us": 3.257765253641925,
+        "saturation_rate": 0.2158203125,
+        "clusters": [
+          {
+            "u": 0.09999999999999998,
+            "l_in": 2.8548370993064824,
+            "w_in": 0.0002499521325158869,
+            "l_out": 5.913586617986377,
+            "w_d": 0.0011009490056694507,
+            "blended": 3.160712051174472
+          },
+          {
+            "u": 0.09999999999999998,
+            "l_in": 2.8548370993064824,
+            "w_in": 0.0002499521325158869,
+            "l_out": 5.913586617986377,
+            "w_d": 0.0011009490056694507,
+            "blended": 3.160712051174472
+          },
+          {
+            "u": 0.09999999999999998,
+            "l_in": 3.0705108825674894,
+            "w_in": 0.00025004473112904933,
+            "l_out": 5.913586617986377,
+            "w_d": 0.0011009490056694507,
+            "blended": 3.354818456109378
+          },
+          {
+            "u": 0.09999999999999998,
+            "l_in": 3.0705108825674894,
+            "w_in": 0.00025004473112904933,
+            "l_out": 5.913586617986377,
+            "w_d": 0.0011009490056694507,
+            "blended": 3.354818456109378
+          }
+        ]
+      },
+      "bottleneck": {
+        "rate": 1e-04,
+        "condis_rho": 0.00028415999999999994,
+        "inter_source_rho": 4.256394793576222e-05,
+        "intra_source_rho": 0.0002112125663143634,
+        "binding": "concentrator/dispatcher",
+        "saturation_rate": 0.2158203125
+      },
+      "saturation": {
+        "rate": 0.2158203125
+      }
+    }
+  ]
+}
+)json";
+
+TEST(Engine, GoldenJsonSnapshot) {
+  Engine engine;
+  const auto reports =
+      engine.EvaluateBatch(ParseScenarios(kGoldenScenarios), 1);
+  EXPECT_EQ(BatchToJson(reports).Dump(2) + "\n", kGoldenJson);
+}
+
+TEST(Engine, GoldenJsonParsesAndCarriesSchemaVersion) {
+  const Json doc = Json::Parse(kGoldenJson);
+  ASSERT_NE(doc.Find("schema_version"), nullptr);
+  EXPECT_EQ(doc.Find("schema_version")->AsInt(), kReportSchemaVersion);
+  const Json* reports = doc.Find("reports");
+  ASSERT_NE(reports, nullptr);
+  ASSERT_EQ(reports->Size(), 2u);
+  EXPECT_EQ(reports->At(0).Find("scenario")->AsString(), "tiny");
+  EXPECT_EQ(reports->At(1).Find("scenario")->AsString(), "dragonfly");
+}
+
+TEST(Engine, BatchDeterministicAcrossThreadCounts) {
+  // Sim-heavy batch (plain sims and a sim-backed sweep): the reports — and
+  // therefore the emitted JSON — must be bit-identical for any worker count.
+  const char* text = R"cfg(
+[scenario a]
+system = preset:tiny:8:32
+analyses = model,sim
+rate = 1e-4
+sim.messages = 500
+
+[scenario b]
+system = preset:tiny:8:32
+analyses = sim
+rate = 2e-4
+sim.messages = 500
+sim.seed = 5
+workload.pattern = hotspot
+workload.hotspot_fraction = 0.2
+
+[scenario c]
+system = preset:mixed:8:32
+analyses = sweep
+sweep.max_rate = 4e-4
+sweep.points = 3
+sim.messages = 400
+
+[scenario d]
+system = preset:dragonfly:8:32
+analyses = model,bottleneck,sim
+rate = 1e-4
+sim.messages = 500
+workload.pattern = local
+workload.locality = 0.9
+)cfg";
+  const auto scenarios = ParseScenarios(text);
+  Engine serial;
+  const std::string one =
+      BatchToJson(serial.EvaluateBatch(scenarios, 1)).Dump(2);
+  for (const int threads : {2, 8}) {
+    Engine parallel;
+    const std::string many =
+        BatchToJson(parallel.EvaluateBatch(scenarios, threads)).Dump(2);
+    EXPECT_EQ(many, one) << "threads=" << threads;
+  }
+}
+
+TEST(Engine, CachesDedupeSystemsModelsAndSims) {
+  // Four scenarios over two distinct systems; only one asks for a sim, and
+  // two share (system, workload, opts) so the model memoizes.
+  const char* text = R"cfg(
+[scenario m1]
+system = preset:tiny:16:64
+analyses = model
+rate = 1e-4
+
+[scenario m2]
+system = preset:tiny:16:64
+analyses = bottleneck
+rate = 2e-4
+
+[scenario m3]
+system = preset:tiny:16:64
+analyses = model
+rate = 1e-4
+workload.pattern = local
+workload.locality = 0.5
+
+[scenario s1]
+system = preset:tiny:8:32
+analyses = sim
+rate = 1e-4
+sim.messages = 200
+)cfg";
+  Engine engine;
+  engine.EvaluateBatch(ParseScenarios(text), 1);
+  const Engine::CacheStats stats = engine.Stats();
+  EXPECT_EQ(stats.systems, 2u);  // preset:tiny:16:64 and preset:tiny:8:32
+  EXPECT_EQ(stats.sims, 1u);     // only s1 needed the simulator
+  EXPECT_EQ(stats.models, 2u);   // m1/m2 share one model; m3 has its own
+}
+
+TEST(Engine, RepeatedEvaluateReusesCachesAndAgrees) {
+  Scenario s = ParseScenario(
+      "[scenario x]\nsystem = preset:tiny:16:64\nrate = 1e-4\n"
+      "analyses = model,saturation\n");
+  Engine engine;
+  const Report first = engine.Evaluate(s);
+  const Report second = engine.Evaluate(s);
+  EXPECT_EQ(first.ToJson().Dump(2), second.ToJson().Dump(2));
+  EXPECT_EQ(engine.Stats().systems, 1u);
+  EXPECT_EQ(engine.Stats().models, 1u);
+}
+
+TEST(Engine, InvalidScenariosFailTheBatchLoudly) {
+  Scenario bad;
+  bad.name = "bad";
+  bad.system = "/no/such/file.conf";
+  bad.rate = 1e-4;
+  Engine engine;
+  EXPECT_THROW(engine.EvaluateBatch({bad}, 4), std::invalid_argument);
+  Scenario unvalidated;
+  unvalidated.name = "r";
+  unvalidated.system = "preset:tiny";
+  unvalidated.rate = 0;  // model analysis without a rate
+  EXPECT_THROW(engine.Evaluate(unvalidated), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace coc

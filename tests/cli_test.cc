@@ -1,11 +1,16 @@
 // Tests for the CLI layer: config parsing (happy path and every rejection
-// branch), preset loading, and each command's output through string streams.
+// branch), preset loading, each command's output through string streams,
+// the exact-text pins guarding the Scenario/Engine re-plumb, the --format
+// encodings, and the batch service path.
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli/cli.h"
 #include "cli/config_parser.h"
+#include "common/json.h"
+#include "harness/sweep.h"
 #include "gtest/gtest.h"
 
 namespace coc {
@@ -326,6 +331,234 @@ TEST(Cli, BottleneckNamesBindingResource) {
   EXPECT_EQ(r.code, 0) << r.err;
   EXPECT_NE(r.out.find("binding resource: concentrator/dispatcher"),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Exact-text pins: the Scenario/Engine facade must reproduce the pre-facade
+// command output byte for byte. Captured from the pre-refactor binary.
+
+TEST(Cli, ModelTextOutputIsBytePinned) {
+  const auto r = RunCommand({"model", "preset:tiny:16:64", "--rate", "1e-4"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out,
+            "lambda_g = 1.00e-04  (workload: uniform)\n"
+            "mean latency: 4.96 us\n"
+            "cluster  U^(i)  L_in  W_in  L_out  W_d   blended\n"
+            "------------------------------------------------\n"
+            "0        0.774  2.85  0     5.58   0.01  4.96\n"
+            "1        0.774  2.85  0     5.58   0.01  4.96\n"
+            "2        0.774  2.85  0     5.58   0.01  4.96\n"
+            "3        0.774  2.85  0     5.58   0.01  4.96\n"
+            "saturation rate: 6.82e-02\n");
+}
+
+TEST(Cli, BottleneckTextOutputIsBytePinned) {
+  const auto r =
+      RunCommand({"bottleneck", "preset:tiny:16:64", "--rate", "1e-4"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out,
+            "resource                    utilization\n"
+            "---------------------------------------\n"
+            "concentrator/dispatcher     0.0015\n"
+            "inter-cluster source queue  0.0003\n"
+            "intra-cluster source queue  0.0001\n"
+            "binding resource: concentrator/dispatcher\n"
+            "saturation rate: 6.82e-02\n");
+}
+
+TEST(Cli, SimTextOutputIsBytePinned) {
+  const auto r = RunCommand({"sim", "preset:tiny:8:32", "--rate", "1e-4",
+                             "--messages", "1000", "--seed", "3"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out,
+            "workload: uniform\n"
+            "delivered 1200 messages over 367416.9 us simulated time\n"
+            "mean latency: 1.51 +/- 0.02 us  (min 0.62, max 2.01)\n"
+            "intra: 0.84 us (233 msgs), inter: 1.72 us (767 msgs)\n"
+            "utilization (mean/max): ICN1 0/0, ECN1 0/0, ICN2 0/0\n");
+}
+
+TEST(Cli, SweepTextOutputMatchesHarnessFormatting) {
+  // The sweep command's text mode is exactly the harness's table + plot for
+  // the same spec (this is what the pre-facade CmdSweep emitted).
+  const auto r = RunCommand({"sweep", "preset:tiny:16:64", "--max-rate",
+                             "1e-3", "--points", "3", "--no-sim"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  SweepSpec spec;
+  spec.rates = LinearRates(1e-3, 3);
+  spec.run_sim = false;
+  const auto pts = RunSweep(LoadSystem("preset:tiny:16:64"), spec);
+  EXPECT_EQ(r.out,
+            FormatSweepTable("mean message latency (us), workload: uniform",
+                             pts) +
+                FormatSweepPlot("analysis vs simulation", pts));
+}
+
+// ---------------------------------------------------------------------------
+// --format encodings.
+
+TEST(Cli, FormatJsonEmitsSchemaVersionedReports) {
+  const struct {
+    std::vector<std::string> args;
+    const char* analysis_key;
+  } cases[] = {
+      {{"model", "preset:tiny:16:64", "--rate", "1e-4", "--format", "json"},
+       "model"},
+      {{"bottleneck", "preset:tiny:16:64", "--rate", "1e-4", "--format",
+        "json"},
+       "bottleneck"},
+      {{"sweep", "preset:tiny:16:64", "--max-rate", "1e-3", "--points", "2",
+        "--no-sim", "--format", "json"},
+       "sweep"},
+      {{"sim", "preset:tiny:8:32", "--rate", "1e-4", "--messages", "500",
+        "--format", "json"},
+       "sim"},
+  };
+  for (const auto& c : cases) {
+    const auto r = RunCommand(c.args);
+    ASSERT_EQ(r.code, 0) << c.analysis_key << ": " << r.err;
+    const Json doc = Json::Parse(r.out);
+    ASSERT_NE(doc.Find("schema_version"), nullptr) << c.analysis_key;
+    EXPECT_NE(doc.Find(c.analysis_key), nullptr) << c.analysis_key;
+  }
+}
+
+TEST(Cli, FormatJsonAndTextAgreeOnTheModelNumbers) {
+  const auto text =
+      RunCommand({"model", "preset:tiny:16:64", "--rate", "1e-4"});
+  const auto json = RunCommand(
+      {"model", "preset:tiny:16:64", "--rate", "1e-4", "--format", "json"});
+  const Json doc = Json::Parse(json.out);
+  const double mean = doc.Find("model")->Find("mean_latency_us")->AsDouble();
+  EXPECT_NEAR(mean, 4.96, 0.005);
+  EXPECT_NE(text.out.find("mean latency: 4.96 us"), std::string::npos);
+}
+
+TEST(Cli, FormatCsvEmitsOneCsvTable) {
+  const auto sweep =
+      RunCommand({"sweep", "preset:tiny:16:64", "--max-rate", "1e-3",
+                  "--points", "2", "--no-sim", "--format", "csv"});
+  EXPECT_EQ(sweep.code, 0) << sweep.err;
+  EXPECT_EQ(sweep.out.find("lambda_g,analysis"), 0u) << sweep.out;
+  const auto model = RunCommand({"model", "preset:tiny:16:64", "--rate",
+                                 "1e-4", "--format", "csv"});
+  EXPECT_EQ(model.out.find("cluster,u,l_in"), 0u) << model.out;
+  const auto bn = RunCommand({"bottleneck", "preset:tiny:16:64", "--rate",
+                              "1e-4", "--format", "csv"});
+  EXPECT_EQ(bn.out.find("resource,utilization"), 0u) << bn.out;
+  const auto sim = RunCommand({"sim", "preset:tiny:8:32", "--rate", "1e-4",
+                               "--messages", "500", "--format", "csv"});
+  EXPECT_EQ(sim.out.find("rate,seed,delivered"), 0u) << sim.out;
+}
+
+TEST(Cli, UnknownFormatIsUsageError) {
+  const auto r = RunCommand({"model", "preset:tiny:16:64", "--rate", "1e-4",
+                             "--format", "yaml"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--format"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Usage-error validation: malformed invocations exit 2, not 1, and never
+// silently produce an empty result.
+
+TEST(Cli, SweepRejectsNonPositivePointsAsUsageError) {
+  for (const char* points : {"0", "-3"}) {
+    const auto r = RunCommand({"sweep", "preset:tiny:16:64", "--max-rate",
+                               "1e-3", "--points", points, "--no-sim"});
+    EXPECT_EQ(r.code, 2) << points;
+    EXPECT_NE(r.err.find("--points must be >= 1"), std::string::npos)
+        << r.err;
+  }
+}
+
+TEST(Cli, SweepRejectsNonPositiveMaxRateAsUsageError) {
+  for (const char* rate : {"0", "-1e-3"}) {
+    const auto r = RunCommand({"sweep", "preset:tiny:16:64", "--max-rate",
+                               rate, "--points", "3", "--no-sim"});
+    EXPECT_EQ(r.code, 2) << rate;
+    EXPECT_NE(r.err.find("--max-rate must be > 0"), std::string::npos)
+        << r.err;
+  }
+}
+
+TEST(Cli, NonPositiveRateIsUsageErrorNamingTheFlag) {
+  for (const char* cmd : {"model", "sim", "bottleneck"}) {
+    const auto r = RunCommand({cmd, "preset:tiny:16:64", "--rate", "0"});
+    EXPECT_EQ(r.code, 2) << cmd;
+    EXPECT_NE(r.err.find("--rate must be > 0"), std::string::npos)
+        << cmd << ": " << r.err;
+  }
+}
+
+TEST(Cli, NonPositiveThreadsIsUsageErrorAcrossCommands) {
+  const auto sweep = RunCommand({"sweep", "preset:tiny:16:64", "--max-rate",
+                                 "1e-3", "--no-sim", "--threads", "-2"});
+  EXPECT_EQ(sweep.code, 2);
+  EXPECT_NE(sweep.err.find("--threads must be >= 1"), std::string::npos);
+  const auto batch =
+      RunCommand({"batch", "/no/such/batch.cfg", "--threads", "0"});
+  EXPECT_EQ(batch.code, 2);
+  EXPECT_NE(batch.err.find("--threads must be >= 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The batch service path.
+
+constexpr const char* kBatchScenarios = R"(
+[scenario first]
+system = preset:tiny:16:64
+analyses = model,saturation
+rate = 1e-4
+
+[scenario second]
+system = preset:tiny:8:32
+analyses = sim
+rate = 1e-4
+sim.messages = 300
+)";
+
+std::string WriteTempFile(const std::string& name, const std::string& text) {
+  const std::string path = "/tmp/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
+  return path;
+}
+
+TEST(Cli, BatchEvaluatesScenarioFileDeterministically) {
+  const std::string path =
+      WriteTempFile("coc_cli_test_batch.cfg", kBatchScenarios);
+  const auto json1 =
+      RunCommand({"batch", path, "--threads", "1", "--format", "json"});
+  ASSERT_EQ(json1.code, 0) << json1.err;
+  const auto json4 =
+      RunCommand({"batch", path, "--threads", "4", "--format", "json"});
+  EXPECT_EQ(json4.out, json1.out);  // bit-identical for any worker count
+  const Json doc = Json::Parse(json1.out);
+  EXPECT_NE(doc.Find("schema_version"), nullptr);
+  ASSERT_EQ(doc.Find("reports")->Size(), 2u);
+  EXPECT_EQ(doc.Find("reports")->At(0).Find("scenario")->AsString(), "first");
+  const auto text = RunCommand({"batch", path, "--threads", "2"});
+  EXPECT_EQ(text.code, 0) << text.err;
+  EXPECT_NE(text.out.find("=== scenario first"), std::string::npos);
+  EXPECT_NE(text.out.find("=== scenario second"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, BatchRejectsBadInputs) {
+  const auto missing = RunCommand({"batch", "/no/such/batch.cfg"});
+  EXPECT_EQ(missing.code, 1);
+  EXPECT_NE(missing.err.find("cannot open scenario file"), std::string::npos);
+  const std::string path = WriteTempFile("coc_cli_test_bad_batch.cfg",
+                                         "[scenario x]\nrate = 1e-4\n");
+  const auto bad = RunCommand({"batch", path});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("missing 'system'"), std::string::npos) << bad.err;
+  const auto csv = RunCommand({"batch", path, "--format", "csv"});
+  EXPECT_EQ(csv.code, 2);  // format validated before the file loads
+  std::remove(path.c_str());
 }
 
 TEST(Cli, ConfigFileRoundTrip) {

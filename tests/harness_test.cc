@@ -174,6 +174,22 @@ TEST(Harness, MaybeWriteCsvRespectsEnv) {
   unsetenv("COC_CSV_DIR");
 }
 
+TEST(Harness, MaybeWriteCsvReportsUnwritableDirOnStderr) {
+  // Opting in via COC_CSV_DIR and then losing the artifact silently was the
+  // bug: the failure must surface the errno reason (and the path) on stderr
+  // while still returning "" so benches keep running.
+  setenv("COC_CSV_DIR", "/nonexistent_coc_csv_dir", 1);
+  ::testing::internal::CaptureStderr();
+  const auto path = MaybeWriteCsv("coc_harness_errno", "a,b\n");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(path, "");
+  EXPECT_NE(err.find("/nonexistent_coc_csv_dir/coc_harness_errno.csv"),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("No such file or directory"), std::string::npos) << err;
+  unsetenv("COC_CSV_DIR");
+}
+
 TEST(Harness, DefaultSimBudgetHonorsCocFull) {
   unsetenv("COC_FULL");
   const auto fast = DefaultSimBudget(1e-4);

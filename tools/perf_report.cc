@@ -2,12 +2,15 @@
 // (bench_perf_sim, bench_perf_model) plus the validation benches
 // (bench_ablation_workload, bench_ablation_dragonfly) and emits the tracked
 // artifacts BENCH_sim.json / BENCH_model.json / BENCH_workload.json /
-// BENCH_dragonfly.json (google-benchmark's JSON schema:
-// a "context" block plus a "benchmarks" array with per-benchmark
-// "name", "real_time"/"cpu_time" in ns, and user counters such as
-// "msgs/s"). Prints a compact summary, and — given a baseline artifact —
-// the msgs/s speedup against it, so CI and PRs can quote before/after
-// numbers from one command.
+// BENCH_dragonfly.json (google-benchmark's JSON schema: a "context" block
+// plus a "benchmarks" array with per-benchmark "name",
+// "real_time"/"cpu_time" in ns, and user counters such as "msgs/s").
+// Prints a compact summary, and — given a baseline artifact — the msgs/s
+// speedup against it, so CI and PRs can quote before/after numbers from one
+// command. Also writes PERF_summary.json, a machine-readable digest of all
+// suites (current numbers plus baseline deltas) produced by the shared
+// common/json emitter — the same serializer the Engine's reports use, so
+// there is exactly one JSON writer in the tree.
 //
 // Usage:
 //   perf_report [--bench-dir DIR] [--out-dir DIR] [--baseline FILE]
@@ -16,8 +19,8 @@
 //
 //   --bench-dir        directory holding bench_perf_sim / bench_perf_model
 //                      (default: ".")
-//   --out-dir          where BENCH_sim.json / BENCH_model.json are written
-//                      (default: ".")
+//   --out-dir          where the BENCH_*.json artifacts and PERF_summary.json
+//                      are written (default: ".")
 //   --baseline         a previous BENCH_sim.json
 //                      (e.g. perf/BENCH_sim.baseline.json) to compare
 //                      msgs/s and ns/op against
@@ -40,7 +43,11 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
+
 namespace {
+
+using coc::Json;
 
 struct BenchResult {
   double real_time_ns = 0;
@@ -55,54 +62,41 @@ struct BenchResult {
   double ErrPct() const { return 100.0 * (model_us - sim_us) / sim_us; }
 };
 
-/// Minimal extraction from google-benchmark's JSON output: scans the
-/// "benchmarks" array for "name", "real_time" and "msgs/s" fields. Not a
-/// general JSON parser — exactly matches the format the library emits.
+/// Reads a google-benchmark JSON artifact through the shared parser and
+/// extracts the fields the trajectory tracks ("name", "real_time", and the
+/// user counters). Unparseable or structurally alien files yield an empty
+/// map, which the caller reports.
 std::map<std::string, BenchResult> ParseBenchJson(const std::string& path) {
   std::map<std::string, BenchResult> results;
   std::ifstream in(path);
   if (!in) return results;
-  std::string line;
-  std::string current;
-  auto number_after = [](const std::string& s, std::size_t colon) {
-    return std::strtod(s.c_str() + colon + 1, nullptr);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Json doc;
+  try {
+    doc = Json::Parse(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: %s: %s\n", path.c_str(), e.what());
+    return results;
+  }
+  const Json* benchmarks = doc.Find("benchmarks");
+  if (benchmarks == nullptr || benchmarks->kind() != Json::Kind::kArray) {
+    return results;
+  }
+  const auto number = [](const Json& entry, const char* key, double fallback) {
+    const Json* v = entry.Find(key);
+    return v != nullptr ? v->AsDouble() : fallback;
   };
-  while (std::getline(in, line)) {
-    const auto name_pos = line.find("\"name\":");
-    if (name_pos != std::string::npos) {
-      const auto open = line.find('"', name_pos + 7);
-      const auto close = line.find('"', open + 1);
-      if (open != std::string::npos && close != std::string::npos) {
-        current = line.substr(open + 1, close - open - 1);
-      }
-      continue;
-    }
-    if (current.empty()) continue;
-    const auto rt_pos = line.find("\"real_time\":");
-    if (rt_pos != std::string::npos) {
-      results[current].real_time_ns = number_after(line, line.find(':', rt_pos));
-      continue;
-    }
-    const auto rate_pos = line.find("\"msgs/s\":");
-    if (rate_pos != std::string::npos) {
-      results[current].msgs_per_s = number_after(line, line.find(':', rate_pos));
-      continue;
-    }
-    const auto model_pos = line.find("\"model_us\":");
-    if (model_pos != std::string::npos) {
-      results[current].model_us = number_after(line, line.find(':', model_pos));
-      continue;
-    }
-    const auto sim_pos = line.find("\"sim_us\":");
-    if (sim_pos != std::string::npos) {
-      results[current].sim_us = number_after(line, line.find(':', sim_pos));
-      continue;
-    }
-    const auto sat_pos = line.find("\"model_saturated\":");
-    if (sat_pos != std::string::npos) {
-      results[current].model_saturated =
-          number_after(line, line.find(':', sat_pos)) != 0.0;
-    }
+  for (std::size_t i = 0; i < benchmarks->Size(); ++i) {
+    const Json& entry = benchmarks->At(i);
+    const Json* name = entry.Find("name");
+    if (name == nullptr) continue;
+    BenchResult& r = results[name->AsString()];
+    r.real_time_ns = number(entry, "real_time", 0);
+    r.msgs_per_s = number(entry, "msgs/s", 0);
+    r.model_us = number(entry, "model_us", 0);
+    r.sim_us = number(entry, "sim_us", 0);
+    r.model_saturated = number(entry, "model_saturated", 0) != 0.0;
   }
   return results;
 }
@@ -149,8 +143,8 @@ void PrintSuite(const char* title, const std::string& path,
 }
 
 void CompareToBaseline(const std::string& baseline_path,
+                       const std::map<std::string, BenchResult>& base,
                        const std::map<std::string, BenchResult>& current) {
-  const auto base = ParseBenchJson(baseline_path);
   std::printf("\nvs baseline %s\n", baseline_path.c_str());
   for (const auto& [name, r] : current) {
     const auto it = base.find(name);
@@ -182,6 +176,33 @@ void CompareToBaseline(const std::string& baseline_path,
   }
 }
 
+/// One benchmark entry of the machine-readable digest.
+Json BenchToJson(const BenchResult& r, const BenchResult* base) {
+  Json j = Json::Object();
+  j.Set("real_time_ns", r.real_time_ns);
+  if (r.msgs_per_s > 0) j.Set("msgs_per_s", r.msgs_per_s);
+  if (r.sim_us > 0 || r.model_saturated) {
+    j.Set("model_us", r.model_us);
+    j.Set("sim_us", r.sim_us);
+    j.Set("model_saturated", r.model_saturated);
+    if (r.HasErrPct()) j.Set("err_pct", r.ErrPct());
+  }
+  if (base != nullptr) {
+    Json b = Json::Object();
+    if (r.msgs_per_s > 0 && base->msgs_per_s > 0) {
+      b.Set("msgs_per_s", base->msgs_per_s);
+      b.Set("speedup", r.msgs_per_s / base->msgs_per_s);
+    } else if (r.HasErrPct() && base->HasErrPct()) {
+      b.Set("err_pct", base->ErrPct());
+    } else if (base->real_time_ns > 0 && r.real_time_ns > 0) {
+      b.Set("real_time_ns", base->real_time_ns);
+      b.Set("speedup", base->real_time_ns / r.real_time_ns);
+    }
+    if (b.Size() > 0) j.Set("baseline", std::move(b));
+  }
+  return j;
+}
+
 }  // namespace
 
 /// One tracked bench suite: the binary to run, the artifact it emits, and
@@ -194,18 +215,19 @@ struct Suite {
   std::string baseline;       // filled from the flag
   std::string out_path;
   std::map<std::string, BenchResult> results;
+  std::map<std::string, BenchResult> baseline_results;  // parsed once
 };
 
 int main(int argc, char** argv) {
   Suite suites[] = {
       {"bench_perf_sim", "BENCH_sim.json", "simulator suite", "--baseline",
-       {}, {}, {}},
+       {}, {}, {}, {}},
       {"bench_perf_model", "BENCH_model.json", "model suite",
-       "--model-baseline", {}, {}, {}},
+       "--model-baseline", {}, {}, {}, {}},
       {"bench_ablation_workload", "BENCH_workload.json",
-       "workload validation suite", "--workload-baseline", {}, {}, {}},
+       "workload validation suite", "--workload-baseline", {}, {}, {}, {}},
       {"bench_ablation_dragonfly", "BENCH_dragonfly.json",
-       "dragonfly validation suite", "--dragonfly-baseline", {}, {}, {}},
+       "dragonfly validation suite", "--dragonfly-baseline", {}, {}, {}, {}},
   };
 
   std::string bench_dir = ".";
@@ -253,9 +275,42 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  for (Suite& s : suites) {
+    if (!s.baseline.empty()) s.baseline_results = ParseBenchJson(s.baseline);
+  }
   for (const Suite& s : suites) PrintSuite(s.title, s.out_path, s.results);
   for (const Suite& s : suites) {
-    if (!s.baseline.empty()) CompareToBaseline(s.baseline, s.results);
+    if (!s.baseline.empty()) {
+      CompareToBaseline(s.baseline, s.baseline_results, s.results);
+    }
   }
+
+  // Machine-readable digest of everything above, through the shared emitter.
+  Json summary = Json::Object();
+  summary.Set("schema_version", 1);
+  Json suites_json = Json::Object();
+  for (const Suite& s : suites) {
+    const auto& base = s.baseline_results;
+    Json suite = Json::Object();
+    suite.Set("artifact", s.artifact);
+    if (!s.baseline.empty()) suite.Set("baseline", s.baseline);
+    Json benches = Json::Object();
+    for (const auto& [name, r] : s.results) {
+      const auto it = base.find(name);
+      benches.Set(name, BenchToJson(r, it == base.end() ? nullptr
+                                                        : &it->second));
+    }
+    suite.Set("benchmarks", std::move(benches));
+    suites_json.Set(s.binary, std::move(suite));
+  }
+  summary.Set("suites", std::move(suites_json));
+  const std::string summary_path = out_dir + "/PERF_summary.json";
+  std::ofstream out(summary_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", summary_path.c_str());
+    return 1;
+  }
+  out << summary.Dump(2) << "\n";
+  std::printf("\nsummary -> %s\n", summary_path.c_str());
   return 0;
 }
