@@ -19,10 +19,10 @@ int main() {
                      "model/sim concentrator-forwarding combinations");
 
   const auto sys = MakeSystem1120(MessageFormat{32, 256});
-  LatencyModel paper_model(sys);
+  CompiledModel paper_model(sys);
   ModelOptions so;
   so.condis_service = ModelOptions::CondisService::kSupplyLimited;
-  LatencyModel supply_model(sys, so);
+  CompiledModel supply_model(sys, so);
   CocSystemSim sim(sys);
 
   Table t({"lambda_g", "sim_cut_through", "sim_store_fwd", "model_paper",

@@ -56,7 +56,7 @@ int main() {
     ModelOptions opts;
     Workload workload;
     v.tweak(opts, workload);
-    LatencyModel model(sys, workload, opts);
+    CompiledModel model(sys, workload, opts);
     t.AddRow({v.name, FormatDouble(model.Evaluate(1e-4).mean_latency, 1),
               FormatDouble(model.Evaluate(3e-4).mean_latency, 1),
               FormatDouble(model.Evaluate(4.5e-4).mean_latency, 1),

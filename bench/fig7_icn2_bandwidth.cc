@@ -47,13 +47,16 @@ int main() {
   Table t({"lambda_g", "N544_base", "N544_incr", "N1120_base", "N1120_incr"});
   std::vector<PlotSeries> series;
   std::vector<std::vector<double>> values(curves.size());
+  std::vector<CompiledModel> models;
+  models.reserve(curves.size());
   for (std::size_t c = 0; c < curves.size(); ++c) {
-    LatencyModel model(curves[c].sys);
+    const CompiledModel& model = models.emplace_back(curves[c].sys);
     PlotSeries s{curves[c].name, curves[c].glyph, {}};
-    for (double r : rates) {
-      const double latency = model.Evaluate(r).mean_latency;
-      values[c].push_back(latency);
-      s.points.emplace_back(r, latency);
+    for (const ModelResult& mr : model.EvaluateMany(rates)) {
+      values[c].push_back(mr.mean_latency);
+    }
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      s.points.emplace_back(rates[i], values[c][i]);
     }
     series.push_back(std::move(s));
   }
@@ -68,12 +71,10 @@ int main() {
 
   // The paper's takeaways: the enhancement matters most in the high-traffic
   // region, and the N=544 system gains more headroom than N=1120.
-  LatencyModel m544b(curves[0].sys), m544i(curves[1].sys);
-  LatencyModel m1120b(curves[2].sys), m1120i(curves[3].sys);
-  const double sat544b = m544b.SaturationRate(2e-3);
-  const double sat544i = m544i.SaturationRate(2e-3);
-  const double sat1120b = m1120b.SaturationRate(2e-3);
-  const double sat1120i = m1120i.SaturationRate(2e-3);
+  const double sat544b = models[0].SaturationRate(2e-3);
+  const double sat544i = models[1].SaturationRate(2e-3);
+  const double sat1120b = models[2].SaturationRate(2e-3);
+  const double sat1120i = models[3].SaturationRate(2e-3);
   std::printf("saturation rate: N=544 base %.3g -> incr %.3g (+%.1f%%)\n",
               sat544b, sat544i, 100 * (sat544i / sat544b - 1));
   std::printf("saturation rate: N=1120 base %.3g -> incr %.3g (+%.1f%%)\n",

@@ -1,14 +1,23 @@
 // google-benchmark microbenchmarks of the analytical model itself: a design
 // tool is only useful if a full-system evaluation is cheap, so we track the
-// cost of one Evaluate() on both Table 1 organizations and the cost of the
-// saturation search.
+// cost of one Evaluate() on both Table 1 organizations, the cost of the
+// saturation search, and the compiled sweep path (CompiledModel +
+// EvaluateMany) against the pointwise reference loop it replaced.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "harness/sweep.h"
+#include "model/compiled_model.h"
 #include "model/latency_model.h"
 #include "system/presets.h"
 
 namespace coc {
 namespace {
+
+/// The rate grid of a full latency-vs-rate sweep on the N=1120 organization
+/// (the Figs. 3-6 x-axis, at sweep-CSV resolution).
+std::vector<double> SweepGrid() { return LinearRates(4.5e-4, 48); }
 
 void BM_Evaluate1120(benchmark::State& state) {
   const auto sys = MakeSystem1120(MessageFormat{32, 256});
@@ -45,6 +54,64 @@ void BM_ModelConstruction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModelConstruction);
+
+void BM_CompiledModelBuild(benchmark::State& state) {
+  const auto sys = MakeSystem1120(MessageFormat{32, 256});
+  for (auto _ : state) {
+    CompiledModel model(sys);
+    benchmark::DoNotOptimize(&model);
+  }
+}
+BENCHMARK(BM_CompiledModelBuild);
+
+// The sweep pair: one full rate grid per iteration on the N=1120
+// organization, compiled (build + EvaluateMany) vs the pointwise reference
+// loop RunSweep used to run. The ratio of the two is the sweep speedup the
+// README quotes; both produce bit-identical results
+// (tests/compiled_model_test.cc).
+void BM_ModelSweep(benchmark::State& state) {
+  const auto sys = MakeSystem1120(MessageFormat{32, 256});
+  const auto rates = SweepGrid();
+  std::vector<ModelResult> out;
+  for (auto _ : state) {
+    const CompiledModel model(sys);
+    model.EvaluateMany(rates, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rates.size()));
+}
+BENCHMARK(BM_ModelSweep);
+
+void BM_ModelSweepPointwise(benchmark::State& state) {
+  const auto sys = MakeSystem1120(MessageFormat{32, 256});
+  const auto rates = SweepGrid();
+  for (auto _ : state) {
+    const LatencyModel model(sys);
+    for (const double r : rates) {
+      benchmark::DoNotOptimize(model.Evaluate(r).mean_latency);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rates.size()));
+}
+BENCHMARK(BM_ModelSweepPointwise);
+
+// Warm-started saturation search: re-running with the refined bracket of a
+// previous run on the same model (the incremental-sweep case — e.g. the
+// Engine re-reporting a cached scenario) skips every probe.
+void BM_SaturationWarm(benchmark::State& state) {
+  const auto sys = MakeSystem1120(MessageFormat{32, 256});
+  const CompiledModel model(sys);
+  SaturationBracket bracket;
+  benchmark::DoNotOptimize(
+      model.SaturationRate(2e-3, 1e-3, nullptr, &bracket));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.SaturationRate(2e-3, 1e-3, &bracket, nullptr));
+  }
+}
+BENCHMARK(BM_SaturationWarm);
 
 }  // namespace
 }  // namespace coc

@@ -36,7 +36,7 @@ int main() {
   SimScratch scratch;  // engine arena reused across all operating points
   for (const Case& c : cases) {
     const auto sys = c.make(MessageFormat{c.m_flits, c.dm});
-    LatencyModel model(sys);
+    CompiledModel model(sys);
     CocSystemSim sim(sys);
     const double sat = model.SaturationRate(1e-2);
     for (double frac : {0.1, 0.2, 0.3}) {

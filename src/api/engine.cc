@@ -101,7 +101,7 @@ std::shared_ptr<const CocSystemSim> Engine::GetSim(
   return entry->sim;
 }
 
-std::shared_ptr<const LatencyModel> Engine::GetModel(
+std::shared_ptr<Engine::ModelEntry> Engine::GetModel(
     const std::string& system_key, const SystemEntry& entry,
     const Workload& workload, const ModelOptions& opts) {
   std::string key = system_key;
@@ -114,10 +114,21 @@ std::shared_ptr<const LatencyModel> Engine::GetModel(
     const auto it = models_.find(key);
     if (it != models_.end()) return it->second;
   }
-  auto model = std::make_shared<const LatencyModel>(entry.experiment.system,
-                                                    workload, opts);
+  auto model = std::make_shared<ModelEntry>(std::make_shared<const CompiledModel>(
+      entry.experiment.system, workload, opts));
   std::lock_guard<std::mutex> lock(mu_);
   return models_.emplace(std::move(key), std::move(model)).first->second;
+}
+
+double Engine::GetSaturationRate(const std::shared_ptr<ModelEntry>& entry) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry->saturation_rate) return *entry->saturation_rate;
+  }
+  const double rate = entry->model->SaturationRate(1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entry->saturation_rate) entry->saturation_rate = rate;
+  return *entry->saturation_rate;
 }
 
 Engine::CacheStats Engine::Stats() const {
@@ -152,13 +163,17 @@ Report Engine::EvaluateWith(const Scenario& scenario, SimScratch& scratch,
   report.workload = workload.Describe();
 
   const char* note = workload.ModelApproximationNote();
-  std::shared_ptr<const LatencyModel> model;
+  std::shared_ptr<const CompiledModel> model;
   double saturation_rate = 0;
   if (scenario.Has(Analysis::kModel) || scenario.Has(Analysis::kBottleneck) ||
       scenario.Has(Analysis::kSaturation)) {
-    model = GetModel(SystemKey(scenario), *entry, workload, scenario.model);
-    // One bisection serves every analysis that reports the saturation point.
-    saturation_rate = model->SaturationRate(1.0);
+    const auto mentry =
+        GetModel(SystemKey(scenario), *entry, workload, scenario.model);
+    model = mentry->model;
+    // One bisection serves every analysis that reports the saturation point,
+    // and the result is cached on the model entry, so scenarios sharing a
+    // model (batch sweeps over the rate dial) run the search exactly once.
+    saturation_rate = GetSaturationRate(mentry);
   }
 
   if (scenario.Has(Analysis::kModel)) {

@@ -11,8 +11,11 @@
 //   * the discrete-event simulator (CocSystemSim, whose construction builds
 //     the global channel table and route-skeleton caches) is built lazily
 //     once per system and shared;
-//   * LatencyModel instances memoize per (system, workload, options) key —
-//     scenarios that sweep the rate dial against one model build it once;
+//   * CompiledModel instances memoize per (system, workload, options) key —
+//     scenarios that sweep the rate dial against one model compile it once,
+//     and the model's saturation bisection (the dominant cost of model-only
+//     scenarios) is cached alongside it, so a batch of scenarios sharing a
+//     model runs the search exactly once;
 //   * each batch worker thread owns a SimScratch, so steady-state simulation
 //     stays allocation-free across the scenarios it evaluates.
 //
@@ -22,19 +25,21 @@
 // resulting reports (and their JSON) are bit-identical for any thread count.
 //
 // Thread-safety: one Engine may be shared; the caches are mutex-guarded and
-// the cached objects are immutable after construction (LatencyModel and
+// the cached objects are immutable after construction (CompiledModel and
 // CocSystemSim evaluate via const methods with no hidden state).
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "api/report.h"
 #include "api/scenario.h"
 #include "cli/config_parser.h"
+#include "model/compiled_model.h"
 #include "sim/coc_system_sim.h"
 
 namespace coc {
@@ -72,20 +77,30 @@ class Engine {
     std::shared_ptr<const CocSystemSim> sim;  ///< lazy; guarded by mu_
   };
 
+  struct ModelEntry {
+    explicit ModelEntry(std::shared_ptr<const CompiledModel> m)
+        : model(std::move(m)) {}
+    std::shared_ptr<const CompiledModel> model;
+    /// Cached SaturationRate(1.0); guarded by mu_ (the search itself runs
+    /// outside the lock; the first finisher's value wins).
+    std::optional<double> saturation_rate;
+  };
+
   std::shared_ptr<SystemEntry> GetSystem(const Scenario& scenario);
   std::shared_ptr<const CocSystemSim> GetSim(
       const std::shared_ptr<SystemEntry>& entry);
-  std::shared_ptr<const LatencyModel> GetModel(const std::string& system_key,
-                                               const SystemEntry& entry,
-                                               const Workload& workload,
-                                               const ModelOptions& opts);
+  std::shared_ptr<ModelEntry> GetModel(const std::string& system_key,
+                                       const SystemEntry& entry,
+                                       const Workload& workload,
+                                       const ModelOptions& opts);
+  double GetSaturationRate(const std::shared_ptr<ModelEntry>& entry);
 
   Report EvaluateWith(const Scenario& scenario, SimScratch& scratch,
                       int sweep_threads);
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<SystemEntry>> systems_;
-  std::map<std::string, std::shared_ptr<const LatencyModel>> models_;
+  std::map<std::string, std::shared_ptr<ModelEntry>> models_;
 };
 
 }  // namespace coc

@@ -26,17 +26,21 @@ std::vector<double> LinearRates(double max, int count) {
 
 std::vector<SweepPoint> RunSweep(const SystemConfig& sys,
                                  const SweepSpec& spec) {
-  LatencyModel model(sys, spec.workload, spec.model_opts);
+  // One compiled structure for the whole grid; the batch evaluation is
+  // bit-identical to pointwise LatencyModel::Evaluate per rate.
+  const CompiledModel model(sys, spec.workload, spec.model_opts);
+  const std::vector<ModelResult> model_results = model.EvaluateMany(spec.rates);
   std::optional<CocSystemSim> sim;
   if (spec.run_sim) sim.emplace(sys, spec.slot_policy);
 
   std::vector<SweepPoint> points;
   bool sim_alive = spec.run_sim;
   SimScratch scratch;  // engine arena + buffers shared across sweep points
-  for (double rate : spec.rates) {
+  for (std::size_t k = 0; k < spec.rates.size(); ++k) {
+    const double rate = spec.rates[k];
     SweepPoint p;
     p.lambda_g = rate;
-    const ModelResult mr = model.Evaluate(rate);
+    const ModelResult& mr = model_results[k];
     p.model_latency = mr.mean_latency;
     p.model_saturated = mr.saturated;
     if (sim_alive) {
@@ -64,15 +68,15 @@ std::vector<SweepPoint> RunSweepParallel(const SystemConfig& sys,
   if (threads <= 1 || spec.rates.size() <= 1 || !spec.run_sim) {
     return RunSweep(sys, spec);
   }
-  LatencyModel model(sys, spec.workload, spec.model_opts);
+  const CompiledModel model(sys, spec.workload, spec.model_opts);
+  const std::vector<ModelResult> model_results = model.EvaluateMany(spec.rates);
   const CocSystemSim sim(sys, spec.slot_policy);
 
   std::vector<SweepPoint> points(spec.rates.size());
   for (std::size_t i = 0; i < spec.rates.size(); ++i) {
     points[i].lambda_g = spec.rates[i];
-    const ModelResult mr = model.Evaluate(spec.rates[i]);
-    points[i].model_latency = mr.mean_latency;
-    points[i].model_saturated = mr.saturated;
+    points[i].model_latency = model_results[i].mean_latency;
+    points[i].model_saturated = model_results[i].saturated;
   }
 
   std::atomic<std::size_t> next{0};

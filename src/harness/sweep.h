@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "model/compiled_model.h"
 #include "model/latency_model.h"
 #include "sim/coc_system_sim.h"
 #include "sim/sim_config.h"

@@ -1,0 +1,575 @@
+// CompiledModel construction and evaluation.
+//
+// Bit-identity discipline: every lambda-dependent expression below must
+// reproduce LatencyModel's operation order and associativity exactly (IEEE
+// doubles are not associative). Precomputed constants are only ever the
+// value of the *identical* subexpression the reference path computes — e.g.
+// x_cs = M * t_cs, eta_div = ChannelsPerNode() * N_i — never a reassociated
+// form. The suffix-sharing chains work because StageRecursionT0 carries a
+// single wait_suffix scalar backward: the chain state after j steps is, bit
+// for bit, the state a from-scratch recursion of a j-interior-stage journey
+// reaches, so one pass emits every journey length's T_0. Sums are then
+// accumulated in the reference loop order over the precomputed non-zero
+// probability products.
+#include "model/compiled_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "model/mg1.h"
+#include "topology/topology.h"
+
+namespace coc {
+namespace {
+
+// Class keys are raw byte strings: exact double bit patterns plus topology
+// instance pointers. Equal key => every per-rate output is bit-identical.
+void AppendBits(std::string& key, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  key.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+}
+
+void AppendPtr(std::string& key, const void* p) {
+  const auto bits = reinterpret_cast<std::uintptr_t>(p);
+  key.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+}
+
+}  // namespace
+
+CompiledModel::CompiledModel(const SystemConfig& sys, ModelOptions opts)
+    : sys_(sys), opts_(opts) {
+  Compile();
+}
+
+CompiledModel::CompiledModel(const SystemConfig& sys, const Workload& workload,
+                             ModelOptions opts)
+    : sys_(sys), workload_(workload), opts_(opts) {
+  workload_.Validate(sys_);
+  Compile();
+}
+
+void CompiledModel::Compile() {
+  const int c = sys_.num_clusters();
+  const MessageFormat& msg = sys_.message();
+  m_flits_ = workload_.MeanFlits(msg);
+  flit_var_ = workload_.FlitVariance(msg);
+  include_final_wait_ = opts_.include_last_stage_wait;
+  src_per_node_ =
+      opts_.source_queue_rate == ModelOptions::SourceQueueRate::kPerNode;
+  skewed_ = workload_.DestinationSkewed();
+
+  const LinkDistribution icn2_links = MakeIcn2LinkDistribution(sys_);
+  const std::vector<double> loads = workload_.EcnLoadFactors(sys_);
+
+  u_.resize(static_cast<std::size_t>(c));
+  weight_.resize(static_cast<std::size_t>(c));
+  intra_class_of_.resize(static_cast<std::size_t>(c));
+  pair_class_of_.assign(static_cast<std::size_t>(c) * c, -1);
+
+  double total_weight = 0;
+  for (int i = 0; i < c; ++i) {
+    total_weight += static_cast<double>(sys_.NodesInCluster(i)) *
+                    workload_.RateScale(i);
+  }
+  for (int i = 0; i < c; ++i) {
+    u_[static_cast<std::size_t>(i)] = workload_.EffectiveU(sys_, i);
+    weight_[static_cast<std::size_t>(i)] =
+        static_cast<double>(sys_.NodesInCluster(i)) * workload_.RateScale(i) /
+        total_weight;
+  }
+
+  // --- intra-cluster classes (Eqs. 4-19 constants) -----------------------
+  std::map<std::string, int> intra_keys;
+  for (int i = 0; i < c; ++i) {
+    const ClusterConfig& cluster = sys_.cluster(i);
+    const Topology& topo = sys_.icn1_topology(i);
+    const double t_cn = cluster.icn1.TCn(msg.flit_bytes);
+    const double t_cs = cluster.icn1.TCs(msg.flit_bytes);
+    const auto big_n = static_cast<double>(sys_.NodesInCluster(i));
+    const double u_i = u_[static_cast<std::size_t>(i)];
+    const double s_i = workload_.RateScale(i);
+
+    std::string key;
+    AppendPtr(key, &topo);
+    AppendBits(key, t_cn);
+    AppendBits(key, t_cs);
+    AppendBits(key, big_n);
+    AppendBits(key, u_i);
+    AppendBits(key, s_i);
+    const auto [it, inserted] =
+        intra_keys.emplace(std::move(key), static_cast<int>(intra_classes_.size()));
+    if (inserted) {
+      const LinkDistribution& links = topo.Links();
+      IntraClass k;
+      k.s = s_i;
+      k.big_n = big_n;
+      k.one_minus_u = 1.0 - u_i;
+      k.mean_links = links.MeanLinks();
+      k.eta_div = topo.ChannelsPerNode() * big_n;
+      k.x_cs = m_flits_ * t_cs;
+      k.x_cn = m_flits_ * t_cn;
+      k.chain_steps = std::max(0, links.max_links() - 2);
+      for (int d = 2; d <= links.max_links(); ++d) {
+        k.p.push_back(links.P(d));
+      }
+      double e_in = 0;
+      for (int d = 2; d <= links.max_links(); ++d) {
+        const double p = links.P(d);
+        if (p == 0.0) continue;
+        e_in += p * (static_cast<double>(d - 2) * t_cs + 2.0 * t_cn);
+      }
+      k.e_in = e_in;
+      intra_classes_.push_back(std::move(k));
+    }
+    intra_class_of_[static_cast<std::size_t>(i)] = it->second;
+  }
+
+  // --- ordered-pair classes (Eqs. 20-39 constants) -----------------------
+  if (c >= 2) {
+    if (skewed_) {
+      dest_prob_.assign(static_cast<std::size_t>(c) * c, 0.0);
+    }
+    std::map<std::string, int> pair_keys;
+    for (int i = 0; i < c; ++i) {
+      for (int j = 0; j < c; ++j) {
+        if (j == i) continue;
+        if (skewed_) {
+          dest_prob_[static_cast<std::size_t>(i * c + j)] =
+              workload_.InterDestProbability(sys_, i, j);
+        }
+        const ClusterConfig& ci = sys_.cluster(i);
+        const ClusterConfig& cj = sys_.cluster(j);
+        const Topology& ecn1_i = sys_.ecn1_topology(i);
+        const Topology& ecn1_j = sys_.ecn1_topology(j);
+
+        std::string key;
+        AppendPtr(key, &ecn1_i);
+        AppendPtr(key, &ecn1_j);
+        AppendBits(key, ci.ecn1.TCs(msg.flit_bytes));
+        AppendBits(key, ci.ecn1.TCn(msg.flit_bytes));
+        AppendBits(key, cj.ecn1.TCs(msg.flit_bytes));
+        AppendBits(key, cj.ecn1.TCn(msg.flit_bytes));
+        AppendBits(key, ci.ecn1.beta());
+        AppendBits(key, static_cast<double>(sys_.NodesInCluster(i)));
+        AppendBits(key, static_cast<double>(sys_.NodesInCluster(j)));
+        AppendBits(key, u_[static_cast<std::size_t>(i)]);
+        AppendBits(key, u_[static_cast<std::size_t>(j)]);
+        AppendBits(key, workload_.RateScale(i));
+        AppendBits(key, workload_.RateScale(j));
+        AppendBits(key, loads[static_cast<std::size_t>(i)]);
+        AppendBits(key, loads[static_cast<std::size_t>(j)]);
+        const auto [it, inserted] = pair_keys.emplace(
+            std::move(key), static_cast<int>(pair_classes_.size()));
+        if (inserted) {
+          pair_classes_.push_back(BuildPairClass(i, j, icn2_links, loads));
+        }
+        pair_class_of_[static_cast<std::size_t>(i * c + j)] = it->second;
+      }
+    }
+  }
+  for (const PairClass& k : pair_classes_) {
+    const std::size_t table =
+        static_cast<std::size_t>(k.r_max) * static_cast<std::size_t>(k.v_max) *
+        static_cast<std::size_t>(std::max(0, k.d_max - 1));
+    max_t0_size_ = std::max(max_t0_size_, table);
+  }
+
+  // --- hot-spot overlay constants ----------------------------------------
+  if (skewed_) {
+    const int h = sys_.ClusterOfNode(workload_.hotspot_node);
+    hot_.hot_cluster = h;
+    hot_.f = workload_.hotspot_fraction;
+    hot_.s_hot = workload_.RateScale(h);
+    hot_.nh_minus_1 = static_cast<double>(sys_.NodesInCluster(h) - 1);
+    const double t_cn_icn1 = sys_.cluster(h).icn1.TCn(msg.flit_bytes);
+    const double t_cn_ecn1 = sys_.cluster(h).ecn1.TCn(msg.flit_bytes);
+    hot_.x_intra = m_flits_ * t_cn_icn1;
+    hot_.x_inter = m_flits_ * t_cn_ecn1;
+    hot_.var_intra = flit_var_ * t_cn_icn1 * t_cn_icn1;
+    hot_.var_inter = flit_var_ * t_cn_ecn1 * t_cn_ecn1;
+    hot_s_.resize(static_cast<std::size_t>(c));
+    hot_n_.resize(static_cast<std::size_t>(c));
+    for (int cc = 0; cc < c; ++cc) {
+      hot_s_[static_cast<std::size_t>(cc)] = workload_.RateScale(cc);
+      hot_n_[static_cast<std::size_t>(cc)] =
+          static_cast<double>(sys_.NodesInCluster(cc));
+    }
+  }
+}
+
+CompiledModel::PairClass CompiledModel::BuildPairClass(
+    int i, int j, const LinkDistribution& icn2_links,
+    const std::vector<double>& loads) {
+  const ClusterConfig& ci = sys_.cluster(i);
+  const ClusterConfig& cj = sys_.cluster(j);
+  const MessageFormat& msg = sys_.message();
+  const double t_cs_ei = ci.ecn1.TCs(msg.flit_bytes);
+  const double t_cn_ei = ci.ecn1.TCn(msg.flit_bytes);
+  const double t_cs_ej = cj.ecn1.TCs(msg.flit_bytes);
+  const double t_cn_ej = cj.ecn1.TCn(msg.flit_bytes);
+  const double t_cs_i2 = sys_.icn2().TCs(msg.flit_bytes);
+  const Topology& ecn1_i = sys_.ecn1_topology(i);
+  const Topology& ecn1_j = sys_.ecn1_topology(j);
+  const LinkDistribution& access_i = ecn1_i.AccessLinks();
+  const LinkDistribution& access_j = ecn1_j.AccessLinks();
+
+  PairClass k;
+  k.sum_loads = loads[static_cast<std::size_t>(i)] +
+                loads[static_cast<std::size_t>(j)];
+  k.ni = static_cast<double>(sys_.NodesInCluster(i));
+  k.nj = static_cast<double>(sys_.NodesInCluster(j));
+  k.u_sum = workload_.EffectiveU(sys_, i) * workload_.RateScale(i) +
+            workload_.EffectiveU(sys_, j) * workload_.RateScale(j);
+  k.n_sum = k.ni + k.nj;
+  k.acc_mean_i = access_i.MeanLinks();
+  k.acc_mean_j = access_j.MeanLinks();
+  k.eta_src_div = ecn1_i.ChannelsPerNode() * k.ni;
+  k.eta_dst_div = ecn1_j.ChannelsPerNode() * k.nj;
+  k.icn2_mean = icn2_links.MeanLinks();
+  k.icn2_cpn = sys_.icn2_topology().ChannelsPerNode();
+  k.delta = 1.0;
+  switch (opts_.relaxing_factor) {
+    case ModelOptions::RelaxingFactor::kInverseCapacity:
+      k.delta = sys_.icn2().beta() / ci.ecn1.beta();
+      break;
+    case ModelOptions::RelaxingFactor::kAsPrinted:
+      k.delta = ci.ecn1.beta() / sys_.icn2().beta();
+      break;
+    case ModelOptions::RelaxingFactor::kOff:
+      break;
+  }
+  k.x_ei = m_flits_ * t_cs_ei;
+  k.x_i2 = m_flits_ * t_cs_i2;
+  k.x_ej = m_flits_ * t_cs_ej;
+  k.x_cn_ej = m_flits_ * t_cn_ej;
+  k.mfl_tcn_ei = m_flits_ * t_cn_ei;
+  k.s_i = workload_.RateScale(i);
+  k.u_i = workload_.EffectiveU(sys_, i);
+  const double per_flit_cd =
+      opts_.condis_service == ModelOptions::CondisService::kIcn2Rate
+          ? t_cs_i2
+          : std::max(t_cs_i2, t_cs_ei);
+  k.x_cd = m_flits_ * per_flit_cd;
+  const double sigma_cd = m_flits_ * (t_cs_i2 - t_cs_ei);
+  k.var_cd = sigma_cd * sigma_cd;
+  if (flit_var_ > 0) k.var_cd += flit_var_ * per_flit_cd * per_flit_cd;
+  k.r_max = access_i.max_links();
+  k.v_max = access_j.max_links();
+  k.d_max = icn2_links.max_links();
+
+  // Non-zero (r, v, d_l) combinations, reference loop order; Eq. 34's tail
+  // drain is rate-invariant and folds entirely into the compile step.
+  double e_ex = 0;
+  for (int r = 1; r <= k.r_max; ++r) {
+    const double p_r = access_i.P(r);
+    if (p_r == 0.0) continue;
+    for (int v = 1; v <= k.v_max; ++v) {
+      const double p_v = access_j.P(v);
+      if (p_v == 0.0) continue;
+      for (int dl = 2; dl <= k.d_max; ++dl) {
+        const double p_l = icn2_links.P(dl);
+        if (p_l == 0.0) continue;
+        const double p = p_r * p_v * p_l;
+        k.combo_idx.push_back(((r - 1) * k.v_max + (v - 1)) * (k.d_max - 1) +
+                              (dl - 2));
+        k.combo_p.push_back(p);
+        e_ex += p * ((r - 1) * t_cs_ei + static_cast<double>(dl) * t_cs_i2 +
+                     (v - 1) * t_cs_ej + t_cn_ei + t_cn_ej);
+      }
+    }
+  }
+  k.e_ex = e_ex;
+  return k;
+}
+
+CompiledModel::HotEject CompiledModel::HotEjectOverlay(double lambda_g) const {
+  HotEject out;
+  if (!skewed_) return out;
+  const double lambda_intra =
+      hot_.f * (lambda_g * hot_.s_hot) * hot_.nh_minus_1;
+  double remote_nodes_rate = 0;
+  const int c = sys_.num_clusters();
+  for (int cc = 0; cc < c; ++cc) {
+    if (cc == hot_.hot_cluster) continue;
+    remote_nodes_rate += (lambda_g * hot_s_[static_cast<std::size_t>(cc)]) *
+                         hot_n_[static_cast<std::size_t>(cc)];
+  }
+  const double lambda_inter = hot_.f * remote_nodes_rate;
+  out.w_intra = MG1Wait(lambda_intra, hot_.x_intra, hot_.var_intra);
+  out.w_inter = MG1Wait(lambda_inter, hot_.x_inter, hot_.var_inter);
+  out.rho = std::max(lambda_intra * hot_.x_intra, lambda_inter * hot_.x_inter);
+  return out;
+}
+
+IntraResult CompiledModel::EvaluateIntraClass(const IntraClass& k,
+                                              double lambda_g) const {
+  const double node_rate = lambda_g * k.s;
+  IntraResult out;
+  const double lambda_icn1 = k.big_n * node_rate * k.one_minus_u;
+  out.eta = lambda_icn1 * k.mean_links / k.eta_div;
+
+  // One suffix-shared backward chain: the state after j interior steps is
+  // exactly the (j+2)-link journey's T_0.
+  double t_in = 0;
+  double t = k.x_cn;
+  double wait = include_final_wait_ ? 0.5 * out.eta * t * t : 0.0;
+  if (!k.p.empty() && k.p[0] != 0.0) t_in += k.p[0] * t;
+  for (int step = 1; step <= k.chain_steps; ++step) {
+    t = k.x_cs + wait;
+    wait += 0.5 * out.eta * t * t;
+    const double p = k.p[static_cast<std::size_t>(step)];
+    if (p != 0.0) t_in += p * t;
+  }
+  out.t_in = t_in;
+
+  const double lambda_src =
+      src_per_node_ ? node_rate * k.one_minus_u : lambda_icn1;
+  const double sigma = t_in - k.x_cn;
+  double service_var = sigma * sigma;
+  if (flit_var_ > 0) {
+    const double per_flit = t_in / m_flits_;
+    service_var += flit_var_ * per_flit * per_flit;
+  }
+  out.w_in = MG1Wait(lambda_src, t_in, service_var);
+  out.source_rho = lambda_src * t_in;
+  out.e_in = k.e_in;
+  out.saturated = !std::isfinite(out.w_in);
+  out.l_in = out.w_in + out.t_in + out.e_in;
+  return out;
+}
+
+InterPairResult CompiledModel::EvaluatePairClass(const PairClass& k,
+                                                 double lambda_g,
+                                                 std::vector<double>& t0) const {
+  const double lambda_ecn = lambda_g * k.sum_loads;
+  double lambda_i2 = 0;
+  switch (opts_.lambda_i2) {
+    case ModelOptions::LambdaI2::kPairMean:
+      lambda_i2 = lambda_g * k.sum_loads / 2.0;
+      break;
+    case ModelOptions::LambdaI2::kHarmonic:
+      lambda_i2 = lambda_g * k.ni * k.nj * k.u_sum / k.n_sum;
+      break;
+  }
+  const double eta_e_src = lambda_ecn * k.acc_mean_i / k.eta_src_div;
+  const double eta_e_dst = opts_.ecn_eta == ModelOptions::EcnEta::kPerSide
+                               ? lambda_ecn * k.acc_mean_j / k.eta_dst_div
+                               : eta_e_src;
+  const double eta_i2_raw = lambda_i2 * k.icn2_mean / k.icn2_cpn;
+  const double eta_i2 = eta_i2_raw * k.delta;
+
+  // Suffix-shared T_0 table: the recursion processes dst stages, then ICN2,
+  // then src stages, so one dst chain (advancing across v), one ICN2 chain
+  // per v (advancing across d_l), and one src chain per (v, d_l) emit T_0
+  // for every (r, v, d_l) in O(R V D) steps.
+  const int dsteps = k.d_max - 1;
+  if (!k.combo_idx.empty()) {
+    double wait_dst = include_final_wait_
+                          ? 0.5 * eta_e_dst * k.x_cn_ej * k.x_cn_ej
+                          : 0.0;
+    for (int v = 1; v <= k.v_max; ++v) {
+      double wait = wait_dst;
+      for (int step = 1; step <= dsteps; ++step) {  // d_l = step + 1
+        const double t_i2 = k.x_i2 + wait;
+        wait += 0.5 * eta_i2 * t_i2 * t_i2;
+        double w_src = wait;
+        for (int r = 1; r <= k.r_max; ++r) {
+          const double t_src = k.x_ei + w_src;
+          w_src += 0.5 * eta_e_src * t_src * t_src;
+          t0[static_cast<std::size_t>(((r - 1) * k.v_max + (v - 1)) * dsteps +
+                                      (step - 1))] = t_src;
+        }
+      }
+      const double t_dst = k.x_ej + wait_dst;
+      wait_dst += 0.5 * eta_e_dst * t_dst * t_dst;
+    }
+  }
+
+  double t_ex = 0;
+  for (std::size_t n = 0; n < k.combo_idx.size(); ++n) {
+    t_ex += k.combo_p[n] * t0[static_cast<std::size_t>(k.combo_idx[n])];
+  }
+
+  InterPairResult out;
+  out.t_ex = t_ex;
+  out.e_ex = k.e_ex;
+
+  const double lambda_src =
+      src_per_node_ ? (lambda_g * k.s_i) * k.u_i : lambda_ecn;
+  const double sigma = t_ex - k.mfl_tcn_ei;
+  double service_var = sigma * sigma;
+  if (flit_var_ > 0) {
+    const double per_flit = t_ex / m_flits_;
+    service_var += flit_var_ * per_flit * per_flit;
+  }
+  out.w_ex = MG1Wait(lambda_src, t_ex, service_var);
+
+  out.w_c = MG1Wait(lambda_i2, k.x_cd, k.var_cd);
+  out.condis_rho = lambda_i2 * k.x_cd;
+  out.source_rho = lambda_src * t_ex;
+
+  out.l_ex = out.w_ex + out.t_ex + out.e_ex;
+  out.saturated = !std::isfinite(out.l_ex) || !std::isfinite(out.w_c);
+  return out;
+}
+
+InterResult CompiledModel::AggregateInter(int i,
+                                          const Scratch& scratch) const {
+  InterResult out;
+  const int c = sys_.num_clusters();
+  if (c < 2) return out;
+
+  if (!skewed_) {
+    double l_ex_sum = 0;
+    double w_d_sum = 0;
+    for (int j = 0; j < c; ++j) {
+      if (j == i) continue;
+      const InterPairResult& pair = scratch.pair_vals[static_cast<std::size_t>(
+          pair_class_of_[static_cast<std::size_t>(i * c + j)])];
+      l_ex_sum += pair.l_ex;
+      w_d_sum += 2.0 * pair.w_c;
+      out.max_condis_rho = std::max(out.max_condis_rho, pair.condis_rho);
+      out.max_source_rho = std::max(out.max_source_rho, pair.source_rho);
+      out.saturated = out.saturated || pair.saturated;
+    }
+    out.l_ex = l_ex_sum / (c - 1);
+    out.w_d = w_d_sum / (c - 1);
+  } else {
+    double l_ex_sum = 0;
+    double w_d_sum = 0;
+    double w_sum = 0;
+    for (int j = 0; j < c; ++j) {
+      if (j == i) continue;
+      const double w = dest_prob_[static_cast<std::size_t>(i * c + j)];
+      const InterPairResult& pair = scratch.pair_vals[static_cast<std::size_t>(
+          pair_class_of_[static_cast<std::size_t>(i * c + j)])];
+      l_ex_sum += w * pair.l_ex;
+      w_d_sum += w * 2.0 * pair.w_c;
+      w_sum += w;
+      out.max_condis_rho = std::max(out.max_condis_rho, pair.condis_rho);
+      out.max_source_rho = std::max(out.max_source_rho, pair.source_rho);
+      out.saturated = out.saturated || (pair.saturated && w > 0);
+    }
+    out.l_ex = w_sum > 0 ? l_ex_sum / w_sum : 0.0;
+    out.w_d = w_sum > 0 ? w_d_sum / w_sum : 0.0;
+  }
+  out.l_out = out.l_ex + out.w_d;
+  return out;
+}
+
+void CompiledModel::EvaluateInto(double lambda_g, Scratch& scratch,
+                                 ModelResult& result) const {
+  const int c = sys_.num_clusters();
+  result.clusters.clear();
+  result.clusters.reserve(static_cast<std::size_t>(c));
+  result.saturated = false;
+
+  const HotEject hot = HotEjectOverlay(lambda_g);
+
+  scratch.t0.resize(max_t0_size_);
+  scratch.intra_vals.resize(intra_classes_.size());
+  for (std::size_t k = 0; k < intra_classes_.size(); ++k) {
+    scratch.intra_vals[k] = EvaluateIntraClass(intra_classes_[k], lambda_g);
+  }
+  scratch.pair_vals.resize(pair_classes_.size());
+  for (std::size_t k = 0; k < pair_classes_.size(); ++k) {
+    scratch.pair_vals[k] =
+        EvaluatePairClass(pair_classes_[k], lambda_g, scratch.t0);
+  }
+
+  double weighted = 0;
+  for (int i = 0; i < c; ++i) {
+    ClusterLatency cl;
+    cl.u = u_[static_cast<std::size_t>(i)];
+    cl.intra =
+        scratch.intra_vals[static_cast<std::size_t>(intra_class_of_[static_cast<std::size_t>(i)])];
+    cl.inter = AggregateInter(i, scratch);
+    cl.blended = 0;
+    if (cl.u > 0) cl.blended += cl.u * cl.inter.l_out;
+    if (cl.u < 1) cl.blended += (1.0 - cl.u) * cl.intra.l_in;
+    if (hot_.hot_cluster >= 0) {
+      cl.blended +=
+          hot_.f * (i == hot_.hot_cluster ? hot.w_intra : hot.w_inter);
+    }
+    weighted += weight_[static_cast<std::size_t>(i)] * cl.blended;
+    result.saturated = result.saturated || !std::isfinite(cl.blended);
+    result.clusters.push_back(cl);
+  }
+  result.mean_latency = weighted;
+}
+
+ModelResult CompiledModel::Evaluate(double lambda_g) const {
+  Scratch scratch;
+  ModelResult result;
+  EvaluateInto(lambda_g, scratch, result);
+  return result;
+}
+
+void CompiledModel::EvaluateMany(std::span<const double> rates,
+                                 std::vector<ModelResult>& out) const {
+  out.resize(rates.size());
+  Scratch scratch;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    EvaluateInto(rates[i], scratch, out[i]);
+  }
+}
+
+std::vector<ModelResult> CompiledModel::EvaluateMany(
+    std::span<const double> rates) const {
+  std::vector<ModelResult> out;
+  EvaluateMany(rates, out);
+  return out;
+}
+
+BottleneckReport CompiledModel::Bottleneck(double lambda_g) const {
+  const ModelResult r = Evaluate(lambda_g);
+  BottleneckReport report;
+  for (const auto& cl : r.clusters) {
+    report.condis_rho = std::max(report.condis_rho, cl.inter.max_condis_rho);
+    report.inter_source_rho =
+        std::max(report.inter_source_rho, cl.inter.max_source_rho);
+    report.intra_source_rho =
+        std::max(report.intra_source_rho, cl.intra.source_rho);
+  }
+  report.hot_eject_rho = HotEjectOverlay(lambda_g).rho;
+  report.binding = "concentrator/dispatcher";
+  if (report.inter_source_rho > report.condis_rho) {
+    report.binding = "inter-cluster source queue";
+  }
+  if (report.intra_source_rho >
+      std::max(report.condis_rho, report.inter_source_rho)) {
+    report.binding = "intra-cluster source queue";
+  }
+  if (report.hot_eject_rho > std::max({report.condis_rho,
+                                       report.inter_source_rho,
+                                       report.intra_source_rho})) {
+    report.binding = "hot-node ejection link";
+  }
+  return report;
+}
+
+double CompiledModel::SaturationRate(double upper_bound, double rel_tol,
+                                     const SaturationBracket* warm,
+                                     SaturationBracket* refined) const {
+  Scratch scratch;
+  ModelResult r;
+  const auto probe = [&](double lambda_g) {
+    EvaluateInto(lambda_g, scratch, r);
+    double rho = HotEjectOverlay(lambda_g).rho;
+    for (const auto& cl : r.clusters) {
+      rho = std::max({rho, cl.intra.source_rho, cl.inter.max_condis_rho,
+                      cl.inter.max_source_rho});
+    }
+    return SaturationProbe{r.saturated, rho};
+  };
+  return SaturationSearch(probe, upper_bound, rel_tol, warm, refined);
+}
+
+}  // namespace coc

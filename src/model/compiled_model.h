@@ -1,0 +1,174 @@
+// Compiled form of the analytical latency model: the structure / evaluation
+// split the paper's "fixed algebraic evaluation per operating point" invites.
+//
+// LatencyModel re-derives every rate-invariant quantity — topology censuses,
+// destination distributions, per-pair Eq. 20-39 constants, message-length
+// moments — at every rate point, and evaluates the (r, v, d_l) journey
+// recursion once per combination per ordered cluster pair. CompiledModel
+// does all of that once, at construction:
+//
+//   * Per-cluster and per-pair constants are flattened into plain arrays
+//     (the SoA layout the simulator's arena uses), so Evaluate(lambda_g) is
+//     a thin loop of multiply-adds plus the M/G/1 closed forms.
+//   * Clusters and ordered pairs are deduplicated by their full constant
+//     tuples (bit patterns, not tolerances): heterogeneous systems built
+//     from a few cluster classes — e.g. the Table 1 organizations, whose
+//     992 ordered pairs collapse to <= 9 classes — evaluate each distinct
+//     class once per rate and fan the results back out.
+//   * The (r, v, d_l) stage recursions of one pair class share suffixes:
+//     one backward chain per (v, d_l) yields T_0 for every r in a single
+//     pass, instead of re-running the recursion per combination.
+//
+// Every shortcut preserves IEEE operation order, so all outputs are
+// bit-identical to LatencyModel's (tests/compiled_model_test.cc pins this
+// across topology families and workload patterns); LatencyModel remains as
+// the directly-equation-shaped reference implementation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/latency_model.h"
+#include "model/model_options.h"
+#include "model/saturation_search.h"
+#include "system/system_config.h"
+#include "workload/workload.h"
+
+namespace coc {
+
+/// Immutable compiled model for one (system, workload, options) triple.
+/// Construction costs roughly one LatencyModel::Evaluate; each evaluation
+/// afterwards touches only the flattened class arrays. All methods are
+/// const and thread-safe.
+class CompiledModel {
+ public:
+  explicit CompiledModel(const SystemConfig& sys, ModelOptions opts = {});
+  /// Same, under a non-default workload (validated against `sys`).
+  CompiledModel(const SystemConfig& sys, const Workload& workload,
+                ModelOptions opts = {});
+
+  const SystemConfig& system() const { return sys_; }
+  const Workload& workload() const { return workload_; }
+  const ModelOptions& options() const { return opts_; }
+
+  /// Bit-identical to LatencyModel::Evaluate on the same triple.
+  ModelResult Evaluate(double lambda_g) const;
+
+  /// Batch entry point: evaluates a whole sweep grid in one pass, reusing
+  /// the per-rate scratch across points. out[k] is bit-identical to
+  /// Evaluate(rates[k]).
+  void EvaluateMany(std::span<const double> rates,
+                    std::vector<ModelResult>& out) const;
+  std::vector<ModelResult> EvaluateMany(std::span<const double> rates) const;
+
+  /// Bit-identical to LatencyModel::Bottleneck.
+  BottleneckReport Bottleneck(double lambda_g) const;
+
+  /// Bit-identical to LatencyModel::SaturationRate, with the shared
+  /// search's warm-start seam exposed: `warm` (optional) must hold
+  /// certified facts about THIS model — e.g. the `refined` bracket a
+  /// previous call returned — and lets the search skip every probe the
+  /// bracket already answers without changing the result.
+  double SaturationRate(double upper_bound, double rel_tol = 1e-3,
+                        const SaturationBracket* warm = nullptr,
+                        SaturationBracket* refined = nullptr) const;
+
+ private:
+  /// One deduplicated intra-cluster class: everything Eqs. 4-19 need that
+  /// does not depend on lambda_g.
+  struct IntraClass {
+    double s = 1;            ///< rate scale s_i
+    double big_n = 0;        ///< N_i
+    double one_minus_u = 0;  ///< 1 - U^(i)
+    double mean_links = 0;   ///< ICN1 journey mean (Eq. 9)
+    double eta_div = 0;      ///< ChannelsPerNode() * N_i (Eq. 10 divisor)
+    double x_cs = 0;         ///< M t_cs
+    double x_cn = 0;         ///< M t_cn
+    double e_in = 0;         ///< Eq. 19 (rate-invariant)
+    int chain_steps = 0;     ///< max_links - 2: interior stages of longest d
+    std::vector<double> p;   ///< P(d), d = 2 .. max_links
+  };
+
+  /// One deduplicated ordered-pair class: the Eq. 20-39 constants.
+  struct PairClass {
+    double sum_loads = 0;     ///< load_i + load_j (Eq. 22)
+    double ni = 0, nj = 0;    ///< N_i, N_j
+    double u_sum = 0;         ///< U_i s_i + U_j s_j (harmonic lambda_I2)
+    double n_sum = 0;         ///< N_i + N_j
+    double acc_mean_i = 0, acc_mean_j = 0;  ///< ECN1 access means
+    double eta_src_div = 0, eta_dst_div = 0;  ///< Eq. 24 divisors
+    double icn2_mean = 0;     ///< ICN2 journey mean
+    double icn2_cpn = 0;      ///< ICN2 ChannelsPerNode()
+    double delta = 0;         ///< Eq. 27/28 relaxing factor
+    double x_ei = 0, x_i2 = 0, x_ej = 0;  ///< M t_cs per segment
+    double x_cn_ej = 0;       ///< final-stage service M t_cn of ECN1(j)
+    double mfl_tcn_ei = 0;    ///< M t_cn of ECN1(i) (Eq. 17 sigma baseline)
+    double e_ex = 0;          ///< Eq. 34 (rate-invariant)
+    double s_i = 1, u_i = 0;  ///< source-queue rate factors (Eq. 31)
+    double x_cd = 0, var_cd = 0;  ///< C/D service moments (Eqs. 36-37)
+    int r_max = 0, v_max = 0, d_max = 0;  ///< journey-distribution supports
+    /// Non-zero (r, v, d_l) combinations in the original loop order:
+    /// flattened T_0-table index and probability product.
+    std::vector<int> combo_idx;
+    std::vector<double> combo_p;
+  };
+
+  /// Hot-spot overlay constants (all zero / unused when not skewed).
+  struct HotConstants {
+    int hot_cluster = -1;
+    double f = 0;
+    double s_hot = 1;           ///< rate scale of the hot cluster
+    double nh_minus_1 = 0;      ///< N_h - 1
+    double x_intra = 0, x_inter = 0;
+    double var_intra = 0, var_inter = 0;
+  };
+
+  struct HotEject {
+    double w_intra = 0;
+    double w_inter = 0;
+    double rho = 0;
+  };
+
+  /// Reusable per-rate scratch (the batch path allocates it once).
+  struct Scratch {
+    std::vector<double> t0;  ///< suffix-shared T_0 table of one pair class
+    std::vector<IntraResult> intra_vals;
+    std::vector<InterPairResult> pair_vals;
+  };
+
+  void Compile();
+  PairClass BuildPairClass(int i, int j, const LinkDistribution& icn2_links,
+                           const std::vector<double>& loads);
+  HotEject HotEjectOverlay(double lambda_g) const;
+  IntraResult EvaluateIntraClass(const IntraClass& k, double lambda_g) const;
+  InterPairResult EvaluatePairClass(const PairClass& k, double lambda_g,
+                                    std::vector<double>& t0) const;
+  InterResult AggregateInter(int i, const Scratch& scratch) const;
+  void EvaluateInto(double lambda_g, Scratch& scratch,
+                    ModelResult& result) const;
+
+  SystemConfig sys_;
+  Workload workload_;
+  ModelOptions opts_;
+
+  // Global message-format moments and option booleans.
+  double m_flits_ = 0;
+  double flit_var_ = 0;
+  bool include_final_wait_ = true;
+  bool src_per_node_ = true;
+  bool skewed_ = false;
+
+  std::vector<IntraClass> intra_classes_;
+  std::vector<PairClass> pair_classes_;
+  std::vector<int> intra_class_of_;  ///< cluster -> intra class
+  std::vector<int> pair_class_of_;   ///< i * C + j -> pair class (-1 on diag)
+  std::vector<double> u_;            ///< U^(i) per cluster
+  std::vector<double> weight_;       ///< Eq. 3 weight N_i s_i / sum N_c s_c
+  std::vector<double> dest_prob_;    ///< i * C + j -> InterDestProbability
+  HotConstants hot_;
+  std::vector<double> hot_s_;   ///< per-cluster rate scales (remote-rate sum)
+  std::vector<double> hot_n_;   ///< per-cluster node counts as doubles
+  std::size_t max_t0_size_ = 0;
+};
+
+}  // namespace coc

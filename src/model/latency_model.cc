@@ -4,16 +4,12 @@
 #include <cmath>
 
 #include "model/mg1.h"
+#include "model/saturation_search.h"
 #include "topology/topology.h"
 
 namespace coc {
-namespace {
 
-/// ICN2 journey distribution: the topology's closed form when the
-/// concentrators fill its node slots exactly; otherwise the exact journey
-/// census of the occupied slots (averaged over sources), which degenerates
-/// to the closed form at full occupancy.
-LinkDistribution MakeIcn2Links(const SystemConfig& sys) {
+LinkDistribution MakeIcn2LinkDistribution(const SystemConfig& sys) {
   const Topology& topo = sys.icn2_topology();
   if (sys.icn2_exact_fit()) {
     return topo.Links();
@@ -21,27 +17,28 @@ LinkDistribution MakeIcn2Links(const SystemConfig& sys) {
   const auto c = static_cast<std::int64_t>(sys.num_clusters());
   std::vector<double> weights(
       static_cast<std::size_t>(topo.Links().max_links()) + 1, 0.0);
+  std::vector<std::int64_t> route;  // reused: RouteInto appends, never shrinks
   for (std::int64_t src = 0; src < c; ++src) {
     for (std::int64_t dst = 0; dst < c; ++dst) {
       if (src == dst) continue;
-      weights[topo.Route(src, dst).size()] += 1.0;
+      route.clear();
+      topo.RouteInto(src, dst, /*entropy=*/0, route);
+      weights[route.size()] += 1.0;
     }
   }
   if (c < 2) weights[2] = 1.0;  // degenerate single-cluster system
   return LinkDistribution(weights);
 }
 
-}  // namespace
-
 LatencyModel::LatencyModel(const SystemConfig& sys, ModelOptions opts)
-    : sys_(sys), opts_(opts), icn2_links_(MakeIcn2Links(sys_)) {}
+    : sys_(sys), opts_(opts), icn2_links_(MakeIcn2LinkDistribution(sys_)) {}
 
 LatencyModel::LatencyModel(const SystemConfig& sys, const Workload& workload,
                            ModelOptions opts)
     : sys_(sys),
       workload_(workload),
       opts_(opts),
-      icn2_links_(MakeIcn2Links(sys_)) {
+      icn2_links_(MakeIcn2LinkDistribution(sys_)) {
   workload_.Validate(sys_);
 }
 
@@ -152,16 +149,16 @@ BottleneckReport LatencyModel::Bottleneck(double lambda_g) const {
 }
 
 double LatencyModel::SaturationRate(double upper_bound, double rel_tol) const {
-  double lo = 0.0;
-  double hi = upper_bound;
-  if (!Evaluate(hi).saturated) return hi;
-  // Tolerance is relative to the current bracket top, so a generous upper
-  // bound still resolves small saturation rates.
-  for (int iter = 0; iter < 200 && (hi - lo) > rel_tol * hi; ++iter) {
-    const double mid = 0.5 * (lo + hi);
-    (Evaluate(mid).saturated ? hi : lo) = mid;
-  }
-  return lo;
+  const auto probe = [this](double lambda_g) {
+    const ModelResult r = Evaluate(lambda_g);
+    double rho = HotEjectOverlay(lambda_g).rho;
+    for (const auto& cl : r.clusters) {
+      rho = std::max({rho, cl.intra.source_rho, cl.inter.max_condis_rho,
+                      cl.inter.max_source_rho});
+    }
+    return SaturationProbe{r.saturated, rho};
+  };
+  return SaturationSearch(probe, upper_bound, rel_tol);
 }
 
 }  // namespace coc

@@ -53,7 +53,17 @@ struct BottleneckReport {
   const char* binding = "";
 };
 
+/// ICN2 journey distribution: the topology's closed form when the
+/// concentrators fill its node slots exactly; otherwise the exact journey
+/// census of the occupied slots (averaged over sources), which degenerates
+/// to the closed form at full occupancy. Shared by LatencyModel and
+/// CompiledModel so both paths see one census.
+LinkDistribution MakeIcn2LinkDistribution(const SystemConfig& sys);
+
 /// Evaluates the analytical model for a fixed system over generation rates.
+/// This is the directly-equation-shaped reference implementation; the
+/// production sweep/saturation paths use CompiledModel (compiled_model.h),
+/// which is bit-identical and much faster.
 class LatencyModel {
  public:
   explicit LatencyModel(const SystemConfig& sys, ModelOptions opts = {});
@@ -76,7 +86,11 @@ class LatencyModel {
 
   /// Largest rate (within relative tolerance) at which the model is still
   /// finite — the analytical saturation point, found by bisection over
-  /// [0, upper_bound].
+  /// [0, upper_bound] (saturation_search.h; rho-certified midpoints skip
+  /// their evaluation without changing the trajectory). When the model is
+  /// still finite at upper_bound the bracket is expanded (rho-guided) until
+  /// a saturated rate is found, instead of silently returning upper_bound;
+  /// returns +infinity if the model never saturates (no loaded queue).
   double SaturationRate(double upper_bound, double rel_tol = 1e-3) const;
 
  private:

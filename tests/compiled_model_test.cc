@@ -1,0 +1,271 @@
+// CompiledModel equivalence guard: the compiled structure/evaluation split
+// must reproduce LatencyModel bit for bit — EXPECT_EQ on doubles (exact bit
+// patterns, reported in hexfloat on failure), no tolerance — across every
+// topology family (m-port n-tree, crossbar, mesh via the mixed preset,
+// dragonfly) and every workload pattern (uniform, cluster-local, hot-spot,
+// permutation, heterogeneous rate scales, bimodal message lengths), plus
+// the non-default model-option branches. Also pins the warm- vs cold-start
+// SaturationRate identity and the bracket-expansion fix for upper bounds
+// below the true saturation point.
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "model/compiled_model.h"
+#include "model/latency_model.h"
+#include "system/presets.h"
+#include "workload/workload.h"
+
+namespace coc {
+namespace {
+
+std::string Hex(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+#define EXPECT_BIT_EQ(a, b)                                              \
+  EXPECT_EQ(a, b) << #a " = " << Hex(a) << "  " #b " = " << Hex(b)
+
+void ExpectSameResult(const ModelResult& ref, const ModelResult& got,
+                      const std::string& trace) {
+  SCOPED_TRACE(trace);
+  ASSERT_EQ(ref.clusters.size(), got.clusters.size());
+  EXPECT_EQ(ref.saturated, got.saturated);
+  EXPECT_BIT_EQ(ref.mean_latency, got.mean_latency);
+  for (std::size_t i = 0; i < ref.clusters.size(); ++i) {
+    SCOPED_TRACE("cluster " + std::to_string(i));
+    const ClusterLatency& r = ref.clusters[i];
+    const ClusterLatency& g = got.clusters[i];
+    EXPECT_BIT_EQ(r.u, g.u);
+    EXPECT_BIT_EQ(r.blended, g.blended);
+    EXPECT_BIT_EQ(r.intra.t_in, g.intra.t_in);
+    EXPECT_BIT_EQ(r.intra.w_in, g.intra.w_in);
+    EXPECT_BIT_EQ(r.intra.e_in, g.intra.e_in);
+    EXPECT_BIT_EQ(r.intra.l_in, g.intra.l_in);
+    EXPECT_BIT_EQ(r.intra.eta, g.intra.eta);
+    EXPECT_BIT_EQ(r.intra.source_rho, g.intra.source_rho);
+    EXPECT_EQ(r.intra.saturated, g.intra.saturated);
+    EXPECT_BIT_EQ(r.inter.l_ex, g.inter.l_ex);
+    EXPECT_BIT_EQ(r.inter.w_d, g.inter.w_d);
+    EXPECT_BIT_EQ(r.inter.l_out, g.inter.l_out);
+    EXPECT_BIT_EQ(r.inter.max_condis_rho, g.inter.max_condis_rho);
+    EXPECT_BIT_EQ(r.inter.max_source_rho, g.inter.max_source_rho);
+    EXPECT_EQ(r.inter.saturated, g.inter.saturated);
+  }
+}
+
+/// Seeded multiplicative grid spanning well below saturation to well above
+/// it (the last points are saturated for every system below).
+std::vector<double> RateGrid(double lo, double hi, int count) {
+  std::vector<double> rates;
+  for (int i = 0; i < count; ++i) {
+    const double f = static_cast<double>(i) / (count - 1);
+    rates.push_back(lo * std::pow(hi / lo, f));
+  }
+  return rates;
+}
+
+struct Combo {
+  const char* system;
+  const char* workload;
+};
+
+SystemConfig MakeNamedSystem(const std::string& name) {
+  const MessageFormat msg{16, 64};
+  if (name == "1120") return MakeSystem1120(MessageFormat{32, 256});
+  if (name == "544") return MakeSystem544(MessageFormat{32, 256});
+  if (name == "small") return MakeSmallSystem(msg);
+  if (name == "tiny") return MakeTinySystem(msg);
+  if (name == "mixed") return MakeMixedTopologySystem(msg);
+  return MakeDragonflySystem(msg);
+}
+
+Workload MakeNamedWorkload(const std::string& name, const SystemConfig& sys) {
+  if (name == "uniform") return Workload::Uniform();
+  if (name == "local") return Workload::ClusterLocal(0.7);
+  if (name == "hotspot") {
+    return Workload::Hotspot(0.2, sys.TotalNodes() / 2);
+  }
+  if (name == "permutation") return Workload::Permutation();
+  if (name == "scaled") {
+    std::vector<double> scales;
+    for (int i = 0; i < sys.num_clusters(); ++i) {
+      scales.push_back(0.5 + 0.25 * (i % 3));
+    }
+    return Workload::Uniform().WithRateScale(std::move(scales));
+  }
+  // "bimodal": two-point message lengths on a hot-spot pattern, stacking
+  // the non-trivial flit variance on the skewed aggregation path.
+  return Workload::Hotspot(0.15, 1).WithMessageLength(
+      MessageLength::Bimodal(4, 64, 0.25));
+}
+
+class CompiledEquivalence
+    : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(CompiledEquivalence, EvaluateManyBitIdenticalToPointwiseReference) {
+  const auto [system_name, workload_name] = GetParam();
+  const SystemConfig sys = MakeNamedSystem(system_name);
+  const Workload workload = MakeNamedWorkload(workload_name, sys);
+  const LatencyModel reference(sys, workload);
+  const CompiledModel compiled(sys, workload);
+
+  const std::vector<double> rates = RateGrid(1e-6, 1.0, 13);
+  const std::vector<ModelResult> batch = compiled.EvaluateMany(rates);
+  ASSERT_EQ(batch.size(), rates.size());
+  bool saw_saturated = false;
+  bool saw_finite = false;
+  for (std::size_t k = 0; k < rates.size(); ++k) {
+    const ModelResult ref = reference.Evaluate(rates[k]);
+    ExpectSameResult(ref, batch[k], "lambda_g = " + Hex(rates[k]));
+    // The one-shot Evaluate must agree with the batch path too.
+    ExpectSameResult(ref, compiled.Evaluate(rates[k]),
+                     "pointwise lambda_g = " + Hex(rates[k]));
+    saw_saturated = saw_saturated || ref.saturated;
+    saw_finite = saw_finite || !ref.saturated;
+  }
+  // The grid must actually exercise both regimes or the test is vacuous.
+  EXPECT_TRUE(saw_finite);
+  EXPECT_TRUE(saw_saturated);
+}
+
+TEST_P(CompiledEquivalence, BottleneckAndSaturationBitIdentical) {
+  const auto [system_name, workload_name] = GetParam();
+  const SystemConfig sys = MakeNamedSystem(system_name);
+  const Workload workload = MakeNamedWorkload(workload_name, sys);
+  const LatencyModel reference(sys, workload);
+  const CompiledModel compiled(sys, workload);
+
+  for (double rate : {1e-5, 1e-3}) {
+    SCOPED_TRACE("lambda_g = " + Hex(rate));
+    const BottleneckReport ref = reference.Bottleneck(rate);
+    const BottleneckReport got = compiled.Bottleneck(rate);
+    EXPECT_BIT_EQ(ref.condis_rho, got.condis_rho);
+    EXPECT_BIT_EQ(ref.inter_source_rho, got.inter_source_rho);
+    EXPECT_BIT_EQ(ref.intra_source_rho, got.intra_source_rho);
+    EXPECT_BIT_EQ(ref.hot_eject_rho, got.hot_eject_rho);
+    EXPECT_STREQ(ref.binding, got.binding);
+  }
+  EXPECT_BIT_EQ(reference.SaturationRate(1e-1), compiled.SaturationRate(1e-1));
+  EXPECT_BIT_EQ(reference.SaturationRate(1.0), compiled.SaturationRate(1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CompiledEquivalence,
+    ::testing::Values(Combo{"1120", "uniform"}, Combo{"1120", "local"},
+                      Combo{"1120", "hotspot"}, Combo{"1120", "scaled"},
+                      Combo{"544", "permutation"}, Combo{"544", "bimodal"},
+                      Combo{"small", "uniform"}, Combo{"small", "hotspot"},
+                      Combo{"tiny", "local"}, Combo{"tiny", "bimodal"},
+                      Combo{"mixed", "uniform"}, Combo{"mixed", "local"},
+                      Combo{"mixed", "hotspot"}, Combo{"mixed", "scaled"},
+                      Combo{"dragonfly", "uniform"},
+                      Combo{"dragonfly", "hotspot"},
+                      Combo{"dragonfly", "permutation"},
+                      Combo{"dragonfly", "bimodal"}),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      return std::string(info.param.system) + "_" + info.param.workload;
+    });
+
+TEST(CompiledEquivalence, NonDefaultModelOptionBranches) {
+  // Flip every ModelOptions switch away from its default at once; any
+  // compiled constant tied to the wrong branch shows up as a mismatch.
+  ModelOptions opts;
+  opts.lambda_i2 = ModelOptions::LambdaI2::kHarmonic;
+  opts.ecn_eta = ModelOptions::EcnEta::kSourceSideOnly;
+  opts.condis_service = ModelOptions::CondisService::kSupplyLimited;
+  opts.relaxing_factor = ModelOptions::RelaxingFactor::kAsPrinted;
+  opts.source_queue_rate = ModelOptions::SourceQueueRate::kNetworkTotal;
+  opts.include_last_stage_wait = false;
+
+  for (const char* system_name : {"1120", "mixed", "dragonfly"}) {
+    const SystemConfig sys = MakeNamedSystem(system_name);
+    const LatencyModel reference(sys, Workload::ClusterLocal(0.6), opts);
+    const CompiledModel compiled(sys, Workload::ClusterLocal(0.6), opts);
+    for (double rate : RateGrid(1e-6, 1e-2, 6)) {
+      ExpectSameResult(reference.Evaluate(rate), compiled.Evaluate(rate),
+                       std::string(system_name) + " lambda_g = " + Hex(rate));
+    }
+  }
+}
+
+TEST(SaturationSearch, WarmStartBitIdenticalToColdWithZeroProbes) {
+  const SystemConfig sys = MakeSystem1120(MessageFormat{32, 256});
+  const CompiledModel compiled(sys);
+
+  SaturationBracket cold_bracket;
+  const double cold = compiled.SaturationRate(2e-3, 1e-3, nullptr,
+                                              &cold_bracket);
+  EXPECT_GT(cold_bracket.probes, 0);
+  EXPECT_LE(cold_bracket.finite_lo, cold_bracket.saturated_hi);
+
+  // Re-running with the refined bracket answers every probe from the
+  // certified facts: identical result, zero model evaluations.
+  SaturationBracket warm_bracket;
+  const double warm = compiled.SaturationRate(2e-3, 1e-3, &cold_bracket,
+                                              &warm_bracket);
+  EXPECT_BIT_EQ(cold, warm);
+  EXPECT_EQ(warm_bracket.probes, 0);
+
+  // A warm start from a different (valid) search still changes nothing.
+  SaturationBracket other;
+  compiled.SaturationRate(1e-1, 1e-3, nullptr, &other);
+  EXPECT_BIT_EQ(compiled.SaturationRate(2e-3, 1e-3, &other, nullptr), cold);
+}
+
+TEST(SaturationSearch, ExpandsBracketWhenFiniteAtUpperBound) {
+  // Regression for the seed behavior of silently returning upper_bound when
+  // the model was still finite there. An upper bound far below the true
+  // saturation point must now expand and land on the same rate (within the
+  // relative tolerance) that a generous bound finds.
+  const SystemConfig sys = MakeSmallSystem(MessageFormat{16, 64});
+  const LatencyModel reference(sys);
+  const CompiledModel compiled(sys);
+
+  const double generous = reference.SaturationRate(1e-1);
+  ASSERT_TRUE(std::isfinite(generous));
+  const double tight_ref = reference.SaturationRate(generous / 64.0);
+  const double tight_compiled = compiled.SaturationRate(generous / 64.0);
+  EXPECT_GT(tight_ref, generous / 64.0);  // the seed would have returned ub
+  EXPECT_NEAR(tight_ref, generous, 2e-3 * generous);
+  EXPECT_BIT_EQ(tight_ref, tight_compiled);
+
+  // A model whose queues carry no load at any rate never saturates: the
+  // search must report +infinity instead of the caller's upper bound.
+  int probes = 0;
+  const double never = SaturationSearch(
+      [&](double) {
+        ++probes;
+        return SaturationProbe{false, 0.0};
+      },
+      1e-1, 1e-3);
+  EXPECT_TRUE(std::isinf(never));
+  EXPECT_GT(probes, 0);
+}
+
+TEST(CompiledModel, DedupesHeterogeneousTable1Organization) {
+  // MakeSystem1120 has three cluster classes; the compiled model must not
+  // scale per-rate work with the 992 ordered pairs. Indirectly observable:
+  // a batch over a big grid is cheap, and identical clusters land on
+  // identical (not merely close) decompositions.
+  const SystemConfig sys = MakeSystem1120(MessageFormat{32, 256});
+  const CompiledModel compiled(sys);
+  const ModelResult r = compiled.Evaluate(2e-4);
+  ASSERT_EQ(r.clusters.size(), 32u);
+  for (int i = 1; i < 12; ++i) {  // clusters 0..11 share n = 1
+    EXPECT_BIT_EQ(r.clusters[0].blended,
+                  r.clusters[static_cast<std::size_t>(i)].blended);
+  }
+  for (int i = 13; i < 28; ++i) {  // clusters 12..27 share n = 2
+    EXPECT_BIT_EQ(r.clusters[12].blended,
+                  r.clusters[static_cast<std::size_t>(i)].blended);
+  }
+}
+
+}  // namespace
+}  // namespace coc

@@ -16,6 +16,7 @@
 //   perf_report [--bench-dir DIR] [--out-dir DIR] [--baseline FILE]
 //               [--model-baseline FILE] [--workload-baseline FILE]
 //               [--dragonfly-baseline FILE] [--min-time SECONDS]
+//               [--check] [--check-threshold FACTOR]
 //
 //   --bench-dir        directory holding bench_perf_sim / bench_perf_model
 //                      (default: ".")
@@ -30,8 +31,17 @@
 //   --dragonfly-baseline same for the dragonfly validation suite
 //                      (BENCH_dragonfly.json; compares model-vs-sim err%)
 //   --min-time         per-benchmark measuring time (default 1 second)
+//   --check            exit non-zero when any benchmark regresses past the
+//                      threshold against its baseline (throughput metrics:
+//                      current < baseline / FACTOR; time metrics: current >
+//                      baseline * FACTOR). Validation entries (err%) carry
+//                      no perf signal and are never checked.
+//   --check-threshold  regression factor for --check (default 1.75 — wide
+//                      enough for shared-runner noise, tight enough to catch
+//                      a lost optimization)
 //
-// Exit code: 0 on success, 1 when a bench binary is missing or fails.
+// Exit code: 0 on success, 1 when a bench binary is missing or fails, 2 when
+// --check found a regression.
 #include <sys/wait.h>
 
 #include <cstdio>
@@ -176,6 +186,49 @@ void CompareToBaseline(const std::string& baseline_path,
   }
 }
 
+/// Regression gate for --check: compares every benchmark present in both the
+/// current run and the baseline, preferring the throughput counter (msgs/s,
+/// fails when it drops below baseline / threshold) and falling back to wall
+/// time (fails when it exceeds baseline * threshold). Validation entries
+/// (model-vs-sim error) are skipped — their wall time is sweep noise.
+/// Returns the number of regressions, printing one line per failure.
+int CheckAgainstBaseline(const char* title,
+                         const std::map<std::string, BenchResult>& base,
+                         const std::map<std::string, BenchResult>& current,
+                         double threshold) {
+  int regressions = 0;
+  for (const auto& [name, r] : current) {
+    const auto it = base.find(name);
+    if (it == base.end()) continue;
+    const BenchResult& b = it->second;
+    if (r.sim_us > 0 || b.sim_us > 0 || r.model_saturated ||
+        b.model_saturated) {
+      continue;
+    }
+    if (r.msgs_per_s > 0 && b.msgs_per_s > 0) {
+      if (r.msgs_per_s * threshold < b.msgs_per_s) {
+        std::fprintf(stderr,
+                     "check FAILED: %s / %s: %.1f k msgs/s vs baseline %.1f "
+                     "(%.2fx slower, threshold %.2fx)\n",
+                     title, name.c_str(), r.msgs_per_s / 1000.0,
+                     b.msgs_per_s / 1000.0, b.msgs_per_s / r.msgs_per_s,
+                     threshold);
+        ++regressions;
+      }
+    } else if (r.real_time_ns > 0 && b.real_time_ns > 0) {
+      if (r.real_time_ns > b.real_time_ns * threshold) {
+        std::fprintf(stderr,
+                     "check FAILED: %s / %s: %.0f ns/op vs baseline %.0f "
+                     "(%.2fx slower, threshold %.2fx)\n",
+                     title, name.c_str(), r.real_time_ns, b.real_time_ns,
+                     r.real_time_ns / b.real_time_ns, threshold);
+        ++regressions;
+      }
+    }
+  }
+  return regressions;
+}
+
 /// One benchmark entry of the machine-readable digest.
 Json BenchToJson(const BenchResult& r, const BenchResult* base) {
   Json j = Json::Object();
@@ -233,6 +286,8 @@ int main(int argc, char** argv) {
   std::string bench_dir = ".";
   std::string out_dir = ".";
   double min_time = 1.0;
+  bool check = false;
+  double check_threshold = 1.75;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -254,12 +309,21 @@ int main(int argc, char** argv) {
       out_dir = next();
     } else if (arg == "--min-time") {
       min_time = std::strtod(next(), nullptr);
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--check-threshold") {
+      check_threshold = std::strtod(next(), nullptr);
+      if (check_threshold <= 1.0) {
+        std::fprintf(stderr, "error: --check-threshold must be > 1\n");
+        return 1;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: perf_report [--bench-dir DIR] [--out-dir DIR] "
                    "[--baseline FILE] [--model-baseline FILE] "
                    "[--workload-baseline FILE] [--dragonfly-baseline FILE] "
-                   "[--min-time SECONDS]\n");
+                   "[--min-time SECONDS] [--check] "
+                   "[--check-threshold FACTOR]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -312,5 +376,26 @@ int main(int argc, char** argv) {
   }
   out << summary.Dump(2) << "\n";
   std::printf("\nsummary -> %s\n", summary_path.c_str());
+
+  if (check) {
+    int regressions = 0;
+    bool any_baseline = false;
+    for (const Suite& s : suites) {
+      if (s.baseline.empty()) continue;
+      any_baseline = true;
+      regressions += CheckAgainstBaseline(s.title, s.baseline_results,
+                                          s.results, check_threshold);
+    }
+    if (!any_baseline) {
+      std::fprintf(stderr, "error: --check needs at least one baseline\n");
+      return 1;
+    }
+    if (regressions > 0) {
+      std::fprintf(stderr, "check: %d regression(s) past %.2fx\n", regressions,
+                   check_threshold);
+      return 2;
+    }
+    std::printf("check: no regression past %.2fx\n", check_threshold);
+  }
   return 0;
 }
