@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <exception>
+#include <limits>
 #include <thread>
 #include <utility>
 
 #include "common/json.h"
+#include "common/status.h"
 #include "harness/sweep.h"
 
 namespace coc {
@@ -62,7 +65,29 @@ SimConfig ScenarioSimBudget(const Scenario& s, double lambda_g) {
     cfg.drain_messages = cfg.measured_messages / 10;
   }
   cfg.condis_mode = s.condis;
+  if (s.sim_max_events) cfg.max_events = *s.sim_max_events;
   return cfg;
+}
+
+/// The deadline governing one scenario's evaluation. An armed deadline
+/// fault trips deterministically on the first check, independent of wall
+/// time, so injected DeadlineExceeded records are bit-identical across
+/// runs and thread counts.
+Deadline ScenarioDeadline(const Scenario& s, int index,
+                          const Engine::BatchOptions& opts) {
+  if (opts.faults.Armed(FaultInjector::Site::kDeadline, index)) {
+    return Deadline::TripAfterChecks(0);
+  }
+  if (s.deadline_ms) return Deadline::After(*s.deadline_ms);
+  if (opts.default_deadline_ms) return Deadline::After(*opts.default_deadline_ms);
+  return Deadline();
+}
+
+/// Records a degradation on the status without clobbering earlier notes.
+void MarkDegraded(ReportStatus& status, const std::string& note) {
+  status.degraded = true;
+  if (!status.degraded_note.empty()) status.degraded_note += "; ";
+  status.degraded_note += note;
 }
 
 }  // namespace
@@ -120,14 +145,53 @@ std::shared_ptr<Engine::ModelEntry> Engine::GetModel(
   return models_.emplace(std::move(key), std::move(model)).first->second;
 }
 
-double Engine::GetSaturationRate(const std::shared_ptr<ModelEntry>& entry) {
+std::shared_ptr<const LatencyModel> Engine::GetReferenceModel(
+    const std::shared_ptr<ModelEntry>& entry) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (entry->saturation_rate) return *entry->saturation_rate;
+    if (entry->reference) return entry->reference;
   }
-  const double rate = entry->model->SaturationRate(1.0);
+  auto ref = std::make_shared<const LatencyModel>(entry->model->system(),
+                                                  entry->model->workload(),
+                                                  entry->model->options());
   std::lock_guard<std::mutex> lock(mu_);
-  if (!entry->saturation_rate) entry->saturation_rate = rate;
+  if (!entry->reference) entry->reference = std::move(ref);
+  return entry->reference;
+}
+
+double Engine::GetSaturationRate(const std::shared_ptr<ModelEntry>& entry,
+                                 const Deadline& deadline, bool* degraded) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry->saturation_rate) {
+      if (degraded != nullptr && entry->saturation_degraded) *degraded = true;
+      return *entry->saturation_rate;
+    }
+  }
+  double rate = entry->model->SaturationRate(
+      1.0, 1e-3, /*warm=*/nullptr, /*refined=*/nullptr,
+      deadline.Enabled() ? &deadline : nullptr);
+  bool fell_back = false;
+  if (std::isnan(rate)) {
+    // +inf is a certified "never saturates"; NaN means the compiled search
+    // lost its bracket. Degrade to the reference model's search instead of
+    // failing the scenario.
+    rate = GetReferenceModel(entry)->SaturationRate(1.0);
+    fell_back = true;
+    if (std::isnan(rate)) {
+      throw ModelError(
+          "saturation search did not converge (compiled and reference "
+          "searches both returned NaN)");
+    }
+  }
+  // Cache only a successful search: a deadline trip above threw before this
+  // point, so a faulted scenario cannot poison the shared entry.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entry->saturation_rate) {
+    entry->saturation_rate = rate;
+    entry->saturation_degraded = fell_back;
+  }
+  if (degraded != nullptr && entry->saturation_degraded) *degraded = true;
   return *entry->saturation_rate;
 }
 
@@ -142,17 +206,27 @@ Engine::CacheStats Engine::Stats() const {
   return stats;
 }
 
-Report Engine::EvaluateWith(const Scenario& scenario, SimScratch& scratch,
-                            int sweep_threads) {
+void Engine::EvaluateInto(const Scenario& scenario, int scenario_index,
+                          const BatchOptions& opts, SimScratch& scratch,
+                          int sweep_threads, Report& report) {
+  // Identify the report before anything can throw, so an error record still
+  // names its scenario.
+  report.scenario = scenario.name;
+  report.system_spec = scenario.system;
+  if (opts.faults.Armed(FaultInjector::Site::kParse, scenario_index)) {
+    throw ScenarioError("scenario '" + scenario.name +
+                        "': injected parse fault (site parse, index " +
+                        std::to_string(scenario_index) + ")");
+  }
   scenario.Validate();
+  const Deadline deadline = ScenarioDeadline(scenario, scenario_index, opts);
+  const bool sim_budget_fault =
+      opts.faults.Armed(FaultInjector::Site::kSimBudget, scenario_index);
   const auto entry = GetSystem(scenario);
   const SystemConfig& sys = entry->experiment.system;
   const Workload workload =
       scenario.workload.ApplyTo(entry->experiment.workload, sys);
 
-  Report report;
-  report.scenario = scenario.name;
-  report.system_spec = scenario.system;
   report.clusters = sys.num_clusters();
   report.nodes = sys.TotalNodes();
   report.m = sys.m();
@@ -163,28 +237,58 @@ Report Engine::EvaluateWith(const Scenario& scenario, SimScratch& scratch,
   report.workload = workload.Describe();
 
   const char* note = workload.ModelApproximationNote();
+  std::shared_ptr<ModelEntry> mentry;
   std::shared_ptr<const CompiledModel> model;
   double saturation_rate = 0;
   if (scenario.Has(Analysis::kModel) || scenario.Has(Analysis::kBottleneck) ||
       scenario.Has(Analysis::kSaturation)) {
-    const auto mentry =
-        GetModel(SystemKey(scenario), *entry, workload, scenario.model);
+    deadline.Check("model compilation");
+    mentry = GetModel(SystemKey(scenario), *entry, workload, scenario.model);
     model = mentry->model;
     // One bisection serves every analysis that reports the saturation point,
     // and the result is cached on the model entry, so scenarios sharing a
     // model (batch sweeps over the rate dial) run the search exactly once.
-    saturation_rate = GetSaturationRate(mentry);
+    bool sat_degraded = false;
+    saturation_rate = GetSaturationRate(mentry, deadline, &sat_degraded);
+    if (sat_degraded) {
+      MarkDegraded(report.status,
+                   "saturation search fell back to the reference "
+                   "LatencyModel (compiled search returned NaN)");
+    }
   }
 
   if (scenario.Has(Analysis::kModel)) {
+    deadline.Check("model evaluation");
     ModelAnalysisResult a;
     a.rate = scenario.rate;
     a.result = model->Evaluate(scenario.rate);
+    if (opts.faults.Armed(FaultInjector::Site::kModel, scenario_index)) {
+      // Poison this result copy only — the shared CompiledModel is
+      // untouched, so other scenarios on the same model are unaffected.
+      a.result.mean_latency = std::numeric_limits<double>::quiet_NaN();
+      a.result.saturated = false;
+    }
+    if (!std::isfinite(a.result.mean_latency) && !a.result.saturated) {
+      // Non-finite without the saturated flag is a compiled-model
+      // inconsistency (+inf with the flag is legitimate saturation):
+      // degrade to the bit-identical reference implementation.
+      a.result = GetReferenceModel(mentry)->Evaluate(scenario.rate);
+      if (!std::isfinite(a.result.mean_latency) && !a.result.saturated) {
+        throw ModelError(
+            "model evaluation returned non-finite latency without "
+            "saturation (compiled and reference implementations agree)");
+      }
+      MarkDegraded(report.status,
+                   "model analysis fell back to the reference LatencyModel "
+                   "(compiled evaluation returned non-finite latency "
+                   "without saturation)");
+    }
     a.saturation_rate = saturation_rate;
     if (note != nullptr) a.note = note;
     report.model = std::move(a);
   }
   if (scenario.Has(Analysis::kBottleneck)) {
+    deadline.Check("bottleneck analysis");
     BottleneckAnalysisResult a;
     a.rate = scenario.rate;
     a.report = model->Bottleneck(scenario.rate);
@@ -197,20 +301,27 @@ Report Engine::EvaluateWith(const Scenario& scenario, SimScratch& scratch,
     report.saturation_rate = saturation_rate;
   }
   if (scenario.Has(Analysis::kSweep)) {
+    deadline.Check("sweep analysis");
     SweepSpec spec;
     spec.rates = LinearRates(*scenario.sweep_max_rate, scenario.sweep_points);
     spec.run_sim = scenario.sweep_sim;
     spec.sim_base = ScenarioSimBudget(scenario, /*lambda_g=*/1e-4);
+    if (sim_budget_fault) spec.sim_base.max_events = 64;
+    spec.sim_base.deadline = deadline;
     spec.model_opts = scenario.model;
     spec.workload = workload;
-    spec.sim_abort_latency = 3000;
+    spec.sim_abort_latency = scenario.sim_abort_latency;
+    spec.deadline = deadline;
     SweepAnalysisResult a;
     a.points = RunSweepParallel(sys, spec, sweep_threads);
     report.sweep = std::move(a);
   }
   if (scenario.Has(Analysis::kSim)) {
+    deadline.Check("simulation setup");
     SimConfig cfg = ScenarioSimBudget(scenario, scenario.rate);
     cfg.workload = workload;
+    cfg.deadline = deadline;
+    if (sim_budget_fault) cfg.max_events = 64;
     const auto sim = GetSim(entry);
     const SimResult sr = sim->Run(cfg, scratch);
     SimAnalysisResult a;
@@ -234,53 +345,84 @@ Report Engine::EvaluateWith(const Scenario& scenario, SimScratch& scratch,
     a.icn2_max = sr.icn2_util.Max(sr.duration);
     report.sim = std::move(a);
   }
-  return report;
 }
 
 Report Engine::Evaluate(const Scenario& scenario, int threads) {
   SimScratch scratch;
-  return EvaluateWith(scenario, scratch, threads);
+  Report report;
+  EvaluateInto(scenario, /*scenario_index=*/0, BatchOptions{}, scratch,
+               threads, report);
+  return report;
 }
 
 std::vector<Report> Engine::EvaluateBatch(
     const std::vector<Scenario>& scenarios, int threads) {
+  BatchOptions opts;
+  opts.threads = threads;
+  return EvaluateBatch(scenarios, opts);
+}
+
+std::vector<Report> Engine::EvaluateBatch(
+    const std::vector<Scenario>& scenarios, const BatchOptions& opts) {
   std::vector<Report> reports(scenarios.size());
   if (scenarios.empty()) return reports;
-  const int workers =
-      std::min<int>(std::max(threads, 1), static_cast<int>(scenarios.size()));
+  // Isolation: every scenario yields a report; a failure becomes that
+  // report's status record (keeping the analyses that completed before the
+  // throw). The captured exception_ptr feeds fail_fast's deterministic
+  // lowest-index rethrow.
+  std::vector<std::exception_ptr> errors(scenarios.size());
+  const auto evaluate_one = [&](std::size_t i, SimScratch& scratch) {
+    try {
+      // Per-scenario sweeps run serially (sweep_threads = 1) in batches, on
+      // the serial path as well, so thread counts cannot change any result.
+      EvaluateInto(scenarios[i], static_cast<int>(i), opts, scratch,
+                   /*sweep_threads=*/1, reports[i]);
+    } catch (const std::exception& e) {
+      reports[i].scenario = scenarios[i].name;
+      reports[i].system_spec = scenarios[i].system;
+      reports[i].status.code = ErrorCodeOf(e);
+      reports[i].status.message = e.what();
+      errors[i] = std::current_exception();
+    } catch (...) {
+      reports[i].scenario = scenarios[i].name;
+      reports[i].system_spec = scenarios[i].system;
+      reports[i].status.code = StatusCode::kInternalError;
+      reports[i].status.message = "unknown error";
+      errors[i] = std::current_exception();
+    }
+  };
+  const int workers = std::min<int>(std::max(opts.threads, 1),
+                                    static_cast<int>(scenarios.size()));
   if (workers <= 1) {
     SimScratch scratch;
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
-      // Per-scenario sweeps run serially (sweep_threads = 1) in batches, on
-      // the serial path as well, so thread counts cannot change any result.
-      reports[i] = EvaluateWith(scenarios[i], scratch, /*sweep_threads=*/1);
+      evaluate_one(i, scratch);
+      if (opts.fail_fast && errors[i]) std::rethrow_exception(errors[i]);
     }
     return reports;
   }
   std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  std::atomic<bool> stop{false};
   auto worker = [&] {
     SimScratch scratch;  // per-thread arena, reused across scenarios
     for (;;) {
       const std::size_t i = next.fetch_add(1);
-      if (i >= scenarios.size() || failed.load()) return;
-      try {
-        reports[i] = EvaluateWith(scenarios[i], scratch, /*sweep_threads=*/1);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true);
-        return;
-      }
+      if (i >= scenarios.size() || stop.load()) return;
+      evaluate_one(i, scratch);
+      if (opts.fail_fast && errors[i]) stop.store(true);
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
   for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (opts.fail_fast) {
+    // Lowest index wins, so the rethrown error is the same for any thread
+    // count even when several scenarios failed before the stop flag landed.
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
   return reports;
 }
 

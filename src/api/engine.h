@@ -24,6 +24,14 @@
 // index, and per-scenario sweeps run serially inside batches — so the
 // resulting reports (and their JSON) are bit-identical for any thread count.
 //
+// Fault isolation: EvaluateBatch never tears. A scenario failure — invalid
+// scenario, model error, sim budget, deadline — becomes that report's
+// structured status record (with whatever partial results completed) and
+// the other scenarios are unaffected; the batch always returns all N
+// reports, in order. BatchOptions::fail_fast restores abort-and-rethrow.
+// Faulted scenarios never write the shared caches, so an injected or real
+// failure cannot poison a later scenario's result.
+//
 // Thread-safety: one Engine may be shared; the caches are mutex-guarded and
 // the cached objects are immutable after construction (CompiledModel and
 // CocSystemSim evaluate via const methods with no hidden state).
@@ -39,7 +47,10 @@
 #include "api/report.h"
 #include "api/scenario.h"
 #include "cli/config_parser.h"
+#include "common/deadline.h"
+#include "common/fault_injection.h"
 #include "model/compiled_model.h"
+#include "model/latency_model.h"
 #include "sim/coc_system_sim.h"
 
 namespace coc {
@@ -50,15 +61,33 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// Knobs of one EvaluateBatch call.
+  struct BatchOptions {
+    int threads = 1;        ///< worker threads (<= 1 = serial)
+    bool fail_fast = false; ///< abort on the first failure and rethrow it
+    /// Deadline (milliseconds) applied to every scenario that does not set
+    /// its own `deadline_ms`. Unset = no default deadline.
+    std::optional<double> default_deadline_ms;
+    /// Deterministic fault-injection seam (tests / drills); disarmed by
+    /// default. Armed sites fire for the scenario at the armed batch index.
+    FaultInjector faults;
+  };
+
   /// Evaluates one scenario. `threads` parallelizes a sweep analysis'
   /// simulation points (<= 1 = serial; the results are bit-identical either
-  /// way). Throws std::invalid_argument on unloadable systems or invalid
-  /// scenarios.
+  /// way). Throws on unloadable systems or invalid scenarios (typed errors
+  /// from common/status.h; scenario/usage errors remain
+  /// std::invalid_argument subclasses).
   Report Evaluate(const Scenario& scenario, int threads = 1);
 
-  /// Evaluates a batch over `threads` worker threads (<= 1 = serial).
-  /// Reports come back in scenario order, bit-identical for any thread
-  /// count. The first scenario failure aborts the batch and rethrows.
+  /// Evaluates a batch over `opts.threads` worker threads. Reports come
+  /// back in scenario order, bit-identical for any thread count, one per
+  /// scenario — a failed scenario yields a report whose `status` carries
+  /// the typed error (and any partial results), not an exception. With
+  /// `opts.fail_fast` the lowest-index failure is rethrown instead.
+  std::vector<Report> EvaluateBatch(const std::vector<Scenario>& scenarios,
+                                    const BatchOptions& opts);
+  /// Convenience overload: isolated batch with `threads` workers.
   std::vector<Report> EvaluateBatch(const std::vector<Scenario>& scenarios,
                                     int threads = 1);
 
@@ -82,8 +111,13 @@ class Engine {
         : model(std::move(m)) {}
     std::shared_ptr<const CompiledModel> model;
     /// Cached SaturationRate(1.0); guarded by mu_ (the search itself runs
-    /// outside the lock; the first finisher's value wins).
+    /// outside the lock; the first finisher's value wins). Stored only on
+    /// a successful search, so faulted runs never poison the cache.
     std::optional<double> saturation_rate;
+    bool saturation_degraded = false;  ///< cached value came from fallback
+    /// Lazily-built reference LatencyModel for graceful degradation
+    /// (bit-identical to `model`); guarded by mu_ like `sim`.
+    std::shared_ptr<const LatencyModel> reference;
   };
 
   std::shared_ptr<SystemEntry> GetSystem(const Scenario& scenario);
@@ -93,10 +127,16 @@ class Engine {
                                        const SystemEntry& entry,
                                        const Workload& workload,
                                        const ModelOptions& opts);
-  double GetSaturationRate(const std::shared_ptr<ModelEntry>& entry);
+  std::shared_ptr<const LatencyModel> GetReferenceModel(
+      const std::shared_ptr<ModelEntry>& entry);
+  double GetSaturationRate(const std::shared_ptr<ModelEntry>& entry,
+                           const Deadline& deadline, bool* degraded);
 
-  Report EvaluateWith(const Scenario& scenario, SimScratch& scratch,
-                      int sweep_threads);
+  /// Fills `report` in place (so a thrown error leaves the completed
+  /// analyses in the caller's hands). `scenario_index` keys fault arms.
+  void EvaluateInto(const Scenario& scenario, int scenario_index,
+                    const BatchOptions& opts, SimScratch& scratch,
+                    int sweep_threads, Report& report);
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<SystemEntry>> systems_;

@@ -7,26 +7,26 @@
 namespace coc {
 namespace {
 
-/// Finite doubles pass through; non-finite serialize as null (JSON has no
-/// inf/nan spelling — the adjacent "saturated" flag carries the semantics).
-Json Num(double v) { return std::isfinite(v) ? Json(v) : Json(); }
+// Non-finite doubles go through JsonSetNumber: null plus an explicit
+// "<key>_nonfinite" sentinel, so a saturated +inf is distinguishable from a
+// missing measurement (schema v2; v1 emitted a bare null).
 
 Json ModelToJson(const ModelAnalysisResult& a) {
   Json j = Json::Object();
-  j.Set("rate", Num(a.rate));
+  JsonSetNumber(j, "rate", a.rate);
   j.Set("saturated", a.result.saturated);
-  j.Set("mean_latency_us", Num(a.result.mean_latency));
-  j.Set("saturation_rate", Num(a.saturation_rate));
+  JsonSetNumber(j, "mean_latency_us", a.result.mean_latency);
+  JsonSetNumber(j, "saturation_rate", a.saturation_rate);
   if (!a.note.empty()) j.Set("note", a.note);
   Json clusters = Json::Array();
   for (const ClusterLatency& cl : a.result.clusters) {
     Json c = Json::Object();
-    c.Set("u", Num(cl.u));
-    c.Set("l_in", Num(cl.intra.l_in));
-    c.Set("w_in", Num(cl.intra.w_in));
-    c.Set("l_out", Num(cl.inter.l_out));
-    c.Set("w_d", Num(cl.inter.w_d));
-    c.Set("blended", Num(cl.blended));
+    JsonSetNumber(c, "u", cl.u);
+    JsonSetNumber(c, "l_in", cl.intra.l_in);
+    JsonSetNumber(c, "w_in", cl.intra.w_in);
+    JsonSetNumber(c, "l_out", cl.inter.l_out);
+    JsonSetNumber(c, "w_d", cl.inter.w_d);
+    JsonSetNumber(c, "blended", cl.blended);
     clusters.Push(std::move(c));
   }
   j.Set("clusters", std::move(clusters));
@@ -35,59 +35,59 @@ Json ModelToJson(const ModelAnalysisResult& a) {
 
 Json BottleneckToJson(const BottleneckAnalysisResult& a) {
   Json j = Json::Object();
-  j.Set("rate", Num(a.rate));
-  j.Set("condis_rho", Num(a.report.condis_rho));
-  j.Set("inter_source_rho", Num(a.report.inter_source_rho));
-  j.Set("intra_source_rho", Num(a.report.intra_source_rho));
+  JsonSetNumber(j, "rate", a.rate);
+  JsonSetNumber(j, "condis_rho", a.report.condis_rho);
+  JsonSetNumber(j, "inter_source_rho", a.report.inter_source_rho);
+  JsonSetNumber(j, "intra_source_rho", a.report.intra_source_rho);
   if (a.destination_skewed) {
-    j.Set("hot_eject_rho", Num(a.report.hot_eject_rho));
+    JsonSetNumber(j, "hot_eject_rho", a.report.hot_eject_rho);
   }
   j.Set("binding", a.report.binding);
-  j.Set("saturation_rate", Num(a.saturation_rate));
+  JsonSetNumber(j, "saturation_rate", a.saturation_rate);
   if (!a.note.empty()) j.Set("note", a.note);
   return j;
 }
 
 Json SweepPointToJson(const SweepPoint& p) {
   Json j = Json::Object();
-  j.Set("lambda_g", Num(p.lambda_g));
-  j.Set("model_latency_us", Num(p.model_latency));
+  JsonSetNumber(j, "lambda_g", p.lambda_g);
+  JsonSetNumber(j, "model_latency_us", p.model_latency);
   j.Set("model_saturated", p.model_saturated);
   if (p.sim_latency) {
-    j.Set("sim_latency_us", Num(*p.sim_latency));
-    j.Set("sim_ci95", Num(p.sim_ci95));
-    j.Set("sim_intra_us", Num(p.sim_intra));
-    j.Set("sim_inter_us", Num(p.sim_inter));
-    j.Set("sim_icn2_max_util", Num(p.sim_icn2_max_util));
+    JsonSetNumber(j, "sim_latency_us", *p.sim_latency);
+    JsonSetNumber(j, "sim_ci95", p.sim_ci95);
+    JsonSetNumber(j, "sim_intra_us", p.sim_intra);
+    JsonSetNumber(j, "sim_inter_us", p.sim_inter);
+    JsonSetNumber(j, "sim_icn2_max_util", p.sim_icn2_max_util);
   }
   return j;
 }
 
 Json SimToJson(const SimAnalysisResult& a) {
   Json j = Json::Object();
-  j.Set("rate", Num(a.rate));
+  JsonSetNumber(j, "rate", a.rate);
   j.Set("seed", a.seed);
   j.Set("delivered", a.delivered);
-  j.Set("duration_us", Num(a.duration));
+  JsonSetNumber(j, "duration_us", a.duration);
   Json latency = Json::Object();
-  latency.Set("mean", Num(a.mean));
-  latency.Set("ci95", Num(a.ci95));
-  latency.Set("min", Num(a.min));
-  latency.Set("max", Num(a.max));
+  JsonSetNumber(latency, "mean", a.mean);
+  JsonSetNumber(latency, "ci95", a.ci95);
+  JsonSetNumber(latency, "min", a.min);
+  JsonSetNumber(latency, "max", a.max);
   j.Set("latency_us", std::move(latency));
   Json intra = Json::Object();
-  intra.Set("mean_us", Num(a.intra_mean));
+  JsonSetNumber(intra, "mean_us", a.intra_mean);
   intra.Set("messages", a.intra_count);
   j.Set("intra", std::move(intra));
   Json inter = Json::Object();
-  inter.Set("mean_us", Num(a.inter_mean));
+  JsonSetNumber(inter, "mean_us", a.inter_mean);
   inter.Set("messages", a.inter_count);
   j.Set("inter", std::move(inter));
   Json util = Json::Object();
   const auto net = [](double mean, double max) {
     Json n = Json::Object();
-    n.Set("mean", Num(mean));
-    n.Set("max", Num(max));
+    JsonSetNumber(n, "mean", mean);
+    JsonSetNumber(n, "max", max);
     return n;
   };
   util.Set("icn1", net(a.icn1_mean, a.icn1_max));
@@ -97,12 +97,25 @@ Json SimToJson(const SimAnalysisResult& a) {
   return j;
 }
 
+Json StatusToJson(const ReportStatus& s) {
+  Json j = Json::Object();
+  j.Set("code", StatusCodeName(s.code));
+  j.Set("ok", s.ok());
+  if (!s.message.empty()) j.Set("message", s.message);
+  if (s.degraded) {
+    j.Set("degraded", true);
+    if (!s.degraded_note.empty()) j.Set("degraded_note", s.degraded_note);
+  }
+  return j;
+}
+
 }  // namespace
 
 Json Report::ToJson() const {
   Json j = Json::Object();
   j.Set("schema_version", kReportSchemaVersion);
   j.Set("scenario", scenario);
+  j.Set("status", StatusToJson(status));
   Json system = Json::Object();
   system.Set("spec", system_spec);
   system.Set("clusters", clusters);
@@ -111,14 +124,14 @@ Json Report::ToJson() const {
   system.Set("icn2_topology", icn2_topology);
   system.Set("icn2_exact_fit", icn2_exact_fit);
   system.Set("message_flits", message_flits);
-  system.Set("flit_bytes", Num(flit_bytes));
+  JsonSetNumber(system, "flit_bytes", flit_bytes);
   j.Set("system", std::move(system));
   j.Set("workload", workload);
   if (model) j.Set("model", ModelToJson(*model));
   if (bottleneck) j.Set("bottleneck", BottleneckToJson(*bottleneck));
   if (saturation_rate) {
     Json s = Json::Object();
-    s.Set("rate", Num(*saturation_rate));
+    JsonSetNumber(s, "rate", *saturation_rate);
     j.Set("saturation", std::move(s));
   }
   if (sweep) {

@@ -7,6 +7,11 @@
 // Schema versioning: kReportSchemaVersion bumps on any key rename/removal or
 // semantic change of an existing field; adding new keys is backward
 // compatible and does not bump. Consumers should ignore unknown keys.
+//
+// v2 (from v1): every report carries a "status" block (code/ok, plus
+// message/degraded detail when applicable), and non-finite doubles emit an
+// explicit "<key>_nonfinite" sentinel next to the null (v1 emitted a bare
+// null, indistinguishable from a missing measurement).
 #pragma once
 
 #include <cstdint>
@@ -15,12 +20,28 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/status.h"
 #include "harness/sweep.h"
 #include "model/latency_model.h"
 
 namespace coc {
 
-inline constexpr int kReportSchemaVersion = 1;
+inline constexpr int kReportSchemaVersion = 2;
+
+/// Outcome of one scenario's evaluation. A batch report always carries one:
+/// code == kOk for a complete result (possibly degraded), anything else for
+/// a structured failure whose partial results are still in the report.
+struct ReportStatus {
+  StatusCode code = StatusCode::kOk;
+  std::string message;  ///< the error's what(); empty when ok
+  /// True when a compiled-model failure fell back to the reference
+  /// LatencyModel for part of this report (the numbers are still valid;
+  /// degraded_note says which stage fell back and why).
+  bool degraded = false;
+  std::string degraded_note;
+
+  bool ok() const { return code == StatusCode::kOk; }
+};
 
 /// LatencyModel::Evaluate at one operating point.
 struct ModelAnalysisResult {
@@ -65,6 +86,7 @@ struct SweepAnalysisResult {
 struct Report {
   std::string scenario;     ///< Scenario::name
   std::string system_spec;  ///< Scenario::system as given
+  ReportStatus status;      ///< evaluation outcome (kOk unless isolated)
   // System summary (mirrors `coc_cli info`'s header line).
   int clusters = 0;
   std::int64_t nodes = 0;

@@ -1,7 +1,9 @@
 #include "api/scenario.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <charconv>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -9,6 +11,7 @@
 #include "common/ini.h"
 #include "common/json.h"
 #include "common/parse_num.h"
+#include "common/status.h"
 #include "system/system_config.h"
 
 namespace coc {
@@ -233,7 +236,7 @@ Workload WorkloadOverlay::ApplyTo(Workload base, const SystemConfig& sys) const 
 
 void Scenario::Validate() const {
   const auto fail = [this](const std::string& what) {
-    throw std::invalid_argument("scenario '" + name + "': " + what);
+    throw ScenarioError("scenario '" + name + "': " + what);
   };
   if (system.empty()) fail("missing 'system' (config path or preset:...)");
   if (analyses == 0) fail("empty 'analyses' list");
@@ -242,13 +245,22 @@ void Scenario::Validate() const {
       !(rate > 0)) {
     fail("model/bottleneck/sim analyses need 'rate' > 0");
   }
+  if (deadline_ms && !(*deadline_ms > 0)) {
+    fail("'deadline_ms' must be > 0");
+  }
   if (Has(Analysis::kSweep)) {
     if (!sweep_max_rate) fail("sweep analysis needs 'sweep.max_rate'");
     if (!(*sweep_max_rate > 0)) fail("'sweep.max_rate' must be > 0");
     if (sweep_points < 1) fail("'sweep.points' must be >= 1");
   }
+  if (!(sim_abort_latency > 0)) {
+    fail("'sweep.abort_latency' must be > 0");
+  }
   if (sim_messages && *sim_messages < 1) {
     fail("'sim.messages' must be >= 1");
+  }
+  if (sim_max_events && *sim_max_events < 1) {
+    fail("'sim.max_events' must be >= 1");
   }
 }
 
@@ -267,6 +279,7 @@ std::string Scenario::Serialize() const {
   }
   kv("analyses", list.empty() ? "none" : list);
   if (rate != 0) kv("rate", JsonNumber(rate));
+  if (deadline_ms) kv("deadline_ms", JsonNumber(*deadline_ms));
   if (workload.pattern) {
     kv("workload.pattern", WorkloadPatternName(*workload.pattern));
   }
@@ -304,9 +317,13 @@ std::string Scenario::Serialize() const {
   if (sweep_max_rate) kv("sweep.max_rate", JsonNumber(*sweep_max_rate));
   if (sweep_points != 8) kv("sweep.points", std::to_string(sweep_points));
   if (!sweep_sim) kv("sweep.sim", "false");
+  if (sim_abort_latency != 3000) {
+    kv("sweep.abort_latency", JsonNumber(sim_abort_latency));
+  }
   if (sim_messages) kv("sim.messages", std::to_string(*sim_messages));
   if (sim_seed != 1) kv("sim.seed", std::to_string(sim_seed));
   if (condis != CondisMode::kCutThrough) kv("sim.condis", "store-forward");
+  if (sim_max_events) kv("sim.max_events", std::to_string(*sim_max_events));
   return out;
 }
 
@@ -345,6 +362,8 @@ std::vector<Scenario> ParseScenarios(const std::string& text) {
           }
         } else if (key == "rate") {
           s.rate = ParseDoubleKey(key, value);
+        } else if (key == "deadline_ms") {
+          s.deadline_ms = ParseDoubleKey(key, value);
         } else if (key == "workload.pattern") {
           s.workload.pattern = ParseWorkloadPattern(value);
         } else if (key == "workload.locality") {
@@ -372,8 +391,12 @@ std::vector<Scenario> ParseScenarios(const std::string& text) {
           s.sweep_points = static_cast<int>(ParseIntKey(key, value));
         } else if (key == "sweep.sim") {
           s.sweep_sim = ParseBool(key, value);
+        } else if (key == "sweep.abort_latency") {
+          s.sim_abort_latency = ParseDoubleKey(key, value);
         } else if (key == "sim.messages") {
           s.sim_messages = ParseIntKey(key, value);
+        } else if (key == "sim.max_events") {
+          s.sim_max_events = ParseIntKey(key, value);
         } else if (key == "sim.seed") {
           s.sim_seed = ParseUint64Key(key, value);
         } else if (key == "sim.condis") {
@@ -427,7 +450,11 @@ Scenario ParseScenario(const std::string& text) {
 std::vector<Scenario> LoadScenarios(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::invalid_argument("cannot open scenario file: " + path);
+    // UsageError: a bad path is the caller's mistake, not a scenario's.
+    // The errno reason ("No such file or directory", "Permission denied")
+    // tells them which mistake.
+    throw UsageError("cannot open scenario file: " + path + ": " +
+                     std::strerror(errno));
   }
   std::ostringstream buf;
   buf << in.rdbuf();

@@ -102,6 +102,10 @@ struct Scenario {
   std::uint8_t analyses = static_cast<std::uint8_t>(Analysis::kModel);
   /// Per-node generation rate lambda_g for model/bottleneck/sim analyses.
   double rate = 0;
+  /// Cooperative wall-clock deadline for this scenario's evaluation, in
+  /// milliseconds (key `deadline_ms`). Unset = no deadline. A trip surfaces
+  /// as a DeadlineExceeded status record, never a torn batch.
+  std::optional<double> deadline_ms;
   WorkloadOverlay workload;
   ModelOptions model;
 
@@ -109,6 +113,10 @@ struct Scenario {
   std::optional<double> sweep_max_rate;
   int sweep_points = 8;
   bool sweep_sim = true;
+  /// Saturation cut-off for simulated sweep points (key
+  /// `sweep.abort_latency`): once a point's mean latency exceeds this,
+  /// later sim points are skipped. Must be > 0.
+  double sim_abort_latency = 3000;
 
   // Sim analysis budget. Unset messages = the environment-controlled
   // DefaultSimBudget; set = that many measured messages with N/10
@@ -116,6 +124,9 @@ struct Scenario {
   std::optional<std::int64_t> sim_messages;
   std::uint64_t sim_seed = 1;
   CondisMode condis = CondisMode::kCutThrough;
+  /// Hard event budget per simulation run (key `sim.max_events`). Unset =
+  /// unlimited; exceeding it surfaces as a SimBudgetError status record.
+  std::optional<std::int64_t> sim_max_events;
 
   bool Has(Analysis a) const {
     return (analyses & static_cast<std::uint8_t>(a)) != 0;
@@ -127,7 +138,7 @@ struct Scenario {
 
   /// Structural validation (system present, analyses non-empty, rate
   /// positive where an analysis needs it, sweep parameters sane). Throws
-  /// std::invalid_argument naming the scenario.
+  /// ScenarioError (an std::invalid_argument) naming the scenario.
   void Validate() const;
 
   /// Canonical text form: one [scenario name] section, fixed key order,
@@ -146,7 +157,8 @@ std::vector<Scenario> ParseScenarios(const std::string& text);
 /// Single-scenario convenience: the text must contain exactly one section.
 Scenario ParseScenario(const std::string& text);
 
-/// Reads a scenario batch file from disk.
+/// Reads a scenario batch file from disk. A missing or unreadable file
+/// throws UsageError with the errno reason (the CLI maps it to exit 2).
 std::vector<Scenario> LoadScenarios(const std::string& path);
 
 }  // namespace coc

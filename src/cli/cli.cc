@@ -13,7 +13,9 @@
 #include "api/report.h"
 #include "api/scenario.h"
 #include "cli/config_parser.h"
+#include "common/fault_injection.h"
 #include "common/parse_num.h"
+#include "common/status.h"
 #include "common/table.h"
 #include "harness/sweep.h"
 #include "topology/topology_spec.h"
@@ -28,9 +30,11 @@ constexpr const char* kUsage = R"(usage:
                      [--condis cut-through|store-forward] [workload flags]
                      [--format F]
   coc_cli sweep      <system> --max-rate R [--points N] [--no-sim]
-                     [--threads N] [workload flags] [--format F]
+                     [--threads N] [--sim-abort-latency L] [workload flags]
+                     [--format F]
   coc_cli bottleneck <system> --rate R [workload flags] [--format F]
   coc_cli batch      <scenarios-file> [--threads N] [--format text|json]
+                     [--fail-fast] [--deadline-ms MS]
 
 Workload flags (shared by model, sim, sweep and bottleneck; they override the
 config file's workload.* keys so the analytical model and the simulator always
@@ -59,13 +63,16 @@ optionally preset:NAME:M:dm.
 
 <scenarios-file> holds [scenario NAME] sections (see src/api/scenario.h and
 examples/batch_scenarios.cfg); the batch is evaluated in parallel over
---threads workers with bit-identical output for any worker count.
-)";
+--threads workers with bit-identical output for any worker count. A failed
+scenario becomes a structured "status" record in its report (the other
+scenarios are unaffected); --fail-fast aborts on the first failure instead.
 
-/// Malformed invocations (vs. bad input files/values): exit code 2.
-struct UsageError : std::invalid_argument {
-  using std::invalid_argument::invalid_argument;
-};
+Every evaluating command accepts --deadline-ms MS, a cooperative per-scenario
+deadline; a tripped deadline reports deadline_exceeded with partial results.
+
+Exit codes: 0 success; 1 evaluation error; 2 usage error; 3 batch completed
+but at least one scenario failed (see each report's "status" block).
+)";
 
 /// Minimal --flag/value parser; flags without a value are boolean.
 class Flags {
@@ -192,6 +199,16 @@ Scenario ScenarioFromFlags(const std::string& system, Flags& flags) {
   }
   s.workload = OverlayFromFlags(flags);
   return s;
+}
+
+/// --deadline-ms for every evaluating command; validated at flag level.
+std::optional<double> DeadlineFromFlags(Flags& flags) {
+  if (!flags.Present("deadline-ms")) return std::nullopt;
+  const double ms = flags.Number("deadline-ms");
+  if (!(ms > 0)) {
+    throw UsageError("--deadline-ms must be > 0, got " + FormatSci(ms));
+  }
+  return ms;
 }
 
 /// --rate for model/sim/bottleneck: validated at flag level so a bad value
@@ -345,6 +362,7 @@ int CmdModel(const std::string& system, Flags& flags, std::ostream& out) {
   Scenario s = ScenarioFromFlags(system, flags);
   s.Request(Analysis::kModel);
   s.rate = RateFromFlags(flags);
+  s.deadline_ms = DeadlineFromFlags(flags);
   const Format format = FormatFromFlags(flags);
   flags.CheckAllUsed();
   Engine engine;
@@ -373,6 +391,7 @@ int CmdSim(const std::string& system, Flags& flags, std::ostream& out) {
   } else {
     throw std::invalid_argument("unknown --condis '" + condis + "'");
   }
+  s.deadline_ms = DeadlineFromFlags(flags);
   const Format format = FormatFromFlags(flags);
   flags.CheckAllUsed();
   Engine engine;
@@ -401,6 +420,15 @@ int CmdSweep(const std::string& system, Flags& flags, std::ostream& out) {
   s.sweep_max_rate = max_rate;
   s.sweep_points = points;
   s.sweep_sim = !flags.Present("no-sim");
+  if (flags.Present("sim-abort-latency")) {
+    const double abort_latency = flags.Number("sim-abort-latency");
+    if (!(abort_latency > 0)) {
+      throw UsageError("--sim-abort-latency must be > 0, got " +
+                       FormatSci(abort_latency));
+    }
+    s.sim_abort_latency = abort_latency;
+  }
+  s.deadline_ms = DeadlineFromFlags(flags);
   const int threads = ThreadsFromFlags(flags);
   const Format format = FormatFromFlags(flags);
   flags.CheckAllUsed();
@@ -418,6 +446,7 @@ int CmdBottleneck(const std::string& system, Flags& flags, std::ostream& out) {
   Scenario s = ScenarioFromFlags(system, flags);
   s.Request(Analysis::kBottleneck);
   s.rate = RateFromFlags(flags);
+  s.deadline_ms = DeadlineFromFlags(flags);
   const Format format = FormatFromFlags(flags);
   flags.CheckAllUsed();
   Engine engine;
@@ -432,7 +461,13 @@ int CmdBottleneck(const std::string& system, Flags& flags, std::ostream& out) {
 
 int CmdBatch(const std::vector<std::string>& args, std::ostream& out) {
   Flags flags(args, 2);
-  const int threads = ThreadsFromFlags(flags);
+  Engine::BatchOptions opts;
+  opts.threads = ThreadsFromFlags(flags);
+  opts.fail_fast = flags.Present("fail-fast");
+  opts.default_deadline_ms = DeadlineFromFlags(flags);
+  // Deterministic fault-injection seam for tests and failure drills:
+  // COC_FAULT="site:index[,...]" (sites parse|model|sim_budget|deadline).
+  opts.faults = FaultInjector::FromEnv();
   const Format format = FormatFromFlags(flags);
   if (format == Format::kCsv) {
     throw UsageError("batch supports --format text or json");
@@ -440,18 +475,32 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out) {
   flags.CheckAllUsed();
   const std::vector<Scenario> scenarios = LoadScenarios(args[1]);
   Engine engine;
-  const std::vector<Report> reports = engine.EvaluateBatch(scenarios, threads);
+  const std::vector<Report> reports = engine.EvaluateBatch(scenarios, opts);
+  bool any_failed = false;
+  for (const Report& r : reports) {
+    if (!r.status.ok()) any_failed = true;
+  }
   if (format == Format::kJson) {
     EmitJson(BatchToJson(reports), out);
-    return 0;
+  } else {
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      if (i != 0) out << "\n";
+      out << "=== scenario " << reports[i].scenario << " ("
+          << reports[i].system_spec << ") ===\n";
+      if (!reports[i].status.ok()) {
+        out << "status: " << StatusCodeName(reports[i].status.code) << ": "
+            << reports[i].status.message << "\n";
+      }
+      if (reports[i].status.degraded) {
+        out << "degraded: " << reports[i].status.degraded_note << "\n";
+      }
+      RenderReportText(reports[i], out);
+    }
   }
-  for (std::size_t i = 0; i < reports.size(); ++i) {
-    if (i != 0) out << "\n";
-    out << "=== scenario " << reports[i].scenario << " ("
-        << reports[i].system_spec << ") ===\n";
-    RenderReportText(reports[i], out);
-  }
-  return 0;
+  // Partial failure is its own exit code so scripts can tell "every
+  // scenario evaluated" (0) from "the envelope is complete but some
+  // scenarios failed" (3) without parsing the JSON.
+  return any_failed ? 3 : 0;
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 namespace coc {
@@ -19,6 +20,19 @@ Json& Json::Set(std::string key, Json value) {
     }
   }
   object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::Remove(const std::string& key) {
+  if (kind_ != Kind::kObject) {
+    throw std::invalid_argument("Json::Remove on a non-object value");
+  }
+  for (auto it = object_.begin(); it != object_.end(); ++it) {
+    if (it->first == key) {
+      object_.erase(it);
+      break;
+    }
+  }
   return *this;
 }
 
@@ -91,6 +105,37 @@ std::string JsonNumber(double v) {
   char buf[32];
   const auto res = std::to_chars(buf, buf + sizeof buf, v);
   return std::string(buf, res.ptr);
+}
+
+Json& JsonSetNumber(Json& obj, const std::string& key, double v) {
+  if (std::isfinite(v)) {
+    obj.Set(key, v);
+    obj.Remove(key + "_nonfinite");  // retire a stale sentinel on overwrite
+    return obj;
+  }
+  obj.Set(key, Json());
+  obj.Set(key + "_nonfinite", v > 0 ? "inf" : (v < 0 ? "-inf" : "nan"));
+  return obj;
+}
+
+double JsonGetNumber(const Json& obj, const std::string& key) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr) {
+    throw std::invalid_argument("Json: missing number field '" + key + "'");
+  }
+  if (!v->is_null()) return v->AsDouble();
+  const Json* sentinel = obj.Find(key + "_nonfinite");
+  if (sentinel == nullptr) {
+    throw std::invalid_argument("Json: null number field '" + key +
+                                "' without a '" + key +
+                                "_nonfinite' sentinel");
+  }
+  const std::string& s = sentinel->AsString();
+  if (s == "inf") return std::numeric_limits<double>::infinity();
+  if (s == "-inf") return -std::numeric_limits<double>::infinity();
+  if (s == "nan") return std::numeric_limits<double>::quiet_NaN();
+  throw std::invalid_argument("Json: unknown non-finite sentinel '" + s +
+                              "' for field '" + key + "'");
 }
 
 std::string JsonEscape(const std::string& s) {

@@ -68,6 +68,8 @@ class Json {
   /// Object insertion (keeps insertion order; duplicate keys overwrite in
   /// place, preserving the original position). Returns *this for chaining.
   Json& Set(std::string key, Json value);
+  /// Object key removal; absent keys are a no-op. Returns *this.
+  Json& Remove(const std::string& key);
   /// Array append.
   Json& Push(Json value);
 
@@ -113,5 +115,17 @@ class Json {
 /// match a JSON golden).
 std::string JsonNumber(double v);        ///< shortest round-trip; null-safe
 std::string JsonEscape(const std::string& s);  ///< quoted + escaped
+
+/// Non-finite-safe object field: a finite `v` sets `key` normally; a
+/// non-finite one sets `key` to null plus an explicit string sentinel at
+/// `key + "_nonfinite"` ("inf", "-inf" or "nan"), so the value survives the
+/// wire losslessly instead of collapsing to an ambiguous null. Returns `obj`
+/// for chaining.
+Json& JsonSetNumber(Json& obj, const std::string& key, double v);
+
+/// Inverse of JsonSetNumber: reads `key`, reconstructing inf/-inf/nan from
+/// the sibling sentinel when `key` is null. Throws std::invalid_argument on
+/// a missing field, a null without its sentinel, or an unknown sentinel.
+double JsonGetNumber(const Json& obj, const std::string& key);
 
 }  // namespace coc

@@ -37,6 +37,9 @@ std::vector<SweepPoint> RunSweep(const SystemConfig& sys,
   bool sim_alive = spec.run_sim;
   SimScratch scratch;  // engine arena + buffers shared across sweep points
   for (std::size_t k = 0; k < spec.rates.size(); ++k) {
+    spec.deadline.Check("sweep", std::to_string(k) + " of " +
+                                     std::to_string(spec.rates.size()) +
+                                     " points completed");
     const double rate = spec.rates[k];
     SweepPoint p;
     p.lambda_g = rate;
@@ -83,21 +86,34 @@ std::vector<SweepPoint> RunSweepParallel(const SystemConfig& sys,
   // Best-effort cut-off: the lowest-index point observed saturated; points
   // after it skip their simulation.
   std::atomic<std::size_t> abort_after{points.size()};
+  // A point's simulation may now throw (sim budgets, deadlines); capture per
+  // point and rethrow the lowest-index error after the join, so the
+  // surfaced failure does not depend on worker scheduling.
+  std::vector<std::exception_ptr> errors(points.size());
+  std::atomic<bool> failed{false};
   auto worker = [&] {
     SimScratch scratch;  // per-thread engine arena, reused across points
     for (;;) {
       const std::size_t i = next.fetch_add(1);
-      if (i >= points.size()) return;
+      if (i >= points.size() || failed.load()) return;
       if (i > abort_after.load()) continue;
-      SimConfig cfg = spec.sim_base;
-      cfg.lambda_g = points[i].lambda_g;
-      cfg.workload = spec.workload;
-      const SimResult sr = sim.Run(cfg, scratch);
-      points[i].sim_latency = sr.latency.Mean();
-      points[i].sim_ci95 = sr.latency.HalfWidth95();
-      points[i].sim_intra = sr.intra_latency.Mean();
-      points[i].sim_inter = sr.inter_latency.Mean();
-      points[i].sim_icn2_max_util = sr.icn2_util.Max(sr.duration);
+      try {
+        spec.deadline.Check("sweep", "point " + std::to_string(i) + " of " +
+                                         std::to_string(points.size()));
+        SimConfig cfg = spec.sim_base;
+        cfg.lambda_g = points[i].lambda_g;
+        cfg.workload = spec.workload;
+        const SimResult sr = sim.Run(cfg, scratch);
+        points[i].sim_latency = sr.latency.Mean();
+        points[i].sim_ci95 = sr.latency.HalfWidth95();
+        points[i].sim_intra = sr.intra_latency.Mean();
+        points[i].sim_inter = sr.inter_latency.Mean();
+        points[i].sim_icn2_max_util = sr.icn2_util.Max(sr.duration);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        failed.store(true);
+        return;
+      }
       if (spec.sim_abort_latency > 0 &&
           *points[i].sim_latency > spec.sim_abort_latency) {
         std::size_t cur = abort_after.load();
@@ -111,6 +127,9 @@ std::vector<SweepPoint> RunSweepParallel(const SystemConfig& sys,
   pool.reserve(static_cast<std::size_t>(n));
   for (int t = 0; t < n; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
   // Enforce the cut-off ordering: drop sim results after the first
   // saturated point so the output matches the serial semantics.
   const std::size_t cut = abort_after.load();

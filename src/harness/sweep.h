@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/stats.h"
 #include "model/compiled_model.h"
 #include "model/latency_model.h"
@@ -43,6 +44,10 @@ struct SweepSpec {
   /// are skipped (the run is saturated and each further point costs the
   /// same wall time for no information). 0 disables the cut-off.
   double sim_abort_latency = 0;
+  /// Cooperative deadline, probed before every sweep point (and inside each
+  /// simulated point via sim_base.deadline when the caller shares one). A
+  /// trip throws DeadlineExceeded with the completed-point count.
+  Deadline deadline;
 };
 
 /// Evenly spaced rate grid (count points over (0, max], excluding 0).

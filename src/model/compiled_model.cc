@@ -21,6 +21,7 @@
 #include <string>
 #include <utility>
 
+#include "common/status.h"
 #include "model/mg1.h"
 #include "topology/topology.h"
 
@@ -466,6 +467,13 @@ InterResult CompiledModel::AggregateInter(int i,
 
 void CompiledModel::EvaluateInto(double lambda_g, Scratch& scratch,
                                  ModelResult& result) const {
+  // An invalid operating point would silently propagate NaN through every
+  // closed form below; fail it as a typed model error instead.
+  if (!std::isfinite(lambda_g) || lambda_g < 0) {
+    throw ModelError("model evaluated at invalid rate lambda_g = " +
+                     std::to_string(lambda_g) +
+                     " (must be finite and >= 0)");
+  }
   const int c = sys_.num_clusters();
   result.clusters.clear();
   result.clusters.reserve(static_cast<std::size_t>(c));
@@ -557,10 +565,19 @@ BottleneckReport CompiledModel::Bottleneck(double lambda_g) const {
 
 double CompiledModel::SaturationRate(double upper_bound, double rel_tol,
                                      const SaturationBracket* warm,
-                                     SaturationBracket* refined) const {
+                                     SaturationBracket* refined,
+                                     const Deadline* deadline) const {
   Scratch scratch;
   ModelResult r;
+  int probes = 0;
   const auto probe = [&](double lambda_g) {
+    // Cooperative per-probe deadline: each bisection/expansion step costs
+    // one full model evaluation, the natural check granularity.
+    if (deadline != nullptr) {
+      deadline->Check("saturation search",
+                      std::to_string(probes) + " probes completed");
+    }
+    ++probes;
     EvaluateInto(lambda_g, scratch, r);
     double rho = HotEjectOverlay(lambda_g).rho;
     for (const auto& cl : r.clusters) {

@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "common/deadline.h"
 #include "model/latency_model.h"
 #include "model/model_options.h"
 #include "model/saturation_search.h"
@@ -68,10 +69,13 @@ class CompiledModel {
   /// search's warm-start seam exposed: `warm` (optional) must hold
   /// certified facts about THIS model — e.g. the `refined` bracket a
   /// previous call returned — and lets the search skip every probe the
-  /// bracket already answers without changing the result.
+  /// bracket already answers without changing the result. `deadline`
+  /// (optional) is probed once per model evaluation; a trip throws
+  /// DeadlineExceeded with the probe count as partial progress.
   double SaturationRate(double upper_bound, double rel_tol = 1e-3,
                         const SaturationBracket* warm = nullptr,
-                        SaturationBracket* refined = nullptr) const;
+                        SaturationBracket* refined = nullptr,
+                        const Deadline* deadline = nullptr) const;
 
  private:
   /// One deduplicated intra-cluster class: everything Eqs. 4-19 need that

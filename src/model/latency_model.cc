@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "common/status.h"
 #include "model/mg1.h"
 #include "model/saturation_search.h"
 #include "topology/topology.h"
@@ -80,6 +82,13 @@ LatencyModel::HotEject LatencyModel::HotEjectOverlay(double lambda_g) const {
 }
 
 ModelResult LatencyModel::Evaluate(double lambda_g) const {
+  // Same guard as CompiledModel::EvaluateInto: an invalid operating point is
+  // a typed model error, not NaN propagation through the closed forms.
+  if (!std::isfinite(lambda_g) || lambda_g < 0) {
+    throw ModelError("model evaluated at invalid rate lambda_g = " +
+                     std::to_string(lambda_g) +
+                     " (must be finite and >= 0)");
+  }
   ModelResult result;
   result.clusters.reserve(static_cast<std::size_t>(sys_.num_clusters()));
 

@@ -252,18 +252,26 @@ SimResult CocSystemSim::Run(const SimConfig& cfg, SimScratch& scratch) const {
     result.delivery_times.reserve(
         static_cast<std::size_t>(cfg.measured_messages));
   }
-  engine.Run([&result, &cfg](const WormholeEngine::Delivery& d) {
-    if (d.user_tag & kTagMeasured) {
-      const double latency = d.deliver_time - d.gen_time;
-      result.latency.Add(latency);
-      ((d.user_tag & kTagInter) ? result.inter_latency : result.intra_latency)
-          .Add(latency);
-      result.per_cluster[static_cast<std::size_t>(d.user_tag >>
-                                                  kTagClusterShift)]
-          .Add(latency);
-      if (cfg.record_deliveries) result.delivery_times.push_back(d.deliver_time);
-    }
-  });
+  WormholeEngine::RunLimits limits;
+  limits.max_events = cfg.max_events;
+  limits.deadline = cfg.deadline;
+  engine.Run(
+      [&result, &cfg](const WormholeEngine::Delivery& d) {
+        if (d.user_tag & kTagMeasured) {
+          const double latency = d.deliver_time - d.gen_time;
+          result.latency.Add(latency);
+          ((d.user_tag & kTagInter) ? result.inter_latency
+                                    : result.intra_latency)
+              .Add(latency);
+          result.per_cluster[static_cast<std::size_t>(d.user_tag >>
+                                                      kTagClusterShift)]
+              .Add(latency);
+          if (cfg.record_deliveries) {
+            result.delivery_times.push_back(d.deliver_time);
+          }
+        }
+      },
+      limits);
   result.delivered = engine.delivered_count();
   result.duration = engine.end_time();
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "common/deadline.h"
 #include "workload/workload.h"
 
 namespace coc {
@@ -64,6 +65,15 @@ struct SimConfig {
   /// default Workload is the paper's assumption 2 (uniform destinations,
   /// one global rate, fixed message length).
   Workload workload;
+
+  /// Hard event budget for one run: 0 = unlimited. A run that processes
+  /// more engine events than this throws SimBudgetError with the delivered
+  /// count — the runaway-simulation guard for service batches.
+  std::int64_t max_events = 0;
+
+  /// Cooperative deadline checked in the event loop (default: never
+  /// expires). A trip throws DeadlineExceeded with partial progress.
+  Deadline deadline;
 
   /// Paper-faithful phase sizes (10k / 100k / 10k).
   static SimConfig PaperProtocol(double lambda, std::uint64_t seed = 1) {

@@ -39,7 +39,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
 
 namespace coc {
 
@@ -98,12 +102,33 @@ class WormholeEngine {
                           int flits, std::uint64_t user_tag,
                           const std::vector<std::int32_t>& store_forward = {});
 
+  /// Guard rails on one Run: a hard event-count budget and a cooperative
+  /// deadline. Both default off (one predictable branch per event); a
+  /// tripped limit throws SimBudgetError / DeadlineExceeded with the
+  /// delivered-message count as partial progress. The engine keeps its
+  /// consistent delivered/busy-time state, so the caller may still read
+  /// partial statistics; Reset() reuses the arena as usual afterwards.
+  struct RunLimits {
+    std::int64_t max_events = 0;  ///< processed events; 0 = unlimited
+    Deadline deadline;            ///< checked every kDeadlineStride events
+  };
+
+  /// Events between cooperative deadline probes: amortizes the clock read
+  /// (or injected-check decrement) to noise while bounding overshoot.
+  static constexpr std::int64_t kDeadlineStride = 1 << 13;
+
   /// Runs the simulation to completion (all registered messages delivered),
   /// invoking on_deliver once per message in delivery-time order. The
   /// callback is a template parameter, so the call is direct — no type
   /// erasure on the hot path.
   template <typename OnDeliver>
   void Run(OnDeliver&& on_deliver) {
+    Run(static_cast<OnDeliver&&>(on_deliver), RunLimits{});
+  }
+
+  /// Same, under RunLimits (sim budgets and per-scenario deadlines).
+  template <typename OnDeliver>
+  void Run(OnDeliver&& on_deliver, const RunLimits& limits) {
     // Generation events: when messages were added in gen_time order (the
     // traffic generator's case), they are consumed from a sorted cursor so
     // the heap only ever holds in-flight flit events — an order of
@@ -116,9 +141,19 @@ class WormholeEngine {
       ScheduleGenerations();  // rare: out-of-order AddMessage calls
       gen_cursor = messages_.size();
     }
+    std::int64_t events = 0;
     for (;;) {
       const bool have_gen = gen_cursor < messages_.size();
       if (!have_gen && event_heap_.empty()) break;
+      if (limits.max_events > 0 && events >= limits.max_events) {
+        throw SimBudgetError("simulation exceeded its event budget (" +
+                             std::to_string(limits.max_events) + " events, " +
+                             Progress() + ")");
+      }
+      if (limits.deadline.Enabled() && (events % kDeadlineStride) == 0) {
+        limits.deadline.Check("simulation", Progress());
+      }
+      ++events;
       if (have_gen &&
           (event_heap_.empty() ||
            messages_[gen_cursor].gen_time <= event_heap_.front().time)) {
@@ -187,6 +222,14 @@ class WormholeEngine {
     const Event e = event_heap_.back();
     event_heap_.pop_back();
     return e;
+  }
+
+  /// Partial-progress note for RunLimits failures — deterministic for a
+  /// deterministic schedule, so injected budget/deadline errors are
+  /// bit-identical across runs and thread counts.
+  std::string Progress() const {
+    return std::to_string(delivered_) + " of " +
+           std::to_string(messages_.size()) + " messages delivered";
   }
 
   void Schedule(double time, std::int64_t msg, std::int32_t pos,

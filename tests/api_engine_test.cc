@@ -33,11 +33,15 @@ workload.locality = 0.9
 )cfg";
 
 constexpr const char* kGoldenJson = R"json({
-  "schema_version": 1,
+  "schema_version": 2,
   "reports": [
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "scenario": "tiny",
+      "status": {
+        "code": "ok",
+        "ok": true
+      },
       "system": {
         "spec": "preset:tiny:16:64",
         "clusters": 4,
@@ -118,8 +122,12 @@ constexpr const char* kGoldenJson = R"json({
       }
     },
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "scenario": "dragonfly",
+      "status": {
+        "code": "ok",
+        "ok": true
+      },
       "system": {
         "spec": "preset:dragonfly:16:64",
         "clusters": 4,
@@ -187,6 +195,112 @@ constexpr const char* kGoldenJson = R"json({
 }
 )json";
 
+// A schema v1 document as PR 5 emitted it (no "status" block, bare nulls
+// for non-finite), abridged to one cluster entry per report. v1 documents
+// live in downstream archives; this pins that they still parse and their
+// fields still read.
+constexpr const char* kGoldenJsonV1 = R"json({
+  "schema_version": 1,
+  "reports": [
+    {
+      "schema_version": 1,
+      "scenario": "tiny",
+      "system": {
+        "spec": "preset:tiny:16:64",
+        "clusters": 4,
+        "nodes": 32,
+        "m": 4,
+        "icn2_topology": "4-port 1-tree",
+        "icn2_exact_fit": true,
+        "message_flits": 16,
+        "flit_bytes": 64
+      },
+      "workload": "uniform",
+      "model": {
+        "rate": 1e-04,
+        "saturated": false,
+        "mean_latency_us": 4.962604158902051,
+        "saturation_rate": 0.06817626953125,
+        "clusters": [
+          {
+            "u": 0.7741935483870968,
+            "l_in": 2.853536086279237,
+            "w_in": 6.197327273605172e-05,
+            "l_out": 5.577749013417039,
+            "w_d": 0.005689046500405447,
+            "blended": 4.962604158902051
+          }
+        ]
+      },
+      "bottleneck": {
+        "rate": 1e-04,
+        "condis_rho": 0.0014666322580645162,
+        "inter_source_rho": 0.0003296017482061004,
+        "intra_source_rho": 5.269780255175971e-05,
+        "binding": "concentrator/dispatcher",
+        "saturation_rate": 0.06817626953125
+      },
+      "sweep": {
+        "points": [
+          {
+            "lambda_g": 0.0003333333333333333,
+            "model_latency_us": 4.976716030015545,
+            "model_saturated": false
+          },
+          {
+            "lambda_g": 0.001,
+            "model_latency_us": 5.017481532002339,
+            "model_saturated": false
+          }
+        ]
+      }
+    },
+    {
+      "schema_version": 1,
+      "scenario": "dragonfly",
+      "system": {
+        "spec": "preset:dragonfly:16:64",
+        "clusters": 4,
+        "nodes": 48,
+        "m": 4,
+        "icn2_topology": "4-port 1-tree",
+        "icn2_exact_fit": true,
+        "message_flits": 16,
+        "flit_bytes": 64
+      },
+      "workload": "local 90%",
+      "model": {
+        "rate": 1e-04,
+        "saturated": false,
+        "mean_latency_us": 3.257765253641925,
+        "saturation_rate": 0.2158203125,
+        "clusters": [
+          {
+            "u": 0.09999999999999998,
+            "l_in": 2.8548370993064824,
+            "w_in": 0.0002499521325158869,
+            "l_out": 5.913586617986377,
+            "w_d": 0.0011009490056694507,
+            "blended": 3.160712051174472
+          }
+        ]
+      },
+      "bottleneck": {
+        "rate": 1e-04,
+        "condis_rho": 0.00028415999999999994,
+        "inter_source_rho": 4.256394793576222e-05,
+        "intra_source_rho": 0.0002112125663143634,
+        "binding": "concentrator/dispatcher",
+        "saturation_rate": 0.2158203125
+      },
+      "saturation": {
+        "rate": 0.2158203125
+      }
+    }
+  ]
+}
+)json";
+
 TEST(Engine, GoldenJsonSnapshot) {
   Engine engine;
   const auto reports =
@@ -203,6 +317,30 @@ TEST(Engine, GoldenJsonParsesAndCarriesSchemaVersion) {
   ASSERT_EQ(reports->Size(), 2u);
   EXPECT_EQ(reports->At(0).Find("scenario")->AsString(), "tiny");
   EXPECT_EQ(reports->At(1).Find("scenario")->AsString(), "dragonfly");
+  // Every v2 report carries a status block; these two are ok.
+  for (std::size_t i = 0; i < reports->Size(); ++i) {
+    const Json* status = reports->At(i).Find("status");
+    ASSERT_NE(status, nullptr);
+    EXPECT_EQ(status->Find("code")->AsString(), "ok");
+    EXPECT_TRUE(status->Find("ok")->AsBool());
+  }
+}
+
+TEST(Engine, V1GoldenStillParsesAsArchivedDocument) {
+  // Schema v2 is additive over v1 (status block, non-finite sentinels), so
+  // archived v1 documents remain readable with the same accessors.
+  const Json doc = Json::Parse(kGoldenJsonV1);
+  EXPECT_EQ(doc.Find("schema_version")->AsInt(), 1);
+  const Json* reports = doc.Find("reports");
+  ASSERT_NE(reports, nullptr);
+  ASSERT_EQ(reports->Size(), 2u);
+  const Json& tiny = reports->At(0);
+  EXPECT_EQ(tiny.Find("scenario")->AsString(), "tiny");
+  EXPECT_EQ(tiny.Find("status"), nullptr);  // v1 has no status block
+  EXPECT_DOUBLE_EQ(tiny.Find("model")->Find("mean_latency_us")->AsDouble(),
+                   4.962604158902051);
+  EXPECT_EQ(reports->At(1).Find("saturation")->Find("rate")->AsDouble(),
+            0.2158203125);
 }
 
 TEST(Engine, BatchDeterministicAcrossThreadCounts) {
@@ -298,13 +436,33 @@ TEST(Engine, RepeatedEvaluateReusesCachesAndAgrees) {
   EXPECT_EQ(engine.Stats().models, 1u);
 }
 
-TEST(Engine, InvalidScenariosFailTheBatchLoudly) {
+TEST(Engine, InvalidScenariosBecomeStatusRecordsNotTornBatches) {
   Scenario bad;
   bad.name = "bad";
   bad.system = "/no/such/file.conf";
   bad.rate = 1e-4;
+  Scenario good;
+  good.name = "good";
+  good.system = "preset:tiny:16:64";
+  good.rate = 1e-4;
   Engine engine;
-  EXPECT_THROW(engine.EvaluateBatch({bad}, 4), std::invalid_argument);
+  // Isolation (the default): the batch returns all entries; the failure is
+  // a structured status record and its neighbor is untouched.
+  const auto reports = engine.EvaluateBatch({bad, good}, 4);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_FALSE(reports[0].status.ok());
+  EXPECT_EQ(reports[0].status.code, StatusCode::kScenarioError);
+  EXPECT_EQ(reports[0].scenario, "bad");
+  EXPECT_FALSE(reports[0].status.message.empty());
+  EXPECT_TRUE(reports[1].status.ok());
+  ASSERT_TRUE(reports[1].model.has_value());
+  // fail_fast restores the old abort-and-rethrow contract.
+  Engine::BatchOptions fail_fast;
+  fail_fast.threads = 4;
+  fail_fast.fail_fast = true;
+  EXPECT_THROW(engine.EvaluateBatch({bad, good}, fail_fast),
+               std::invalid_argument);
+  // Single-scenario Evaluate still throws.
   Scenario unvalidated;
   unvalidated.name = "r";
   unvalidated.system = "preset:tiny";

@@ -25,6 +25,9 @@ TEST(Scenario, SerializeParsesBackToEqualValue) {
       .Request(Analysis::kSweep)
       .Request(Analysis::kSim);
   s.rate = 2.5e-4;
+  s.deadline_ms = 1500;
+  s.sim_abort_latency = 4500;
+  s.sim_max_events = 1000000;
   s.workload.pattern = WorkloadPattern::kHotspot;
   s.workload.hotspot_fraction = 0.25;
   s.workload.hotspot_node = 7;
@@ -101,12 +104,103 @@ TEST(Scenario, PropertyRandomizedRoundTrip) {
     if (pick(2)) s.sim_messages = 1 + pick(10000);
     s.sim_seed = static_cast<std::uint64_t>(1 + pick(1 << 20));
     s.condis = pick(2) ? CondisMode::kStoreForward : CondisMode::kCutThrough;
+    if (pick(2)) s.deadline_ms = 1.0 + pick(100000);
+    if (pick(2)) s.sim_abort_latency = 1.0 + pick(10000);
+    if (pick(2)) s.sim_max_events = 1 + pick(1 << 24);
 
     const std::string text = s.Serialize();
     const Scenario back = ParseScenario(text);
     ASSERT_EQ(back, s) << "trial " << trial << "\n" << text;
     ASSERT_EQ(back.Serialize(), text) << "trial " << trial;
   }
+}
+
+TEST(Scenario, MutationPropertyNeverCrashesOnlyStructuredErrors) {
+  // Robustness sweep: random mutations of a valid scenario file (byte
+  // truncations, number corruption, duplicated/spliced lines, random byte
+  // edits) must either parse cleanly or raise the structured parse error
+  // (std::invalid_argument, which ScenarioError derives from) — never any
+  // other exception type and never a crash. The suite runs under
+  // ASan/UBSan in CI, so out-of-bounds reads in the parser would also trip.
+  const std::string base =
+      "[scenario mut]\n"
+      "system = preset:tiny:16:64\n"
+      "analyses = model,bottleneck,sweep\n"
+      "rate = 2.5e-4\n"
+      "deadline_ms = 250\n"
+      "workload.pattern = hotspot\n"
+      "workload.hotspot_fraction = 0.25\n"
+      "workload.hotspot_node = 7\n"
+      "workload.len = bimodal:8:64:0.125\n"
+      "model.lambda_i2 = harmonic\n"
+      "sweep.max_rate = 1e-3\n"
+      "sweep.points = 5\n"
+      "sweep.abort_latency = 2500\n"
+      "sim.messages = 1234\n"
+      "sim.seed = 99\n"
+      "sim.max_events = 100000\n"
+      "sim.condis = store-forward\n";
+  Rng rng(20260807);
+  const auto pick = [&rng](std::size_t n) {
+    return static_cast<std::size_t>(rng() % static_cast<std::uint64_t>(n));
+  };
+  const char kGarbage[] = "=[]#:.\n\t \"xyz09-+eE\x01\x7f";
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text = base;
+    const int mutations = 1 + static_cast<int>(pick(3));
+    for (int m = 0; m < mutations; ++m) {
+      switch (pick(5)) {
+        case 0:  // truncate at an arbitrary byte
+          text.resize(pick(text.size() + 1));
+          break;
+        case 1: {  // corrupt a number-ish region with garbage bytes
+          if (text.empty()) break;
+          const std::size_t at = pick(text.size());
+          text[at] = kGarbage[pick(sizeof kGarbage - 1)];
+          break;
+        }
+        case 2: {  // duplicate a random line (duplicate-key territory)
+          if (text.empty()) break;
+          const std::size_t start = text.find_last_of('\n', pick(text.size()));
+          const std::size_t from = start == std::string::npos ? 0 : start + 1;
+          const std::size_t end = text.find('\n', from);
+          const std::string line = text.substr(
+              from, end == std::string::npos ? std::string::npos
+                                             : end - from + 1);
+          text.insert(pick(text.size() + 1), line);
+          break;
+        }
+        case 3: {  // splice random garbage at a random offset
+          std::string chunk;
+          for (std::size_t i = pick(8); i-- > 0;) {
+            chunk += kGarbage[pick(sizeof kGarbage - 1)];
+          }
+          text.insert(pick(text.size() + 1), chunk);
+          break;
+        }
+        case 4: {  // delete a random span
+          if (text.empty()) break;
+          const std::size_t at = pick(text.size());
+          text.erase(at, pick(text.size() - at) + 1);
+          break;
+        }
+      }
+    }
+    try {
+      const auto scenarios = ParseScenarios(text);
+      for (const Scenario& s : scenarios) s.Validate();
+      ++parsed_ok;
+    } catch (const std::invalid_argument& e) {
+      // The structured rejection path: a non-empty diagnostic, no crash.
+      ASSERT_FALSE(std::string(e.what()).empty()) << "trial " << trial;
+    }
+    // Any other exception type escapes and fails the test; memory errors
+    // are caught by the sanitizer jobs.
+  }
+  // The sweep must exercise both outcomes to mean anything.
+  EXPECT_GT(parsed_ok, 0);
+  EXPECT_LT(parsed_ok, 500);
 }
 
 TEST(Scenario, SimSeedKeepsFull64Bits) {

@@ -548,9 +548,15 @@ TEST(Cli, BatchEvaluatesScenarioFileDeterministically) {
 }
 
 TEST(Cli, BatchRejectsBadInputs) {
+  // A missing/unreadable file is a usage error (exit 2) whose message
+  // carries the errno reason.
   const auto missing = RunCommand({"batch", "/no/such/batch.cfg"});
-  EXPECT_EQ(missing.code, 1);
+  EXPECT_EQ(missing.code, 2);
   EXPECT_NE(missing.err.find("cannot open scenario file"), std::string::npos);
+  EXPECT_NE(missing.err.find("No such file or directory"), std::string::npos)
+      << missing.err;
+  // A malformed scenario inside the file still fails the load (exit 1):
+  // per-scenario isolation starts at evaluation, not at a torn parse.
   const std::string path = WriteTempFile("coc_cli_test_bad_batch.cfg",
                                          "[scenario x]\nrate = 1e-4\n");
   const auto bad = RunCommand({"batch", path});
@@ -559,6 +565,76 @@ TEST(Cli, BatchRejectsBadInputs) {
   const auto csv = RunCommand({"batch", path, "--format", "csv"});
   EXPECT_EQ(csv.code, 2);  // format validated before the file loads
   std::remove(path.c_str());
+}
+
+TEST(Cli, BatchPartialFailureExitsThreeWithCompleteEnvelope) {
+  // One unloadable system among good scenarios: the batch completes, the
+  // JSON envelope holds every report (the broken one as a status record),
+  // and the exit code is 3 so scripts can tell partial from clean.
+  const std::string path = WriteTempFile(
+      "coc_cli_test_partial_batch.cfg",
+      "[scenario ok1]\nsystem = preset:tiny:16:64\nanalyses = model\n"
+      "rate = 1e-4\n\n"
+      "[scenario broken]\nsystem = /no/such/system.conf\nanalyses = model\n"
+      "rate = 1e-4\n\n"
+      "[scenario ok2]\nsystem = preset:tiny:16:64\nanalyses = saturation\n"
+      "rate = 1e-4\n");
+  const auto r = RunCommand({"batch", path, "--format", "json",
+                             "--threads", "2"});
+  EXPECT_EQ(r.code, 3) << r.err;
+  const Json doc = Json::Parse(r.out);
+  const Json* reports = doc.Find("reports");
+  ASSERT_NE(reports, nullptr);
+  ASSERT_EQ(reports->Size(), 3u);
+  EXPECT_TRUE(reports->At(0).Find("status")->Find("ok")->AsBool());
+  EXPECT_FALSE(reports->At(1).Find("status")->Find("ok")->AsBool());
+  EXPECT_EQ(reports->At(1).Find("status")->Find("code")->AsString(),
+            "scenario_error");
+  EXPECT_TRUE(reports->At(2).Find("status")->Find("ok")->AsBool());
+  // Text mode prints the failure under the scenario header; exit still 3.
+  const auto text = RunCommand({"batch", path, "--threads", "1"});
+  EXPECT_EQ(text.code, 3);
+  EXPECT_NE(text.out.find("status: scenario_error:"), std::string::npos)
+      << text.out;
+  // --fail-fast restores abort semantics: exit 1, error on stderr.
+  const auto ff = RunCommand({"batch", path, "--fail-fast"});
+  EXPECT_EQ(ff.code, 1);
+  EXPECT_NE(ff.err.find("error:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, DeadlineFlagValidatedAcrossCommands) {
+  for (const char* cmd : {"model", "sim", "bottleneck"}) {
+    const auto r = RunCommand({cmd, "preset:tiny", "--rate", "1e-4",
+                               "--deadline-ms", "0"});
+    EXPECT_EQ(r.code, 2) << cmd;
+    EXPECT_NE(r.err.find("--deadline-ms must be > 0"), std::string::npos)
+        << cmd;
+  }
+  const auto sweep = RunCommand({"sweep", "preset:tiny", "--max-rate", "1e-3",
+                                 "--deadline-ms", "-5"});
+  EXPECT_EQ(sweep.code, 2);
+  const auto batch = RunCommand({"batch", "/no/such.cfg",
+                                 "--deadline-ms", "0"});
+  EXPECT_EQ(batch.code, 2);  // flag validated before the file loads
+  EXPECT_NE(batch.err.find("--deadline-ms must be > 0"), std::string::npos);
+  // A generous deadline changes nothing about the result.
+  const auto ok = RunCommand({"model", "preset:tiny", "--rate", "1e-4",
+                              "--deadline-ms", "60000"});
+  EXPECT_EQ(ok.code, 0) << ok.err;
+  EXPECT_NE(ok.out.find("mean latency:"), std::string::npos);
+}
+
+TEST(Cli, SweepAbortLatencyFlagValidated) {
+  const auto bad = RunCommand({"sweep", "preset:tiny", "--max-rate", "1e-3",
+                               "--sim-abort-latency", "0"});
+  EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("--sim-abort-latency must be > 0"),
+            std::string::npos);
+  const auto ok = RunCommand({"sweep", "preset:tiny", "--max-rate", "1e-4",
+                              "--points", "2", "--no-sim",
+                              "--sim-abort-latency", "500"});
+  EXPECT_EQ(ok.code, 0) << ok.err;
 }
 
 TEST(Cli, ConfigFileRoundTrip) {

@@ -81,6 +81,39 @@ TEST(Json, ParseRejectsMalformedInput) {
   }
 }
 
+TEST(Json, NonFiniteNumbersRoundTripThroughSentinels) {
+  // JsonSetNumber keeps non-finite doubles lossless on the wire: the key
+  // emits as null plus an explicit "<key>_nonfinite" sentinel, and
+  // JsonGetNumber reconstructs the original value from the parsed document.
+  const double inf = std::numeric_limits<double>::infinity();
+  Json j = Json::Object();
+  JsonSetNumber(j, "pos", inf);
+  JsonSetNumber(j, "neg", -inf);
+  JsonSetNumber(j, "nan", std::nan(""));
+  JsonSetNumber(j, "plain", 2.5);
+  EXPECT_EQ(j.Dump(),
+            "{\"pos\":null,\"pos_nonfinite\":\"inf\","
+            "\"neg\":null,\"neg_nonfinite\":\"-inf\","
+            "\"nan\":null,\"nan_nonfinite\":\"nan\","
+            "\"plain\":2.5}");
+  const Json back = Json::Parse(j.Dump());
+  EXPECT_EQ(JsonGetNumber(back, "pos"), inf);
+  EXPECT_EQ(JsonGetNumber(back, "neg"), -inf);
+  EXPECT_TRUE(std::isnan(JsonGetNumber(back, "nan")));
+  EXPECT_DOUBLE_EQ(JsonGetNumber(back, "plain"), 2.5);
+  // A finite overwrite of a previously non-finite key retires the sentinel.
+  JsonSetNumber(j, "pos", 1.0);
+  EXPECT_EQ(j.Find("pos")->AsDouble(), 1.0);
+  EXPECT_EQ(j.Find("pos_nonfinite"), nullptr);
+  // Strictness: a missing field and a bare null without its sentinel are
+  // both errors — an ambiguous null must not quietly become a number.
+  const Json bare = Json::Parse("{\"x\":null}");
+  EXPECT_THROW(JsonGetNumber(bare, "x"), std::invalid_argument);
+  EXPECT_THROW(JsonGetNumber(bare, "absent"), std::invalid_argument);
+  const Json odd = Json::Parse("{\"x\":null,\"x_nonfinite\":\"huge\"}");
+  EXPECT_THROW(JsonGetNumber(odd, "x"), std::invalid_argument);
+}
+
 TEST(Json, SetOverwritesInPlaceKeepingPosition) {
   Json j = Json::Object();
   j.Set("first", 1).Set("second", 2).Set("first", 10);
