@@ -24,7 +24,10 @@ std::string SystemKey(const Scenario& s) {
   return key;
 }
 
-/// Canonical dump of a resolved Workload, injective over its fields.
+/// Canonical dump of a resolved Workload, injective over its semantics: an
+/// explicit all-1.0 rate_scale table is the same traffic as an empty one
+/// (Workload::RateScale returns the same doubles), so both spell the same
+/// key bytes and share one cache entry.
 std::string WorkloadKey(const Workload& w) {
   std::string key = WorkloadPatternName(w.pattern);
   key += '\x1f';
@@ -34,9 +37,11 @@ std::string WorkloadKey(const Workload& w) {
   key += '\x1f';
   key += std::to_string(w.hotspot_node);
   key += '\x1f';
-  for (const double s : w.rate_scale) {
-    key += JsonNumber(s);
-    key += ',';
+  if (!w.uniform_rates()) {
+    for (const double s : w.rate_scale) {
+      key += JsonNumber(s);
+      key += ',';
+    }
   }
   key += '\x1f';
   key += w.message_length.ToString();
@@ -129,20 +134,35 @@ std::shared_ptr<const CocSystemSim> Engine::GetSim(
 std::shared_ptr<Engine::ModelEntry> Engine::GetModel(
     const std::string& system_key, const SystemEntry& entry,
     const Workload& workload, const ModelOptions& opts) {
-  std::string key = system_key;
+  std::string family_key = system_key;
+  family_key += '\x1e';
+  family_key += OptionsKey(opts);
+  std::string key = family_key;
   key += '\x1e';
   key += WorkloadKey(workload);
-  key += '\x1e';
-  key += OptionsKey(opts);
+  std::shared_ptr<const CompiledModel> sibling;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = models_.find(key);
     if (it != models_.end()) return it->second;
+    const auto sib = rebind_sources_.find(family_key);
+    if (sib != rebind_sources_.end()) sibling = sib->second;
   }
-  auto model = std::make_shared<ModelEntry>(std::make_shared<const CompiledModel>(
-      entry.experiment.system, workload, opts));
+  // A miss with a compiled sibling on the same (system, options) family
+  // rebinds from it — bit-identical to a cold compile, but the dedup
+  // tables, combo arrays, and ICN2 census carry over.
+  std::shared_ptr<const CompiledModel> model;
+  if (sibling) {
+    model = std::make_shared<const CompiledModel>(sibling->Rebind(workload));
+  } else {
+    model = std::make_shared<const CompiledModel>(entry.experiment.system,
+                                                  workload, opts);
+  }
+  auto mentry = std::make_shared<ModelEntry>(std::move(model));
   std::lock_guard<std::mutex> lock(mu_);
-  return models_.emplace(std::move(key), std::move(model)).first->second;
+  if (sibling) ++model_rebinds_;
+  rebind_sources_[std::move(family_key)] = mentry->model;
+  return models_.emplace(std::move(key), std::move(mentry)).first->second;
 }
 
 std::shared_ptr<const LatencyModel> Engine::GetReferenceModel(
@@ -203,6 +223,7 @@ Engine::CacheStats Engine::Stats() const {
     if (entry->sim) ++stats.sims;
   }
   stats.models = models_.size();
+  stats.model_rebinds = model_rebinds_;
   return stats;
 }
 

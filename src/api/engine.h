@@ -96,6 +96,10 @@ class Engine {
     std::size_t systems = 0;  ///< distinct (system, ICN2 override) entries
     std::size_t sims = 0;     ///< of those, with a simulator built
     std::size_t models = 0;   ///< distinct (system, workload, opts) models
+    /// Of the model compiles, how many were incremental rebinds from a
+    /// workload-adjacent sibling on the same (system, options) family
+    /// instead of cold compiles (bit-identical either way).
+    std::size_t model_rebinds = 0;
   };
   CacheStats Stats() const;
 
@@ -141,6 +145,12 @@ class Engine {
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<SystemEntry>> systems_;
   std::map<std::string, std::shared_ptr<ModelEntry>> models_;
+  /// Latest compiled model per (system, options) family — the rebind source
+  /// a cache miss for an adjacent workload starts from instead of compiling
+  /// cold. Guarded by mu_; values are also held by models_, so this adds
+  /// structure sharing, not lifetime.
+  std::map<std::string, std::shared_ptr<const CompiledModel>> rebind_sources_;
+  std::size_t model_rebinds_ = 0;  ///< guarded by mu_
 };
 
 }  // namespace coc

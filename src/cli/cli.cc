@@ -1,6 +1,7 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <optional>
 #include <set>
@@ -31,6 +32,9 @@ constexpr const char* kUsage = R"(usage:
                      [--format F]
   coc_cli sweep      <system> --max-rate R [--points N] [--no-sim]
                      [--threads N] [--sim-abort-latency L] [workload flags]
+                     [--sweep-locality LO:HI:STEP |
+                      --sweep-hotspot-fraction LO:HI:STEP |
+                      --sweep-rate-scale LO:HI:STEP [--dial-cluster I]]
                      [--format F]
   coc_cli bottleneck <system> --rate R [workload flags] [--format F]
   coc_cli batch      <scenarios-file> [--threads N] [--format text|json]
@@ -60,6 +64,15 @@ Per-cluster topologies are set in the config file ('topology =' keys).
 <system> is a config file (see src/cli/config_parser.h) or preset:1120,
 preset:544, preset:small, preset:tiny, preset:mixed, preset:dragonfly —
 optionally preset:NAME:M:dm.
+
+A --sweep-locality / --sweep-hotspot-fraction / --sweep-rate-scale flag turns
+sweep's x-axis into that workload dial (LO:HI:STEP, inclusive): each dial
+value is evaluated over the --max-rate/--points rate grid plus its saturation
+rate, compiled incrementally (the first point cold, later points rebinding
+the previous structure with certified saturation warm-starts — bit-identical
+to cold per-point compiles). Dial sweeps are model-only (simulation flags are
+ignored) and render as text or csv; --dial-cluster I picks the cluster the
+rate-scale dial moves (default 0).
 
 <scenarios-file> holds [scenario NAME] sections (see src/api/scenario.h and
 examples/batch_scenarios.cfg); the batch is evaluated in parallel over
@@ -404,6 +417,74 @@ int CmdSim(const std::string& system, Flags& flags, std::ostream& out) {
   return 0;
 }
 
+/// Parses a --sweep-* dial grid "LO:HI:STEP" into the inclusive value list.
+std::vector<double> ParseDialGrid(const std::string& flag,
+                                  const std::string& text) {
+  double lo = 0, hi = 0, step = 0;
+  int consumed = 0;
+  if (std::sscanf(text.c_str(), "%lf:%lf:%lf%n", &lo, &hi, &step,
+                  &consumed) != 3 ||
+      consumed != static_cast<int>(text.size())) {
+    throw UsageError("--" + flag + " expects LO:HI:STEP, got '" + text + "'");
+  }
+  if (!(step > 0)) {
+    throw UsageError("--" + flag + ": STEP must be > 0, got " +
+                     FormatSci(step));
+  }
+  if (hi < lo) {
+    throw UsageError("--" + flag + ": HI must be >= LO, got '" + text + "'");
+  }
+  std::vector<double> values;
+  for (int i = 0;; ++i) {
+    double v = lo + i * step;
+    if (v > hi + step * 1e-9) break;
+    // Clamp accumulated rounding at the top edge so e.g. 0:1:0.1 never
+    // produces a value fractionally above a [0, 1] parameter bound.
+    values.push_back(std::min(v, hi));
+  }
+  return values;
+}
+
+/// The workload-dial variant of sweep: the x-axis is a workload parameter,
+/// each setting evaluated over the rate grid plus its saturation rate,
+/// compiled incrementally point to point. Model-only.
+int RunWorkloadDialSweep(const Scenario& s, WorkloadDial dial,
+                         const std::vector<double>& values, int dial_cluster,
+                         double max_rate, int points,
+                         std::optional<double> deadline_ms, Format format,
+                         std::ostream& out) {
+  if (format == Format::kJson) {
+    throw UsageError("workload-dial sweeps support --format text or csv");
+  }
+  Experiment exp = LoadExperiment(s.system);
+  SystemConfig sys = exp.system;
+  if (s.icn2_override) sys = sys.WithIcn2Topology(*s.icn2_override);
+  if (dial == WorkloadDial::kRateScale &&
+      (dial_cluster < 0 || dial_cluster >= sys.num_clusters())) {
+    throw UsageError("--dial-cluster " + std::to_string(dial_cluster) +
+                     " outside [0, " + std::to_string(sys.num_clusters()) +
+                     ") for this system");
+  }
+  WorkloadGridSpec spec;
+  spec.base = s.workload.ApplyTo(exp.workload, sys);
+  spec.dial = dial;
+  spec.values = values;
+  spec.rate_scale_cluster = dial_cluster;
+  spec.rates = LinearRates(max_rate, points);
+  spec.model_opts = s.model;
+  if (deadline_ms) spec.deadline = Deadline::After(*deadline_ms);
+  const std::vector<WorkloadGridPoint> grid = RunWorkloadGrid(sys, spec);
+  if (format == Format::kCsv) {
+    out << FormatWorkloadGridCsv(spec, grid);
+  } else {
+    out << FormatWorkloadGridTable(
+        "workload-dial sweep (" + std::string(WorkloadDialName(dial)) +
+            "), system: " + s.system,
+        spec, grid);
+  }
+  return 0;
+}
+
 int CmdSweep(const std::string& system, Flags& flags, std::ostream& out) {
   Scenario s = ScenarioFromFlags(system, flags);
   s.Request(Analysis::kSweep);
@@ -416,6 +497,42 @@ int CmdSweep(const std::string& system, Flags& flags, std::ostream& out) {
   const int points = static_cast<int>(flags.Number("points", 8));
   if (points < 1) {
     throw UsageError("--points must be >= 1, got " + std::to_string(points));
+  }
+  // Workload-dial mode: at most one --sweep-<dial> flag turns the sweep's
+  // x-axis into that workload parameter (model-only; sim flags ignored).
+  const struct {
+    const char* flag;
+    WorkloadDial dial;
+  } kDialFlags[] = {
+      {"sweep-locality", WorkloadDial::kLocality},
+      {"sweep-hotspot-fraction", WorkloadDial::kHotspotFraction},
+      {"sweep-rate-scale", WorkloadDial::kRateScale},
+  };
+  std::optional<WorkloadDial> dial;
+  std::vector<double> dial_values;
+  for (const auto& df : kDialFlags) {
+    if (!flags.Present(df.flag)) continue;
+    if (dial) {
+      throw UsageError("at most one --sweep-<dial> flag may be given");
+    }
+    dial = df.dial;
+    dial_values = ParseDialGrid(df.flag, flags.Text(df.flag, ""));
+  }
+  const int dial_cluster = static_cast<int>(flags.Number("dial-cluster", 0));
+  if (!dial && flags.Present("dial-cluster")) {
+    throw UsageError("--dial-cluster requires a --sweep-<dial> flag");
+  }
+  if (dial) {
+    // Consume the sim-only flags so CheckAllUsed doesn't reject a command
+    // line that merely adds a dial flag to an existing sweep invocation.
+    flags.Present("no-sim");
+    if (flags.Present("sim-abort-latency")) flags.Number("sim-abort-latency");
+    ThreadsFromFlags(flags);
+    const std::optional<double> deadline_ms = DeadlineFromFlags(flags);
+    const Format dial_format = FormatFromFlags(flags);
+    flags.CheckAllUsed();
+    return RunWorkloadDialSweep(s, *dial, dial_values, dial_cluster, max_rate,
+                                points, deadline_ms, dial_format, out);
   }
   s.sweep_max_rate = max_rate;
   s.sweep_points = points;

@@ -42,21 +42,37 @@ void AppendPtr(std::string& key, const void* p) {
   key.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
 }
 
+bool BitsEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
 }  // namespace
 
 CompiledModel::CompiledModel(const SystemConfig& sys, ModelOptions opts)
     : sys_(sys), opts_(opts) {
-  Compile();
+  CompileFrom(nullptr);
 }
 
 CompiledModel::CompiledModel(const SystemConfig& sys, const Workload& workload,
                              ModelOptions opts)
     : sys_(sys), workload_(workload), opts_(opts) {
   workload_.Validate(sys_);
-  Compile();
+  CompileFrom(nullptr);
 }
 
-void CompiledModel::Compile() {
+CompiledModel::CompiledModel(const CompiledModel& prev, const Workload& next)
+    // Copying prev's SystemConfig shares its Topology instances (shared_ptr
+    // members), so prev's pointer-keyed dedup tables stay valid here.
+    : sys_(prev.sys_), workload_(next), opts_(prev.opts_) {
+  workload_.Validate(sys_);
+  CompileFrom(&prev);
+}
+
+CompiledModel CompiledModel::Rebind(const Workload& next) const {
+  return CompiledModel(*this, next);
+}
+
+void CompiledModel::CompileFrom(const CompiledModel* prev) {
   const int c = sys_.num_clusters();
   const MessageFormat& msg = sys_.message();
   m_flits_ = workload_.MeanFlits(msg);
@@ -66,7 +82,20 @@ void CompiledModel::Compile() {
       opts_.source_queue_rate == ModelOptions::SourceQueueRate::kPerNode;
   skewed_ = workload_.DestinationSkewed();
 
-  const LinkDistribution icn2_links = MakeIcn2LinkDistribution(sys_);
+  // Workload-invariant shared structure: the ICN2 census and the (r, v,
+  // d_l) combo tables transfer outright; per-class reuse additionally needs
+  // the message-length moments to match bit for bit, since every x_*
+  // constant scales with them.
+  if (prev != nullptr) {
+    icn2_links_ = prev->icn2_links_;
+    combo_cache_ = prev->combo_cache_;
+  } else {
+    icn2_links_ = std::make_shared<const LinkDistribution>(
+        MakeIcn2LinkDistribution(sys_));
+  }
+  const bool reuse_classes = prev != nullptr &&
+                             BitsEqual(m_flits_, prev->m_flits_) &&
+                             BitsEqual(flit_var_, prev->flit_var_);
   const std::vector<double> loads = workload_.EcnLoadFactors(sys_);
 
   u_.resize(static_cast<std::size_t>(c));
@@ -87,7 +116,6 @@ void CompiledModel::Compile() {
   }
 
   // --- intra-cluster classes (Eqs. 4-19 constants) -----------------------
-  std::map<std::string, int> intra_keys;
   for (int i = 0; i < c; ++i) {
     const ClusterConfig& cluster = sys_.cluster(i);
     const Topology& topo = sys_.icn1_topology(i);
@@ -104,30 +132,41 @@ void CompiledModel::Compile() {
     AppendBits(key, big_n);
     AppendBits(key, u_i);
     AppendBits(key, s_i);
-    const auto [it, inserted] =
-        intra_keys.emplace(std::move(key), static_cast<int>(intra_classes_.size()));
+    const auto [it, inserted] = intra_keys_.emplace(
+        std::move(key), static_cast<int>(intra_classes_.size()));
     if (inserted) {
-      const LinkDistribution& links = topo.Links();
-      IntraClass k;
-      k.s = s_i;
-      k.big_n = big_n;
-      k.one_minus_u = 1.0 - u_i;
-      k.mean_links = links.MeanLinks();
-      k.eta_div = topo.ChannelsPerNode() * big_n;
-      k.x_cs = m_flits_ * t_cs;
-      k.x_cn = m_flits_ * t_cn;
-      k.chain_steps = std::max(0, links.max_links() - 2);
-      for (int d = 2; d <= links.max_links(); ++d) {
-        k.p.push_back(links.P(d));
+      const auto hit =
+          reuse_classes ? prev->intra_keys_.find(it->first) : intra_keys_.end();
+      if (reuse_classes && hit != prev->intra_keys_.end()) {
+        // Equal key => every input of the class below is bit-identical, so
+        // the compiled constants are too.
+        intra_classes_.push_back(
+            prev->intra_classes_[static_cast<std::size_t>(hit->second)]);
+        ++rebind_stats_.intra_reused;
+      } else {
+        const LinkDistribution& links = topo.Links();
+        IntraClass k;
+        k.s = s_i;
+        k.big_n = big_n;
+        k.one_minus_u = 1.0 - u_i;
+        k.mean_links = links.MeanLinks();
+        k.eta_div = topo.ChannelsPerNode() * big_n;
+        k.x_cs = m_flits_ * t_cs;
+        k.x_cn = m_flits_ * t_cn;
+        k.chain_steps = std::max(0, links.max_links() - 2);
+        for (int d = 2; d <= links.max_links(); ++d) {
+          k.p.push_back(links.P(d));
+        }
+        double e_in = 0;
+        for (int d = 2; d <= links.max_links(); ++d) {
+          const double p = links.P(d);
+          if (p == 0.0) continue;
+          e_in += p * (static_cast<double>(d - 2) * t_cs + 2.0 * t_cn);
+        }
+        k.e_in = e_in;
+        intra_classes_.push_back(std::move(k));
+        ++rebind_stats_.intra_rebuilt;
       }
-      double e_in = 0;
-      for (int d = 2; d <= links.max_links(); ++d) {
-        const double p = links.P(d);
-        if (p == 0.0) continue;
-        e_in += p * (static_cast<double>(d - 2) * t_cs + 2.0 * t_cn);
-      }
-      k.e_in = e_in;
-      intra_classes_.push_back(std::move(k));
     }
     intra_class_of_[static_cast<std::size_t>(i)] = it->second;
   }
@@ -135,43 +174,77 @@ void CompiledModel::Compile() {
   // --- ordered-pair classes (Eqs. 20-39 constants) -----------------------
   if (c >= 2) {
     if (skewed_) {
-      dest_prob_.assign(static_cast<std::size_t>(c) * c, 0.0);
+      dest_prob_ = workload_.InterDestProbabilities(sys_);
     }
-    std::map<std::string, int> pair_keys;
+    // A pair class is fully determined by its two per-cluster "side"
+    // signatures (topology instance, per-flit times, beta, census, U, rate
+    // scale, ECN load), so the pair key is sideSig(i) + sideSig(j).
+    std::vector<std::string> side(static_cast<std::size_t>(c));
     for (int i = 0; i < c; ++i) {
-      for (int j = 0; j < c; ++j) {
-        if (j == i) continue;
-        if (skewed_) {
-          dest_prob_[static_cast<std::size_t>(i * c + j)] =
-              workload_.InterDestProbability(sys_, i, j);
+      const ClusterConfig& ci = sys_.cluster(i);
+      std::string& sig = side[static_cast<std::size_t>(i)];
+      AppendPtr(sig, &sys_.ecn1_topology(i));
+      AppendBits(sig, ci.ecn1.TCs(msg.flit_bytes));
+      AppendBits(sig, ci.ecn1.TCn(msg.flit_bytes));
+      AppendBits(sig, ci.ecn1.beta());
+      AppendBits(sig, static_cast<double>(sys_.NodesInCluster(i)));
+      AppendBits(sig, u_[static_cast<std::size_t>(i)]);
+      AppendBits(sig, workload_.RateScale(i));
+      AppendBits(sig, loads[static_cast<std::size_t>(i)]);
+    }
+    // Interns the (i, j) pair class and returns its index.
+    const auto resolve = [&](int i, int j) {
+      std::string key = side[static_cast<std::size_t>(i)];
+      key += side[static_cast<std::size_t>(j)];
+      const auto [it, inserted] = pair_keys_.emplace(
+          std::move(key), static_cast<int>(pair_classes_.size()));
+      if (inserted) {
+        const auto hit =
+            reuse_classes ? prev->pair_keys_.find(it->first) : pair_keys_.end();
+        if (reuse_classes && hit != prev->pair_keys_.end()) {
+          pair_classes_.push_back(
+              prev->pair_classes_[static_cast<std::size_t>(hit->second)]);
+          ++rebind_stats_.pair_reused;
+        } else {
+          pair_classes_.push_back(BuildPairClass(i, j, loads));
+          ++rebind_stats_.pair_rebuilt;
         }
-        const ClusterConfig& ci = sys_.cluster(i);
-        const ClusterConfig& cj = sys_.cluster(j);
-        const Topology& ecn1_i = sys_.ecn1_topology(i);
-        const Topology& ecn1_j = sys_.ecn1_topology(j);
-
-        std::string key;
-        AppendPtr(key, &ecn1_i);
-        AppendPtr(key, &ecn1_j);
-        AppendBits(key, ci.ecn1.TCs(msg.flit_bytes));
-        AppendBits(key, ci.ecn1.TCn(msg.flit_bytes));
-        AppendBits(key, cj.ecn1.TCs(msg.flit_bytes));
-        AppendBits(key, cj.ecn1.TCn(msg.flit_bytes));
-        AppendBits(key, ci.ecn1.beta());
-        AppendBits(key, static_cast<double>(sys_.NodesInCluster(i)));
-        AppendBits(key, static_cast<double>(sys_.NodesInCluster(j)));
-        AppendBits(key, u_[static_cast<std::size_t>(i)]);
-        AppendBits(key, u_[static_cast<std::size_t>(j)]);
-        AppendBits(key, workload_.RateScale(i));
-        AppendBits(key, workload_.RateScale(j));
-        AppendBits(key, loads[static_cast<std::size_t>(i)]);
-        AppendBits(key, loads[static_cast<std::size_t>(j)]);
-        const auto [it, inserted] = pair_keys.emplace(
-            std::move(key), static_cast<int>(pair_classes_.size()));
-        if (inserted) {
-          pair_classes_.push_back(BuildPairClass(i, j, icn2_links, loads));
+      }
+      return it->second;
+    };
+    if (prev == nullptr) {
+      for (int i = 0; i < c; ++i) {
+        for (int j = 0; j < c; ++j) {
+          if (j == i) continue;
+          pair_class_of_[static_cast<std::size_t>(i * c + j)] = resolve(i, j);
         }
-        pair_class_of_[static_cast<std::size_t>(i * c + j)] = it->second;
+      }
+    } else {
+      // Rebind fast path: dedupe the C side signatures down to K ids and
+      // walk the C^2 pairs through a K x K int table, so each distinct pair
+      // shape pays the string lookups exactly once.
+      std::map<std::string, int> side_ids;
+      std::vector<int> sid(static_cast<std::size_t>(c));
+      for (int i = 0; i < c; ++i) {
+        sid[static_cast<std::size_t>(i)] =
+            side_ids
+                .emplace(side[static_cast<std::size_t>(i)],
+                         static_cast<int>(side_ids.size()))
+                .first->second;
+      }
+      const int k_sides = static_cast<int>(side_ids.size());
+      std::vector<int> lut(
+          static_cast<std::size_t>(k_sides) * static_cast<std::size_t>(k_sides),
+          -1);
+      for (int i = 0; i < c; ++i) {
+        for (int j = 0; j < c; ++j) {
+          if (j == i) continue;
+          int& slot = lut[static_cast<std::size_t>(
+              sid[static_cast<std::size_t>(i)] * k_sides +
+              sid[static_cast<std::size_t>(j)])];
+          if (slot < 0) slot = resolve(i, j);
+          pair_class_of_[static_cast<std::size_t>(i * c + j)] = slot;
+        }
       }
     }
   }
@@ -206,8 +279,7 @@ void CompiledModel::Compile() {
 }
 
 CompiledModel::PairClass CompiledModel::BuildPairClass(
-    int i, int j, const LinkDistribution& icn2_links,
-    const std::vector<double>& loads) {
+    int i, int j, const std::vector<double>& loads) {
   const ClusterConfig& ci = sys_.cluster(i);
   const ClusterConfig& cj = sys_.cluster(j);
   const MessageFormat& msg = sys_.message();
@@ -220,6 +292,7 @@ CompiledModel::PairClass CompiledModel::BuildPairClass(
   const Topology& ecn1_j = sys_.ecn1_topology(j);
   const LinkDistribution& access_i = ecn1_i.AccessLinks();
   const LinkDistribution& access_j = ecn1_j.AccessLinks();
+  const LinkDistribution& icn2_links = *icn2_links_;
 
   PairClass k;
   k.sum_loads = loads[static_cast<std::size_t>(i)] +
@@ -265,29 +338,71 @@ CompiledModel::PairClass CompiledModel::BuildPairClass(
   k.v_max = access_j.max_links();
   k.d_max = icn2_links.max_links();
 
+  k.combos = GetPairCombos(i, j);
+  k.e_ex = k.combos->e_ex;
+  return k;
+}
+
+std::shared_ptr<const CompiledModel::PairCombos> CompiledModel::GetPairCombos(
+    int i, int j) {
+  const MessageFormat& msg = sys_.message();
+  const Topology& ecn1_i = sys_.ecn1_topology(i);
+  const Topology& ecn1_j = sys_.ecn1_topology(j);
+  const double t_cs_ei = sys_.cluster(i).ecn1.TCs(msg.flit_bytes);
+  const double t_cn_ei = sys_.cluster(i).ecn1.TCn(msg.flit_bytes);
+  const double t_cs_ej = sys_.cluster(j).ecn1.TCs(msg.flit_bytes);
+  const double t_cn_ej = sys_.cluster(j).ecn1.TCn(msg.flit_bytes);
+  const double t_cs_i2 = sys_.icn2().TCs(msg.flit_bytes);
+
+  // The combos depend only on the two ECN1 access censuses, the ICN2
+  // census, and the per-flit times — the key covers every input of the loop
+  // below, so cache hits (including hits carried over from a rebind source)
+  // are bit-identical to a rebuild.
+  std::string key;
+  AppendPtr(key, &ecn1_i);
+  AppendPtr(key, &ecn1_j);
+  AppendBits(key, t_cs_ei);
+  AppendBits(key, t_cn_ei);
+  AppendBits(key, t_cs_ej);
+  AppendBits(key, t_cn_ej);
+  AppendBits(key, t_cs_i2);
+  const auto [it, inserted] = combo_cache_.emplace(std::move(key), nullptr);
+  if (!inserted) {
+    ++rebind_stats_.combos_shared;
+    return it->second;
+  }
+
   // Non-zero (r, v, d_l) combinations, reference loop order; Eq. 34's tail
   // drain is rate-invariant and folds entirely into the compile step.
+  const LinkDistribution& access_i = ecn1_i.AccessLinks();
+  const LinkDistribution& access_j = ecn1_j.AccessLinks();
+  const LinkDistribution& icn2_links = *icn2_links_;
+  const int r_max = access_i.max_links();
+  const int v_max = access_j.max_links();
+  const int d_max = icn2_links.max_links();
+  auto combos = std::make_shared<PairCombos>();
   double e_ex = 0;
-  for (int r = 1; r <= k.r_max; ++r) {
+  for (int r = 1; r <= r_max; ++r) {
     const double p_r = access_i.P(r);
     if (p_r == 0.0) continue;
-    for (int v = 1; v <= k.v_max; ++v) {
+    for (int v = 1; v <= v_max; ++v) {
       const double p_v = access_j.P(v);
       if (p_v == 0.0) continue;
-      for (int dl = 2; dl <= k.d_max; ++dl) {
+      for (int dl = 2; dl <= d_max; ++dl) {
         const double p_l = icn2_links.P(dl);
         if (p_l == 0.0) continue;
         const double p = p_r * p_v * p_l;
-        k.combo_idx.push_back(((r - 1) * k.v_max + (v - 1)) * (k.d_max - 1) +
+        combos->idx.push_back(((r - 1) * v_max + (v - 1)) * (d_max - 1) +
                               (dl - 2));
-        k.combo_p.push_back(p);
+        combos->p.push_back(p);
         e_ex += p * ((r - 1) * t_cs_ei + static_cast<double>(dl) * t_cs_i2 +
                      (v - 1) * t_cs_ej + t_cn_ei + t_cn_ej);
       }
     }
   }
-  k.e_ex = e_ex;
-  return k;
+  combos->e_ex = e_ex;
+  it->second = std::move(combos);
+  return it->second;
 }
 
 CompiledModel::HotEject CompiledModel::HotEjectOverlay(double lambda_g) const {
@@ -371,7 +486,7 @@ InterPairResult CompiledModel::EvaluatePairClass(const PairClass& k,
   // per v (advancing across d_l), and one src chain per (v, d_l) emit T_0
   // for every (r, v, d_l) in O(R V D) steps.
   const int dsteps = k.d_max - 1;
-  if (!k.combo_idx.empty()) {
+  if (!k.combos->idx.empty()) {
     double wait_dst = include_final_wait_
                           ? 0.5 * eta_e_dst * k.x_cn_ej * k.x_cn_ej
                           : 0.0;
@@ -394,8 +509,9 @@ InterPairResult CompiledModel::EvaluatePairClass(const PairClass& k,
   }
 
   double t_ex = 0;
-  for (std::size_t n = 0; n < k.combo_idx.size(); ++n) {
-    t_ex += k.combo_p[n] * t0[static_cast<std::size_t>(k.combo_idx[n])];
+  const PairCombos& combos = *k.combos;
+  for (std::size_t n = 0; n < combos.idx.size(); ++n) {
+    t_ex += combos.p[n] * t0[static_cast<std::size_t>(combos.idx[n])];
   }
 
   InterPairResult out;
@@ -563,6 +679,18 @@ BottleneckReport CompiledModel::Bottleneck(double lambda_g) const {
   return report;
 }
 
+SaturationProbe CompiledModel::ProbeSaturation(double lambda_g,
+                                               Scratch& scratch,
+                                               ModelResult& r) const {
+  EvaluateInto(lambda_g, scratch, r);
+  double rho = HotEjectOverlay(lambda_g).rho;
+  for (const auto& cl : r.clusters) {
+    rho = std::max({rho, cl.intra.source_rho, cl.inter.max_condis_rho,
+                    cl.inter.max_source_rho});
+  }
+  return SaturationProbe{r.saturated, rho};
+}
+
 double CompiledModel::SaturationRate(double upper_bound, double rel_tol,
                                      const SaturationBracket* warm,
                                      SaturationBracket* refined,
@@ -578,15 +706,51 @@ double CompiledModel::SaturationRate(double upper_bound, double rel_tol,
                       std::to_string(probes) + " probes completed");
     }
     ++probes;
-    EvaluateInto(lambda_g, scratch, r);
-    double rho = HotEjectOverlay(lambda_g).rho;
-    for (const auto& cl : r.clusters) {
-      rho = std::max({rho, cl.intra.source_rho, cl.inter.max_condis_rho,
-                      cl.inter.max_source_rho});
-    }
-    return SaturationProbe{r.saturated, rho};
+    return ProbeSaturation(lambda_g, scratch, r);
   };
   return SaturationSearch(probe, upper_bound, rel_tol, warm, refined);
+}
+
+SaturationBracket CompiledModel::CertifyBracketTransfer(
+    const SaturationBracket& adjacent, const Deadline* deadline) const {
+  // Starts from the bracket that certifies nothing; each edge of the
+  // adjacent model's bracket is admitted only after a direct probe of THIS
+  // model confirms it. A refuted edge contributes the fact its probe did
+  // establish instead (a saturated probe at the transferred finite edge
+  // certifies saturation there and above; a finite probe at the transferred
+  // saturated edge certifies finiteness there and below), so even a wildly
+  // wrong hypothesis only costs the two probes — SaturationRate's search
+  // then proceeds exactly as a cold search would within the certified facts.
+  SaturationBracket out;
+  Scratch scratch;
+  ModelResult r;
+  int probes = 0;
+  const auto probe = [&](double lambda_g) {
+    if (deadline != nullptr) {
+      deadline->Check("saturation bracket transfer",
+                      std::to_string(probes) + " probes completed");
+    }
+    ++probes;
+    return ProbeSaturation(lambda_g, scratch, r);
+  };
+  if (adjacent.finite_lo > 0 && std::isfinite(adjacent.finite_lo)) {
+    if (probe(adjacent.finite_lo).saturated) {
+      out.saturated_hi = adjacent.finite_lo;
+    } else {
+      out.finite_lo = adjacent.finite_lo;
+    }
+  }
+  if (std::isfinite(adjacent.saturated_hi) &&
+      adjacent.saturated_hi > out.finite_lo &&
+      adjacent.saturated_hi < out.saturated_hi) {
+    if (probe(adjacent.saturated_hi).saturated) {
+      out.saturated_hi = std::min(out.saturated_hi, adjacent.saturated_hi);
+    } else {
+      out.finite_lo = std::max(out.finite_lo, adjacent.saturated_hi);
+    }
+  }
+  out.probes = probes;
+  return out;
 }
 
 }  // namespace coc

@@ -23,9 +23,21 @@
 // bit-identical to LatencyModel's (tests/compiled_model_test.cc pins this
 // across topology families and workload patterns); LatencyModel remains as
 // the directly-equation-shaped reference implementation.
+//
+// The same split extends along the workload axis: Rebind(next) compiles a
+// model for an adjacent workload by diffing the rate-invariant constant
+// tuples against this model's structure and re-deriving only the classes
+// whose inputs changed — a locality move touches destination probabilities
+// and per-class utilizations but not topology censuses or the (r, v, d_l)
+// combo tables; a rate_scale bump touches one cluster's classes and its
+// incident pairs. Rebound models are bit-identical to cold compiles (the
+// reuse rules only ever substitute values of identical subexpressions).
 #pragma once
 
+#include <map>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/deadline.h"
@@ -77,6 +89,41 @@ class CompiledModel {
                         SaturationBracket* refined = nullptr,
                         const Deadline* deadline = nullptr) const;
 
+  /// Incrementally compiles a model for an adjacent workload on the same
+  /// system and options. Bit-identical to
+  /// CompiledModel(system(), next, options()): every reused class was
+  /// matched by its full constant tuple, and the shared (r, v, d_l) combo
+  /// tables, ICN2 census, and destination-probability rows are
+  /// workload-invariant or recomputed in the reference order.
+  CompiledModel Rebind(const Workload& next) const;
+
+  /// How much structure the compile reused. A cold compile reports zero
+  /// class reuse (combos_shared may still count intra-compile combo-table
+  /// dedup). Diagnostics for tests and the perf trajectory — never consulted
+  /// during evaluation.
+  struct RebindStats {
+    int intra_reused = 0;   ///< intra classes copied from the source model
+    int intra_rebuilt = 0;  ///< intra classes derived fresh
+    int pair_reused = 0;    ///< pair classes copied from the source model
+    int pair_rebuilt = 0;   ///< pair classes derived fresh
+    int combos_shared = 0;  ///< combo-table cache hits (carried over from the
+                            ///< rebind source or deduped within one compile)
+  };
+  const RebindStats& rebind_stats() const { return rebind_stats_; }
+
+  /// Transfers a refined saturation bracket certified for an *adjacent*
+  /// model (the `refined` output of its SaturationRate) onto this model:
+  /// each transferred edge is re-certified with one direct probe, so the
+  /// returned bracket holds only facts true of THIS model and is safe to
+  /// pass as SaturationRate's `warm` without changing its result. An edge
+  /// the probe refutes flips to the fact the probe did establish, so an
+  /// invalid transfer (the dial move shifted saturation outside the old
+  /// bracket) degrades to a cold-search-equivalent run instead of
+  /// mis-certifying.
+  SaturationBracket CertifyBracketTransfer(
+      const SaturationBracket& adjacent,
+      const Deadline* deadline = nullptr) const;
+
  private:
   /// One deduplicated intra-cluster class: everything Eqs. 4-19 need that
   /// does not depend on lambda_g.
@@ -91,6 +138,20 @@ class CompiledModel {
     double e_in = 0;         ///< Eq. 19 (rate-invariant)
     int chain_steps = 0;     ///< max_links - 2: interior stages of longest d
     std::vector<double> p;   ///< P(d), d = 2 .. max_links
+  };
+
+  /// The (r, v, d_l) combination table of one pair class, shared across
+  /// rebound models: the journey distributions and Eq. 34's tail drain
+  /// depend only on the two ECN1 topologies, their per-flit times, and the
+  /// ICN2 census — never on the workload — so every rebind (including
+  /// message-length moves, which scale the combos' consumers but not the
+  /// combos themselves) reuses these arrays by shared_ptr.
+  struct PairCombos {
+    /// Non-zero (r, v, d_l) combinations in the original loop order:
+    /// flattened T_0-table index and probability product.
+    std::vector<int> idx;
+    std::vector<double> p;
+    double e_ex = 0;  ///< Eq. 34 (per-flit times only, so fully shared)
   };
 
   /// One deduplicated ordered-pair class: the Eq. 20-39 constants.
@@ -111,10 +172,9 @@ class CompiledModel {
     double s_i = 1, u_i = 0;  ///< source-queue rate factors (Eq. 31)
     double x_cd = 0, var_cd = 0;  ///< C/D service moments (Eqs. 36-37)
     int r_max = 0, v_max = 0, d_max = 0;  ///< journey-distribution supports
-    /// Non-zero (r, v, d_l) combinations in the original loop order:
-    /// flattened T_0-table index and probability product.
-    std::vector<int> combo_idx;
-    std::vector<double> combo_p;
+    /// Shared combo table (never null; empty arrays when no combination has
+    /// non-zero probability).
+    std::shared_ptr<const PairCombos> combos;
   };
 
   /// Hot-spot overlay constants (all zero / unused when not skewed).
@@ -140,9 +200,18 @@ class CompiledModel {
     std::vector<InterPairResult> pair_vals;
   };
 
-  void Compile();
-  PairClass BuildPairClass(int i, int j, const LinkDistribution& icn2_links,
-                           const std::vector<double>& loads);
+  /// Rebind's private constructor: same system and options, next workload,
+  /// compiled against prev's structure.
+  CompiledModel(const CompiledModel& prev, const Workload& next);
+
+  /// The one compile path. `prev` == nullptr is a cold compile; otherwise
+  /// classes whose full constant tuple matches one of prev's are copied
+  /// (when the message-length moments also match bit for bit), and the
+  /// workload-invariant shared structure (combo cache, ICN2 census) is
+  /// adopted outright.
+  void CompileFrom(const CompiledModel* prev);
+  PairClass BuildPairClass(int i, int j, const std::vector<double>& loads);
+  std::shared_ptr<const PairCombos> GetPairCombos(int i, int j);
   HotEject HotEjectOverlay(double lambda_g) const;
   IntraResult EvaluateIntraClass(const IntraClass& k, double lambda_g) const;
   InterPairResult EvaluatePairClass(const PairClass& k, double lambda_g,
@@ -150,6 +219,11 @@ class CompiledModel {
   InterResult AggregateInter(int i, const Scratch& scratch) const;
   void EvaluateInto(double lambda_g, Scratch& scratch,
                     ModelResult& result) const;
+  /// One saturation-search probe: evaluate at lambda_g and fold the tracked
+  /// utilizations to the max rho (the certified facts SaturationSearch and
+  /// CertifyBracketTransfer reason from).
+  SaturationProbe ProbeSaturation(double lambda_g, Scratch& scratch,
+                                  ModelResult& r) const;
 
   SystemConfig sys_;
   Workload workload_;
@@ -173,6 +247,21 @@ class CompiledModel {
   std::vector<double> hot_s_;   ///< per-cluster rate scales (remote-rate sum)
   std::vector<double> hot_n_;   ///< per-cluster node counts as doubles
   std::size_t max_t0_size_ = 0;
+
+  // Dedup tables, retained so Rebind can match the next workload's constant
+  // tuples against this model's classes. Keys are the raw byte strings of
+  // compiled_model.cc's AppendBits/AppendPtr encoding; one entry per
+  // *distinct* class, so the footprint is bounded by the class counts, not
+  // the pair count.
+  std::map<std::string, int> intra_keys_;
+  std::map<std::string, int> pair_keys_;
+  /// Workload-invariant (r, v, d_l) combo tables keyed by the pair's ECN1
+  /// topology instances and per-flit times; carried forward whole across
+  /// rebinds (shared_ptr map, bounded by the system's distinct pair shapes).
+  std::map<std::string, std::shared_ptr<const PairCombos>> combo_cache_;
+  /// ICN2 link census — workload-invariant, shared across rebinds.
+  std::shared_ptr<const LinkDistribution> icn2_links_;
+  RebindStats rebind_stats_;
 };
 
 }  // namespace coc

@@ -275,6 +275,49 @@ double Workload::InterDestProbability(const SystemConfig& sys, int i,
   return total > 0 ? target / total : 0.0;
 }
 
+std::vector<double> Workload::InterDestProbabilities(
+    const SystemConfig& sys) const {
+  const int c = sys.num_clusters();
+  std::vector<double> out(static_cast<std::size_t>(c) * c, 0.0);
+  if (c < 2) return out;
+  const double n = static_cast<double>(sys.TotalNodes());
+  if (!DestinationSkewed()) {
+    for (int i = 0; i < c; ++i) {
+      const double ni = static_cast<double>(sys.NodesInCluster(i));
+      for (int j = 0; j < c; ++j) {
+        if (j == i) continue;
+        out[static_cast<std::size_t>(i * c + j)] =
+            static_cast<double>(sys.NodesInCluster(j)) / (n - ni);
+      }
+    }
+    return out;
+  }
+  // Hotspot: each row's unnormalized masses and their total are the same
+  // terms, in the same destination order, as InterDestProbability's
+  // per-pair loop — computed once per row so the whole matrix is O(C^2).
+  const int h = sys.ClusterOfNode(hotspot_node);
+  const double f = hotspot_fraction;
+  std::vector<double> row(static_cast<std::size_t>(c), 0.0);
+  for (int i = 0; i < c; ++i) {
+    double total = 0;
+    for (int j = 0; j < c; ++j) {
+      if (j == i) continue;
+      const double nj = static_cast<double>(sys.NodesInCluster(j));
+      double q = (1.0 - f) * nj / (n - 1.0);
+      if (j == h && i != h) q += f;
+      row[static_cast<std::size_t>(j)] = q;
+      total += q;
+    }
+    if (total <= 0) continue;  // row stays all-zero, as the per-pair form
+    for (int j = 0; j < c; ++j) {
+      if (j == i) continue;
+      out[static_cast<std::size_t>(i * c + j)] =
+          row[static_cast<std::size_t>(j)] / total;
+    }
+  }
+  return out;
+}
+
 double Workload::EcnLoadFactor(const SystemConfig& sys, int c) const {
   // Ordered so the default workload reproduces Eq. (22)'s N_c U_c term bit
   // for bit (the trailing * 1.0 is exact).
@@ -344,6 +387,60 @@ double Workload::MeanFlits(const MessageFormat& msg) const {
 
 double Workload::FlitVariance(const MessageFormat& msg) const {
   return message_length.VarianceFlits(msg.length_flits);
+}
+
+// --- WorkloadDial ------------------------------------------------------------
+
+const char* WorkloadDialName(WorkloadDial dial) {
+  switch (dial) {
+    case WorkloadDial::kLocality:
+      return "locality";
+    case WorkloadDial::kHotspotFraction:
+      return "hotspot_fraction";
+    case WorkloadDial::kRateScale:
+      return "rate_scale";
+  }
+  return "?";
+}
+
+WorkloadDial ParseWorkloadDial(const std::string& name) {
+  if (name == "locality") return WorkloadDial::kLocality;
+  if (name == "hotspot_fraction") return WorkloadDial::kHotspotFraction;
+  if (name == "rate_scale") return WorkloadDial::kRateScale;
+  throw std::invalid_argument(
+      "unknown workload dial '" + name +
+      "' (use locality, hotspot_fraction or rate_scale)");
+}
+
+Workload ApplyWorkloadDial(const Workload& base, WorkloadDial dial,
+                           double value, int rate_scale_cluster,
+                           int num_clusters) {
+  Workload w = base;
+  switch (dial) {
+    case WorkloadDial::kLocality:
+      w.pattern = WorkloadPattern::kClusterLocal;
+      w.locality_fraction = value;
+      break;
+    case WorkloadDial::kHotspotFraction:
+      w.pattern = WorkloadPattern::kHotspot;
+      w.hotspot_fraction = value;
+      break;
+    case WorkloadDial::kRateScale:
+      if (w.rate_scale.empty()) {
+        w.rate_scale.assign(static_cast<std::size_t>(num_clusters), 1.0);
+      }
+      if (rate_scale_cluster < 0 ||
+          static_cast<std::size_t>(rate_scale_cluster) >=
+              w.rate_scale.size()) {
+        throw std::invalid_argument(
+            "rate_scale dial: cluster index " +
+            std::to_string(rate_scale_cluster) + " out of range [0, " +
+            std::to_string(w.rate_scale.size()) + ")");
+      }
+      w.rate_scale[static_cast<std::size_t>(rate_scale_cluster)] = value;
+      break;
+  }
+  return w;
 }
 
 }  // namespace coc

@@ -172,6 +172,13 @@ struct Workload {
   /// mass on the hot cluster.
   double InterDestProbability(const SystemConfig& sys, int i, int j) const;
 
+  /// The full i * C + j destination-probability matrix in one O(C^2) pass,
+  /// bit-identical to calling InterDestProbability per ordered pair (each
+  /// row's masses and normalizer are the same terms in the same source
+  /// order, computed once per row instead of once per pair). The compiled
+  /// model's hotspot path fills dest_prob_ from this.
+  std::vector<double> InterDestProbabilities(const SystemConfig& sys) const;
+
   /// Per-unit-lambda_g message rate the pair equations attribute to cluster
   /// c's ECN1: N_c U_c s_c (the Eq. 22 term) for unskewed patterns, and the
   /// symmetrized actual load (outgoing + incoming)/2 under hotspot — the
@@ -187,5 +194,31 @@ struct Workload {
   double MeanFlits(const MessageFormat& msg) const;
   double FlitVariance(const MessageFormat& msg) const;
 };
+
+/// The continuously-variable workload parameters — the x-axes of
+/// workload-dial sweeps (harness RunWorkloadGrid, CLI --sweep-locality and
+/// friends). Each dial move produces an adjacent Workload that
+/// CompiledModel::Rebind recompiles incrementally.
+enum class WorkloadDial : std::uint8_t {
+  kLocality,         ///< kClusterLocal's locality_fraction
+  kHotspotFraction,  ///< kHotspot's hotspot_fraction
+  kRateScale,        ///< one cluster's rate_scale entry
+};
+
+/// Canonical text name ("locality", "hotspot_fraction", "rate_scale").
+const char* WorkloadDialName(WorkloadDial dial);
+/// Inverse of WorkloadDialName. Throws std::invalid_argument with the valid
+/// names on unknown input.
+WorkloadDial ParseWorkloadDial(const std::string& name);
+
+/// Returns `base` with one dial moved to `value`. The locality and hotspot
+/// dials switch the pattern to the one they parameterize (mirroring the
+/// --locality / --hotspot-fraction overlay semantics); the rate_scale dial
+/// sets cluster `rate_scale_cluster`'s entry, expanding an empty (all-1)
+/// table to `num_clusters` entries first. The result is not validated —
+/// callers compile it against a concrete system, which validates.
+Workload ApplyWorkloadDial(const Workload& base, WorkloadDial dial,
+                           double value, int rate_scale_cluster,
+                           int num_clusters);
 
 }  // namespace coc

@@ -436,6 +436,77 @@ TEST(Engine, RepeatedEvaluateReusesCachesAndAgrees) {
   EXPECT_EQ(engine.Stats().models, 1u);
 }
 
+TEST(Engine, CanonicalWorkloadKeySharesExplicitAllOneRateScale) {
+  // An explicit all-1.0 rate_scale table describes the same traffic as an
+  // empty one; the memoization key must canonicalize the two onto one cache
+  // entry (and the reports must agree exactly).
+  const char* text = R"cfg(
+[scenario implicit]
+system = preset:tiny:16:64
+analyses = model,saturation
+rate = 1e-4
+
+[scenario explicit]
+system = preset:tiny:16:64
+analyses = model,saturation
+rate = 1e-4
+workload.rate.0 = 1.0
+)cfg";
+  Engine engine;
+  const std::vector<Report> reports = engine.EvaluateBatch(ParseScenarios(text), 1);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(engine.Stats().models, 1u);
+  Json a = reports[0].ToJson();
+  Json b = reports[1].ToJson();
+  a.Set("scenario", Json("x"));
+  b.Set("scenario", Json("x"));
+  EXPECT_EQ(a.Dump(2), b.Dump(2));
+}
+
+TEST(Engine, ModelCacheMissRebindsFromWorkloadAdjacentSibling) {
+  // Four workloads on one (system, options) family: the first compiles
+  // cold, the rest rebind from the family's latest model. The reports must
+  // be byte-identical to a fresh engine that compiles each one cold.
+  const char* text = R"cfg(
+[scenario uniform]
+system = preset:tiny:16:64
+analyses = model,saturation
+rate = 1e-4
+
+[scenario local]
+system = preset:tiny:16:64
+analyses = model,saturation
+rate = 1e-4
+workload.pattern = local
+workload.locality = 0.7
+
+[scenario hotspot]
+system = preset:tiny:16:64
+analyses = model,saturation
+rate = 1e-4
+workload.pattern = hotspot
+workload.hotspot_fraction = 0.2
+
+[scenario scaled]
+system = preset:tiny:16:64
+analyses = model,saturation
+rate = 1e-4
+workload.rate.1 = 1.5
+)cfg";
+  const std::vector<Scenario> scenarios = ParseScenarios(text);
+  Engine shared;
+  const std::vector<Report> got = shared.EvaluateBatch(scenarios, 1);
+  EXPECT_EQ(shared.Stats().models, 4u);
+  EXPECT_EQ(shared.Stats().model_rebinds, 3u);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    Engine cold;  // fresh engine: no sibling, so every compile is cold
+    const Report want = cold.Evaluate(scenarios[i]);
+    EXPECT_EQ(cold.Stats().model_rebinds, 0u);
+    EXPECT_EQ(want.ToJson().Dump(2), got[i].ToJson().Dump(2))
+        << scenarios[i].name;
+  }
+}
+
 TEST(Engine, InvalidScenariosBecomeStatusRecordsNotTornBatches) {
   Scenario bad;
   bad.name = "bad";

@@ -326,6 +326,51 @@ TEST(Cli, SweepEmitsTableAndPlot) {
   EXPECT_NE(r.out.find("lambda_g"), std::string::npos);
 }
 
+TEST(Cli, SweepWorkloadDialEmitsGridTable) {
+  const auto r = RunCommand({"sweep", "preset:tiny:8:32", "--max-rate", "1e-3",
+                             "--points", "2", "--sweep-locality",
+                             "0.2:0.8:0.3"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("workload-dial sweep (locality)"), std::string::npos);
+  EXPECT_NE(r.out.find("sat_rate"), std::string::npos);
+  EXPECT_NE(r.out.find("0.2"), std::string::npos);
+  EXPECT_NE(r.out.find("0.8"), std::string::npos);
+}
+
+TEST(Cli, SweepWorkloadDialCsvIsLongForm) {
+  const auto r = RunCommand({"sweep", "preset:tiny:8:32", "--max-rate", "1e-3",
+                             "--points", "2", "--sweep-rate-scale",
+                             "0.5:1.5:0.5", "--dial-cluster", "1", "--format",
+                             "csv"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("dial,dial_value,lambda_g"), std::string::npos);
+  EXPECT_NE(r.out.find("rate_scale"), std::string::npos);
+}
+
+TEST(Cli, SweepWorkloadDialRejectsBadGridsAndCombos) {
+  // Malformed grid.
+  auto r = RunCommand({"sweep", "preset:tiny:8:32", "--max-rate", "1e-3",
+                       "--sweep-locality", "0.2:0.8"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("LO:HI:STEP"), std::string::npos);
+  // Two dial flags at once.
+  r = RunCommand({"sweep", "preset:tiny:8:32", "--max-rate", "1e-3",
+                  "--sweep-locality", "0.2:0.8:0.3", "--sweep-rate-scale",
+                  "0.5:1.5:0.5"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("at most one"), std::string::npos);
+  // --dial-cluster without a dial.
+  r = RunCommand({"sweep", "preset:tiny:8:32", "--max-rate", "1e-3",
+                  "--points", "2", "--no-sim", "--dial-cluster", "1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--dial-cluster requires"), std::string::npos);
+  // JSON is not a dial-sweep encoding.
+  r = RunCommand({"sweep", "preset:tiny:8:32", "--max-rate", "1e-3",
+                  "--sweep-locality", "0.2:0.8:0.3", "--format", "json"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("text or csv"), std::string::npos);
+}
+
 TEST(Cli, BottleneckNamesBindingResource) {
   const auto r = RunCommand({"bottleneck", "preset:1120", "--rate", "1e-4"});
   EXPECT_EQ(r.code, 0) << r.err;

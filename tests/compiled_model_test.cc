@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -246,6 +247,177 @@ TEST(SaturationSearch, ExpandsBracketWhenFiniteAtUpperBound) {
       1e-1, 1e-3);
   EXPECT_TRUE(std::isinf(never));
   EXPECT_GT(probes, 0);
+}
+
+// --- incremental workload rebinding ----------------------------------------
+
+/// Rebinding from any base workload must land on the same model a cold
+/// compile of the target produces: bit-identical evaluation across the full
+/// rate grid (finite and saturated regimes) and bit-identical saturation.
+TEST_P(CompiledEquivalence, RebindBitIdenticalToColdCompile) {
+  const auto [system_name, workload_name] = GetParam();
+  const SystemConfig sys = MakeNamedSystem(system_name);
+  const Workload target = MakeNamedWorkload(workload_name, sys);
+  const std::vector<double> rates = RateGrid(1e-6, 1.0, 9);
+
+  for (const char* base_name : {"uniform", "local", "hotspot", "scaled"}) {
+    SCOPED_TRACE(std::string("base = ") + base_name);
+    const Workload base = MakeNamedWorkload(base_name, sys);
+    const CompiledModel source(sys, base);
+    const CompiledModel rebound = source.Rebind(target);
+    const CompiledModel cold(sys, target);
+    const std::vector<ModelResult> want = cold.EvaluateMany(rates);
+    const std::vector<ModelResult> got = rebound.EvaluateMany(rates);
+    for (std::size_t k = 0; k < rates.size(); ++k) {
+      ExpectSameResult(want[k], got[k], "lambda_g = " + Hex(rates[k]));
+    }
+    EXPECT_BIT_EQ(cold.SaturationRate(1.0), rebound.SaturationRate(1.0));
+  }
+}
+
+TEST(CompiledModelRebind, SingleDialMovesReuseUntouchedClasses) {
+  // A rate_scale bump on one cluster leaves every other cluster's intra
+  // class and every pair class not incident to it unchanged; the rebind
+  // must copy those instead of rebuilding.
+  const SystemConfig sys = MakeSystem1120(MessageFormat{32, 256});
+  const CompiledModel base(sys);
+  std::vector<double> scales(static_cast<std::size_t>(sys.num_clusters()),
+                             1.0);
+  scales[0] = 1.5;
+  const CompiledModel bumped =
+      base.Rebind(Workload::Uniform().WithRateScale(std::move(scales)));
+  const auto& stats = bumped.rebind_stats();
+  EXPECT_GT(stats.intra_reused, 0);
+  EXPECT_GT(stats.pair_reused, 0);
+  // The bumped cluster's own classes did change.
+  EXPECT_GT(stats.intra_rebuilt, 0);
+  EXPECT_GT(stats.pair_rebuilt, 0);
+  // Rebuilt pair classes share their (r, v, d_l) combo tables with the
+  // source model — the dominant compile cost never repeats.
+  EXPECT_EQ(stats.combos_shared, stats.pair_rebuilt);
+
+  // A locality move changes every cluster's U, so classes rebuild — but the
+  // workload-invariant combo tables still transfer outright.
+  const CompiledModel local = base.Rebind(Workload::ClusterLocal(0.6));
+  EXPECT_EQ(local.rebind_stats().intra_reused, 0);
+  EXPECT_EQ(local.rebind_stats().combos_shared,
+            local.rebind_stats().pair_rebuilt);
+
+  // A message-length move invalidates per-class constants (every x_* scales
+  // with the moments) but not the combo tables.
+  const CompiledModel bimodal = base.Rebind(Workload::Uniform().WithMessageLength(
+      MessageLength::Bimodal(8, 64, 0.5)));
+  EXPECT_EQ(bimodal.rebind_stats().intra_reused, 0);
+  EXPECT_EQ(bimodal.rebind_stats().pair_reused, 0);
+  EXPECT_EQ(bimodal.rebind_stats().combos_shared,
+            bimodal.rebind_stats().pair_rebuilt);
+}
+
+/// Property test: a random walk over the workload dials, rebind-chained N
+/// deep, stays bit-identical to a cold compile at every step — reuse noise
+/// cannot accumulate across generations of rebinding.
+TEST(CompiledModelRebind, ChainedDialMovesStayBitIdentical) {
+  for (const char* system_name : {"small", "mixed", "dragonfly"}) {
+    SCOPED_TRACE(system_name);
+    const SystemConfig sys = MakeNamedSystem(system_name);
+    const std::vector<double> rates = RateGrid(1e-5, 0.5, 5);
+    std::mt19937 rng(20260807);
+    std::uniform_real_distribution<double> frac(0.0, 1.0);
+    std::uniform_int_distribution<int> dial_pick(0, 2);
+    std::uniform_int_distribution<int> cluster_pick(0,
+                                                    sys.num_clusters() - 1);
+
+    Workload workload;  // start from the paper's uniform default
+    CompiledModel chained(sys, workload);
+    for (int step = 0; step < 12; ++step) {
+      const auto dial = static_cast<WorkloadDial>(dial_pick(rng));
+      const double value =
+          dial == WorkloadDial::kRateScale ? 0.5 + frac(rng) : 0.95 * frac(rng);
+      workload = ApplyWorkloadDial(workload, dial, value, cluster_pick(rng),
+                                   sys.num_clusters());
+      chained = chained.Rebind(workload);
+      const CompiledModel cold(sys, workload);
+      const std::vector<ModelResult> want = cold.EvaluateMany(rates);
+      const std::vector<ModelResult> got = chained.EvaluateMany(rates);
+      for (std::size_t k = 0; k < rates.size(); ++k) {
+        ExpectSameResult(want[k], got[k],
+                         "step " + std::to_string(step) + " dial " +
+                             WorkloadDialName(dial) + " lambda_g = " +
+                             Hex(rates[k]));
+      }
+    }
+  }
+}
+
+// --- certified saturation-bracket transfer ----------------------------------
+
+TEST(SaturationBracketTransfer, NeverChangesSaturationOnAdjacentWorkloads) {
+  // Walk a locality dial; each point warm-starts from the previous point's
+  // refined bracket after certification. The certified transfer must leave
+  // every SaturationRate bit-identical to a cold search.
+  for (const char* system_name : {"1120", "small", "dragonfly"}) {
+    SCOPED_TRACE(system_name);
+    const SystemConfig sys = MakeNamedSystem(system_name);
+    CompiledModel model(sys, Workload::ClusterLocal(0.1));
+    SaturationBracket prev;
+    double warm_rate =
+        model.SaturationRate(1.0, 1e-3, nullptr, &prev);
+    EXPECT_BIT_EQ(CompiledModel(sys, Workload::ClusterLocal(0.1))
+                      .SaturationRate(1.0),
+                  warm_rate);
+    for (double locality : {0.2, 0.3, 0.4, 0.5}) {
+      SCOPED_TRACE("locality = " + Hex(locality));
+      model = model.Rebind(Workload::ClusterLocal(locality));
+      const SaturationBracket transferred =
+          model.CertifyBracketTransfer(prev);
+      // The certification probes are facts about THIS model only.
+      EXPECT_LE(transferred.finite_lo, transferred.saturated_hi);
+      SaturationBracket refined;
+      warm_rate = model.SaturationRate(1.0, 1e-3, &transferred, &refined);
+      const double cold_rate =
+          CompiledModel(sys, Workload::ClusterLocal(locality))
+              .SaturationRate(1.0);
+      EXPECT_BIT_EQ(cold_rate, warm_rate);
+      // Adjacent points barely move the saturation rate, so a valid
+      // transfer answers most bisection probes from the bracket.
+      prev = refined;
+    }
+  }
+}
+
+TEST(SaturationBracketTransfer, InvalidTransferFallsBackInsteadOfMiscertifying) {
+  // A hotspot-fraction jump moves the saturation point far below the old
+  // bracket: the transferred finite edge is now in the saturated region.
+  // Certification must refute it (flipping the probe's fact into the
+  // bracket) and the warm search must still match the cold search exactly.
+  const SystemConfig sys = MakeSmallSystem(MessageFormat{16, 64});
+  const CompiledModel mild(sys, Workload::Hotspot(0.02, 0));
+  SaturationBracket mild_bracket;
+  const double mild_rate = mild.SaturationRate(1.0, 1e-3, nullptr,
+                                               &mild_bracket);
+  const CompiledModel heavy = mild.Rebind(Workload::Hotspot(0.7, 0));
+  const double heavy_cold = CompiledModel(sys, Workload::Hotspot(0.7, 0))
+                                .SaturationRate(1.0);
+  ASSERT_LT(heavy_cold, mild_rate * 0.5)
+      << "the jump must actually move saturation for this test to bite";
+
+  const SaturationBracket transferred =
+      heavy.CertifyBracketTransfer(mild_bracket);
+  // The old finite edge is saturated on the heavy model: the certification
+  // must have flipped it to a saturated_hi fact, not kept it as finite_lo.
+  EXPECT_LT(transferred.saturated_hi, mild_bracket.finite_lo * 1.0000001);
+  EXPECT_LT(transferred.finite_lo, heavy_cold);
+  EXPECT_BIT_EQ(heavy.SaturationRate(1.0, 1e-3, &transferred, nullptr),
+                heavy_cold);
+
+  // A fabricated nonsense bracket (both edges far above saturation) must
+  // degrade the same way: refuted edges, cold-identical result.
+  SaturationBracket bogus;
+  bogus.finite_lo = mild_rate * 4;
+  bogus.saturated_hi = mild_rate * 8;
+  const SaturationBracket checked = heavy.CertifyBracketTransfer(bogus);
+  EXPECT_BIT_EQ(heavy.SaturationRate(1.0, 1e-3, &checked, nullptr),
+                heavy_cold);
 }
 
 TEST(CompiledModel, DedupesHeterogeneousTable1Organization) {

@@ -1,7 +1,9 @@
 // Tests for the sweep harness: grid construction, model/sim sweep output,
 // formatting, CSV emission, and the environment-controlled sim budget.
+#include <algorithm>
 #include <cstdlib>
 
+#include "common/status.h"
 #include "gtest/gtest.h"
 #include "harness/sweep.h"
 #include "system/presets.h"
@@ -159,6 +161,65 @@ TEST(Harness, ReplicatedRunsAggregateIndependentSeeds) {
   EXPECT_GT(r.means.Min(), 0.0);
   EXPECT_LT(r.means.Max() - r.means.Min(),
             0.2 * r.MeanLatency());      // but not wildly different
+}
+
+TEST(Harness, WorkloadGridBitIdenticalToPerPointColdCompiles) {
+  // The dial sweep's rebind chain and certified saturation warm-starts are
+  // pure shortcuts: every point must match a cold compile + cold search.
+  const auto sys = MakeSmallSystem(MessageFormat{16, 64});
+  WorkloadGridSpec spec;
+  spec.dial = WorkloadDial::kLocality;
+  spec.values = {0.1, 0.3, 0.5, 0.7, 0.9};
+  spec.rates = LinearRates(2e-3, 4);
+  const auto grid = RunWorkloadGrid(sys, spec);
+  ASSERT_EQ(grid.size(), spec.values.size());
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    const Workload w = ApplyWorkloadDial(spec.base, spec.dial, spec.values[k],
+                                         0, sys.num_clusters());
+    const CompiledModel cold(sys, w);
+    const auto want = cold.EvaluateMany(spec.rates);
+    ASSERT_EQ(grid[k].results.size(), want.size());
+    for (std::size_t r = 0; r < want.size(); ++r) {
+      EXPECT_EQ(grid[k].results[r].mean_latency, want[r].mean_latency)
+          << "value " << spec.values[k] << " rate " << spec.rates[r];
+      EXPECT_EQ(grid[k].results[r].saturated, want[r].saturated);
+    }
+    EXPECT_EQ(grid[k].saturation_rate, cold.SaturationRate(1.0))
+        << "value " << spec.values[k];
+    EXPECT_GT(grid[k].saturation_probes, 0);
+  }
+  // The first point compiles cold; later points carry structure over.
+  EXPECT_EQ(grid[0].rebind.intra_reused + grid[0].rebind.pair_reused, 0);
+  EXPECT_GT(grid[1].rebind.combos_shared, 0);
+}
+
+TEST(Harness, WorkloadGridFormattersNameDialAndValues) {
+  const auto sys = MakeTinySystem(MessageFormat{16, 64});
+  WorkloadGridSpec spec;
+  spec.dial = WorkloadDial::kRateScale;
+  spec.rate_scale_cluster = 1;
+  spec.values = {0.5, 1.5};
+  spec.rates = LinearRates(1e-3, 2);
+  const auto grid = RunWorkloadGrid(sys, spec);
+  const std::string table = FormatWorkloadGridTable("label", spec, grid);
+  EXPECT_NE(table.find("label"), std::string::npos);
+  EXPECT_NE(table.find("rate_scale"), std::string::npos);
+  EXPECT_NE(table.find("sat_rate"), std::string::npos);
+  const std::string csv = FormatWorkloadGridCsv(spec, grid);
+  EXPECT_NE(csv.find("dial,dial_value,lambda_g"), std::string::npos);
+  // One CSV row per (value, rate) pair plus the header.
+  const auto rows = static_cast<std::size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(rows, 1 + spec.values.size() * spec.rates.size());
+}
+
+TEST(Harness, WorkloadGridHonorsDeadline) {
+  const auto sys = MakeTinySystem(MessageFormat{16, 64});
+  WorkloadGridSpec spec;
+  spec.values = {0.1, 0.2, 0.3};
+  spec.rates = LinearRates(1e-3, 2);
+  spec.deadline = Deadline::TripAfterChecks(1);
+  EXPECT_THROW(RunWorkloadGrid(sys, spec), DeadlineExceeded);
 }
 
 TEST(Harness, MaybeWriteCsvRespectsEnv) {

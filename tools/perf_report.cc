@@ -35,7 +35,10 @@
 //                      threshold against its baseline (throughput metrics:
 //                      current < baseline / FACTOR; time metrics: current >
 //                      baseline * FACTOR). Validation entries (err%) carry
-//                      no perf signal and are never checked.
+//                      no perf signal and are never checked. Also gates the
+//                      dial-move rebind speedup (BM_WorkloadDialMoveCold /
+//                      BM_WorkloadDialMoveRebind, both from the current
+//                      run, so machine speed cancels) at 5x.
 //   --check-threshold  regression factor for --check (default 1.75 — wide
 //                      enough for shared-runner noise, tight enough to catch
 //                      a lost optimization)
@@ -65,6 +68,10 @@ struct BenchResult {
   double model_us = 0;    // workload suite: analytical mean latency
   double sim_us = 0;      // workload suite: simulated mean latency
   bool model_saturated = false;  // workload suite: model is past saturation
+  /// Model suite: cold-compile time / rebind time for one workload-dial
+  /// move, both measured interleaved within the same benchmark so machine
+  /// noise cancels out of the ratio. 0 when the entry has no such counter.
+  double rebind_speedup = 0;
 
   /// Workload-suite entries carry a model-vs-sim validation error instead of
   /// a throughput; that error is what baselines compare.
@@ -107,6 +114,7 @@ std::map<std::string, BenchResult> ParseBenchJson(const std::string& path) {
     r.model_us = number(entry, "model_us", 0);
     r.sim_us = number(entry, "sim_us", 0);
     r.model_saturated = number(entry, "model_saturated", 0) != 0.0;
+    r.rebind_speedup = number(entry, "rebind_speedup", 0);
   }
   return results;
 }
@@ -227,6 +235,31 @@ int CheckAgainstBaseline(const char* title,
     }
   }
   return regressions;
+}
+
+/// Absolute gate for --check: the single-dial-move rebind must stay at
+/// least `required` times faster than the cold recompile it replaces. The
+/// ratio comes from BM_WorkloadDialMoveRebindVsCold's rebind_speedup
+/// counter, which times both alternatives interleaved within one benchmark
+/// — machine speed and scheduler noise cancel out of the ratio, so unlike
+/// the baseline comparisons this gate cannot go stale or flake with the
+/// runner. Returns 1 (a failure) when the ratio degrades, 0 otherwise;
+/// suites without the counter (e.g. older artifacts) pass vacuously.
+int CheckRebindSpeedup(const std::map<std::string, BenchResult>& results,
+                       double required) {
+  const auto it = results.find("BM_WorkloadDialMoveRebindVsCold");
+  if (it == results.end() || !(it->second.rebind_speedup > 0)) return 0;
+  const double speedup = it->second.rebind_speedup;
+  if (speedup < required) {
+    std::fprintf(stderr,
+                 "check FAILED: model suite: dial-move rebind speedup %.2fx "
+                 "below required %.2fx\n",
+                 speedup, required);
+    return 1;
+  }
+  std::printf("check: dial-move rebind speedup %.2fx (>= %.2fx required)\n",
+              speedup, required);
+  return 0;
 }
 
 /// One benchmark entry of the machine-readable digest.
@@ -389,6 +422,11 @@ int main(int argc, char** argv) {
     if (!any_baseline) {
       std::fprintf(stderr, "error: --check needs at least one baseline\n");
       return 1;
+    }
+    for (const Suite& s : suites) {
+      if (std::string(s.binary) == "bench_perf_model") {
+        regressions += CheckRebindSpeedup(s.results, 5.0);
+      }
     }
     if (regressions > 0) {
       std::fprintf(stderr, "check: %d regression(s) past %.2fx\n", regressions,
