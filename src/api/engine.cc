@@ -45,6 +45,8 @@ std::string WorkloadKey(const Workload& w) {
   }
   key += '\x1f';
   key += w.message_length.ToString();
+  key += '\x1f';
+  key += w.arrival.ToString();
   return key;
 }
 
@@ -146,7 +148,12 @@ std::shared_ptr<Engine::ModelEntry> Engine::GetModel(
     const auto it = models_.find(key);
     if (it != models_.end()) return it->second;
     const auto sib = rebind_sources_.find(family_key);
-    if (sib != rebind_sources_.end()) sibling = sib->second;
+    if (sib != rebind_sources_.end()) {
+      // Touch: a lookup hit moves the family to the LRU front so hot
+      // families survive a batch that also visits many one-off ones.
+      rebind_lru_.splice(rebind_lru_.begin(), rebind_lru_, sib->second);
+      sibling = sib->second->model;
+    }
   }
   // A miss with a compiled sibling on the same (system, options) family
   // rebinds from it — bit-identical to a cold compile, but the dedup
@@ -161,7 +168,20 @@ std::shared_ptr<Engine::ModelEntry> Engine::GetModel(
   auto mentry = std::make_shared<ModelEntry>(std::move(model));
   std::lock_guard<std::mutex> lock(mu_);
   if (sibling) ++model_rebinds_;
-  rebind_sources_[std::move(family_key)] = mentry->model;
+  const auto sib = rebind_sources_.find(family_key);
+  if (sib != rebind_sources_.end()) {
+    // Refresh in place (a racing worker may have inserted first).
+    rebind_lru_.splice(rebind_lru_.begin(), rebind_lru_, sib->second);
+    sib->second->model = mentry->model;
+  } else {
+    rebind_lru_.push_front(RebindSource{family_key, mentry->model});
+    rebind_sources_[std::move(family_key)] = rebind_lru_.begin();
+    while (rebind_lru_.size() > kRebindSourceCap) {
+      rebind_sources_.erase(rebind_lru_.back().family_key);
+      rebind_lru_.pop_back();
+      ++rebind_evictions_;
+    }
+  }
   return models_.emplace(std::move(key), std::move(mentry)).first->second;
 }
 
@@ -224,6 +244,7 @@ Engine::CacheStats Engine::Stats() const {
   }
   stats.models = models_.size();
   stats.model_rebinds = model_rebinds_;
+  stats.rebind_evictions = rebind_evictions_;
   return stats;
 }
 

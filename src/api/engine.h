@@ -37,6 +37,7 @@
 // CocSystemSim evaluate via const methods with no hidden state).
 #pragma once
 
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -100,6 +101,10 @@ class Engine {
     /// workload-adjacent sibling on the same (system, options) family
     /// instead of cold compiles (bit-identical either way).
     std::size_t model_rebinds = 0;
+    /// Rebind-source entries dropped by the LRU bound on the per-family
+    /// table (an eviction only costs a later cold compile, never
+    /// correctness).
+    std::size_t rebind_evictions = 0;
   };
   CacheStats Stats() const;
 
@@ -148,9 +153,21 @@ class Engine {
   /// Latest compiled model per (system, options) family — the rebind source
   /// a cache miss for an adjacent workload starts from instead of compiling
   /// cold. Guarded by mu_; values are also held by models_, so this adds
-  /// structure sharing, not lifetime.
-  std::map<std::string, std::shared_ptr<const CompiledModel>> rebind_sources_;
-  std::size_t model_rebinds_ = 0;  ///< guarded by mu_
+  /// structure sharing, not lifetime. Bounded: the table keeps the
+  /// kRebindSourceCap most-recently-touched families in LRU order (a batch
+  /// cycling through many distinct (system, options) families would
+  /// otherwise pin one model per family forever); evicted families fall
+  /// back to a cold compile on their next miss and count in
+  /// CacheStats::rebind_evictions.
+  static constexpr std::size_t kRebindSourceCap = 16;
+  struct RebindSource {
+    std::string family_key;
+    std::shared_ptr<const CompiledModel> model;
+  };
+  std::list<RebindSource> rebind_lru_;  ///< front = most recently touched
+  std::map<std::string, std::list<RebindSource>::iterator> rebind_sources_;
+  std::size_t model_rebinds_ = 0;     ///< guarded by mu_
+  std::size_t rebind_evictions_ = 0;  ///< guarded by mu_
 };
 
 }  // namespace coc

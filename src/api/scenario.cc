@@ -215,6 +215,7 @@ Workload WorkloadOverlay::ApplyTo(Workload base, const SystemConfig& sys) const 
     }
   }
   if (msg_len) base.message_length = *msg_len;
+  if (arrival) base.arrival = *arrival;
   if (!rate_scale.empty()) {
     // (index, scale) pairs; unnamed clusters keep scale 1.
     std::vector<double> scale(static_cast<std::size_t>(sys.num_clusters()),
@@ -291,6 +292,7 @@ std::string Scenario::Serialize() const {
     kv("workload.hotspot_node", std::to_string(*workload.hotspot_node));
   }
   if (workload.msg_len) kv("workload.msg_len", workload.msg_len->ToString());
+  if (workload.arrival) kv("workload.arrival", workload.arrival->ToString());
   for (const auto& [idx, s] : workload.rate_scale) {
     kv("workload.rate." + std::to_string(idx), JsonNumber(s));
   }
@@ -374,6 +376,8 @@ std::vector<Scenario> ParseScenarios(const std::string& text) {
           s.workload.hotspot_node = ParseIntKey(key, value);
         } else if (key == "workload.msg_len") {
           s.workload.msg_len = MessageLength::Parse(value);
+        } else if (key == "workload.arrival") {
+          s.workload.arrival = ArrivalProcess::Parse(value);
         } else if (key.rfind("workload.rate.", 0) == 0) {
           const std::string idx_tok =
               key.substr(std::string("workload.rate.").size());

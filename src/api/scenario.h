@@ -16,6 +16,7 @@
 //   workload.hotspot_fraction = 0.2   #   config's workload.* keys — same
 //   workload.rate.3 = 2.5             #   keys, same semantics as the CLI's
 //   workload.msg_len = bimodal:8,64,0.1  # workload flags
+//   workload.arrival = mmpp:4,8       # poisson|mmpp:RATIO,BURSTLEN|trace:PATH
 //   sweep.max_rate = 1e-3             # sweep analysis parameters
 //   sweep.points = 8
 //   sweep.sim = true
@@ -71,13 +72,16 @@ struct WorkloadOverlay {
   std::optional<double> hotspot_fraction;
   std::optional<std::int64_t> hotspot_node;
   std::optional<MessageLength> msg_len;
+  /// Arrival process override (key `workload.arrival`, flag `--arrival`):
+  /// poisson | mmpp:RATIO,BURSTLEN | trace:PATH.
+  std::optional<ArrivalProcess> arrival;
   /// Sparse per-cluster rate multipliers (cluster index, scale); unnamed
   /// clusters keep scale 1. Non-empty replaces the base workload's table.
   std::vector<std::pair<int, double>> rate_scale;
 
   bool Empty() const {
     return !pattern && !locality && !hotspot_fraction && !hotspot_node &&
-           !msg_len && rate_scale.empty();
+           !msg_len && !arrival && rate_scale.empty();
   }
 
   /// Applies the overlay to `base` and validates the result against `sys`.

@@ -34,7 +34,8 @@ constexpr const char* kUsage = R"(usage:
                      [--threads N] [--sim-abort-latency L] [workload flags]
                      [--sweep-locality LO:HI:STEP |
                       --sweep-hotspot-fraction LO:HI:STEP |
-                      --sweep-rate-scale LO:HI:STEP [--dial-cluster I]]
+                      --sweep-rate-scale LO:HI:STEP [--dial-cluster I] |
+                      --sweep-burstiness LO:HI:STEP]
                      [--format F]
   coc_cli bottleneck <system> --rate R [workload flags] [--format F]
   coc_cli batch      <scenarios-file> [--threads N] [--format text|json]
@@ -50,6 +51,13 @@ see the same traffic):
                            explicitly non-hotspot workload)
   --rate-scale I=S[,I=S...]   per-cluster generation-rate multipliers
   --msg-len fixed|bimodal:SHORT,LONG,FRACTION
+  --arrival poisson|mmpp:RATIO,BURSTLEN|trace:PATH
+                          arrival process: Poisson (default), bursty on-off
+                          (RATIO = peak/mean rate, BURSTLEN = mean messages
+                          per burst), or trace replay of
+                          'timestamp src dst flits' lines (sim only takes
+                          endpoints/lengths from the trace; the model uses
+                          its interarrival SCV)
 
 --format F selects the output encoding: text (default, human-readable),
 json (the schema-versioned Report tree), or csv.
@@ -65,7 +73,8 @@ Per-cluster topologies are set in the config file ('topology =' keys).
 preset:544, preset:small, preset:tiny, preset:mixed, preset:dragonfly —
 optionally preset:NAME:M:dm.
 
-A --sweep-locality / --sweep-hotspot-fraction / --sweep-rate-scale flag turns
+A --sweep-locality / --sweep-hotspot-fraction / --sweep-rate-scale /
+--sweep-burstiness flag turns
 sweep's x-axis into that workload dial (LO:HI:STEP, inclusive): each dial
 value is evaluated over the --max-rate/--points rate grid plus its saturation
 rate, compiled incrementally (the first point cold, later points rebinding
@@ -178,6 +187,9 @@ WorkloadOverlay OverlayFromFlags(Flags& flags) {
   }
   if (flags.Present("msg-len")) {
     overlay.msg_len = MessageLength::Parse(flags.Text("msg-len", "fixed"));
+  }
+  if (flags.Present("arrival")) {
+    overlay.arrival = ArrivalProcess::Parse(flags.Text("arrival", "poisson"));
   }
   if (flags.Present("rate-scale")) {
     // I=S pairs; unnamed clusters keep scale 1.
@@ -507,6 +519,7 @@ int CmdSweep(const std::string& system, Flags& flags, std::ostream& out) {
       {"sweep-locality", WorkloadDial::kLocality},
       {"sweep-hotspot-fraction", WorkloadDial::kHotspotFraction},
       {"sweep-rate-scale", WorkloadDial::kRateScale},
+      {"sweep-burstiness", WorkloadDial::kBurstiness},
   };
   std::optional<WorkloadDial> dial;
   std::vector<double> dial_values;

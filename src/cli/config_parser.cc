@@ -94,6 +94,7 @@ const char* const kWorkloadKeys[] = {
     "workload.pattern",         "workload.locality",
     "workload.hotspot_fraction", "workload.hotspot_node",
     "workload.msg_len",          "workload.rate.<cluster>",
+    "workload.arrival",
 };
 
 [[noreturn]] void FailUnknownWorkloadKey(int line, const std::string& key) {
@@ -140,6 +141,8 @@ Workload ParseWorkloadKeys(const Section& system, int num_clusters) {
         wl.hotspot_node = ToInt(system, key);
       } else if (key == "workload.msg_len") {
         wl.message_length = MessageLength::Parse(value);
+      } else if (key == "workload.arrival") {
+        wl.arrival = ArrivalProcess::Parse(value);
       } else if (key.rfind("workload.rate.", 0) == 0) {
         const std::string idx_tok =
             key.substr(std::string("workload.rate.").size());

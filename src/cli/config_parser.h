@@ -50,7 +50,8 @@
 //   workload.hotspot_node = 0           # hotspot: global node id
 //   workload.rate.3 = 2.5               # cluster 3 generates at 2.5x
 //   workload.msg_len = bimodal:8,64,0.1 # or "fixed" (MessageFormat's M)
-//   ...
+//   workload.arrival = mmpp:4,8         # poisson|mmpp:RATIO,BURSTLEN|
+//   ...                                 #   trace:PATH
 //
 // Alternatively the string "preset:1120", "preset:544", "preset:small",
 // "preset:tiny" or "preset:mixed" (heterogeneous topology families) selects

@@ -77,6 +77,7 @@ void CompiledModel::CompileFrom(const CompiledModel* prev) {
   const MessageFormat& msg = sys_.message();
   m_flits_ = workload_.MeanFlits(msg);
   flit_var_ = workload_.FlitVariance(msg);
+  arrival_scv_ = workload_.arrival.ArrivalScv();
   include_final_wait_ = opts_.include_last_stage_wait;
   src_per_node_ =
       opts_.source_queue_rate == ModelOptions::SourceQueueRate::kPerNode;
@@ -418,8 +419,10 @@ CompiledModel::HotEject CompiledModel::HotEjectOverlay(double lambda_g) const {
                          hot_n_[static_cast<std::size_t>(cc)];
   }
   const double lambda_inter = hot_.f * remote_nodes_rate;
-  out.w_intra = MG1Wait(lambda_intra, hot_.x_intra, hot_.var_intra);
-  out.w_inter = MG1Wait(lambda_inter, hot_.x_inter, hot_.var_inter);
+  out.w_intra = GG1Wait(lambda_intra, hot_.x_intra, hot_.var_intra,
+                        arrival_scv_);
+  out.w_inter = GG1Wait(lambda_inter, hot_.x_inter, hot_.var_inter,
+                        arrival_scv_);
   out.rho = std::max(lambda_intra * hot_.x_intra, lambda_inter * hot_.x_inter);
   return out;
 }
@@ -453,7 +456,7 @@ IntraResult CompiledModel::EvaluateIntraClass(const IntraClass& k,
     const double per_flit = t_in / m_flits_;
     service_var += flit_var_ * per_flit * per_flit;
   }
-  out.w_in = MG1Wait(lambda_src, t_in, service_var);
+  out.w_in = GG1Wait(lambda_src, t_in, service_var, arrival_scv_);
   out.source_rho = lambda_src * t_in;
   out.e_in = k.e_in;
   out.saturated = !std::isfinite(out.w_in);
@@ -526,9 +529,9 @@ InterPairResult CompiledModel::EvaluatePairClass(const PairClass& k,
     const double per_flit = t_ex / m_flits_;
     service_var += flit_var_ * per_flit * per_flit;
   }
-  out.w_ex = MG1Wait(lambda_src, t_ex, service_var);
+  out.w_ex = GG1Wait(lambda_src, t_ex, service_var, arrival_scv_);
 
-  out.w_c = MG1Wait(lambda_i2, k.x_cd, k.var_cd);
+  out.w_c = GG1Wait(lambda_i2, k.x_cd, k.var_cd, arrival_scv_);
   out.condis_rho = lambda_i2 * k.x_cd;
   out.source_rho = lambda_src * t_ex;
 

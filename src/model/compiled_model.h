@@ -229,9 +229,14 @@ class CompiledModel {
   Workload workload_;
   ModelOptions opts_;
 
-  // Global message-format moments and option booleans.
+  // Global message-format moments and option booleans. The arrival SCV
+  // enters only the per-rate G/G/1 evaluations (mg1.h GG1Wait), never the
+  // per-class constant tuples, so Rebind's class-reuse rules are untouched
+  // by arrival-process moves — a burstiness dial step reuses the full
+  // structure.
   double m_flits_ = 0;
   double flit_var_ = 0;
+  double arrival_scv_ = 1.0;
   bool include_final_wait_ = true;
   bool src_per_node_ = true;
   bool skewed_ = false;

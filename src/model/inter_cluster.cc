@@ -155,7 +155,8 @@ InterPairResult ComputeInterPairWithLoads(const SystemConfig& sys, int i,
     const double per_flit = t_ex / m_flits;
     service_var += flit_var * per_flit * per_flit;
   }
-  out.w_ex = MG1Wait(lambda_src, t_ex, service_var);
+  const double arrival_scv = workload.arrival.ArrivalScv();
+  out.w_ex = GG1Wait(lambda_src, t_ex, service_var, arrival_scv);
 
   // Eqs. (36)-(37): concentrate/dispatch buffer as M/G/1 with deterministic
   // service and the same style of variance approximation. kSupplyLimited
@@ -171,7 +172,7 @@ InterPairResult ComputeInterPairWithLoads(const SystemConfig& sys, int i,
   const double sigma_cd = m_flits * (t_cs_i2 - t_cs_ei);
   double var_cd = sigma_cd * sigma_cd;
   if (flit_var > 0) var_cd += flit_var * per_flit_cd * per_flit_cd;
-  out.w_c = MG1Wait(lambda_i2, x_cd, var_cd);
+  out.w_c = GG1Wait(lambda_i2, x_cd, var_cd, arrival_scv);
   out.condis_rho = lambda_i2 * x_cd;
   out.source_rho = lambda_src * t_ex;
 

@@ -66,7 +66,8 @@ IntraResult ComputeIntra(const SystemConfig& sys, int i, double lambda_g,
     const double per_flit = t_in / m_flits;
     service_var += flit_var * per_flit * per_flit;
   }
-  out.w_in = MG1Wait(lambda_src, t_in, service_var);
+  out.w_in = GG1Wait(lambda_src, t_in, service_var,
+                     workload.arrival.ArrivalScv());
   out.source_rho = lambda_src * t_in;
 
   // Eq. (19): the tail flit pipelines over the d links behind the header:

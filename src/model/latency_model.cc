@@ -75,8 +75,9 @@ LatencyModel::HotEject LatencyModel::HotEjectOverlay(double lambda_g) const {
   const double x_inter = mean_flits * t_cn_ecn1;
   const double var_intra = flit_var * t_cn_icn1 * t_cn_icn1;
   const double var_inter = flit_var * t_cn_ecn1 * t_cn_ecn1;
-  out.w_intra = MG1Wait(lambda_intra, x_intra, var_intra);
-  out.w_inter = MG1Wait(lambda_inter, x_inter, var_inter);
+  const double arrival_scv = workload_.arrival.ArrivalScv();
+  out.w_intra = GG1Wait(lambda_intra, x_intra, var_intra, arrival_scv);
+  out.w_inter = GG1Wait(lambda_inter, x_inter, var_inter, arrival_scv);
   out.rho = std::max(lambda_intra * x_intra, lambda_inter * x_inter);
   return out;
 }

@@ -1,6 +1,8 @@
-// M/G/1 queueing primitives (Kleinrock vol. 2, paper Eqs. 15-16).
+// M/G/1 and two-moment G/G/1 queueing primitives (Kleinrock vol. 2, paper
+// Eqs. 15-16; Allen-Cunneen approximation for non-Poisson arrivals).
 #pragma once
 
+#include <cmath>
 #include <limits>
 
 namespace coc {
@@ -16,6 +18,23 @@ inline double MG1Wait(double lambda, double mean_service,
   if (rho >= 1.0) return std::numeric_limits<double>::infinity();
   return lambda * (mean_service * mean_service + service_variance) /
          (2.0 * (1.0 - rho));
+}
+
+/// Allen-Cunneen two-moment G/G/1 mean waiting time
+///     W_GG1 ~= W_MG1 * (c_a^2 + c_s^2) / (1 + c_s^2),
+/// where c_a^2 is the arrival process's interarrival SCV and c_s^2 the
+/// service SCV (M/G/1's implicit c_a^2 = 1 makes the factor 1). The
+/// `arrival_scv == 1.0` branch returns the M/G/1 value untouched — the
+/// bit-identity contract every Poisson-path golden relies on. Saturated
+/// (+inf) and idle (0) waits pass through unscaled, as does a degenerate
+/// zero-mean service.
+inline double GG1Wait(double lambda, double mean_service,
+                      double service_variance, double arrival_scv) {
+  const double w = MG1Wait(lambda, mean_service, service_variance);
+  if (arrival_scv == 1.0) return w;
+  if (!(w > 0.0) || std::isinf(w) || mean_service <= 0.0) return w;
+  const double cs2 = service_variance / (mean_service * mean_service);
+  return w * (arrival_scv + cs2) / (1.0 + cs2);
 }
 
 }  // namespace coc

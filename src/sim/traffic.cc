@@ -69,11 +69,32 @@ void GenerateTraffic(const SystemConfig& sys, const SimConfig& cfg,
   if (sys.TotalNodes() < 2) {
     throw std::invalid_argument("traffic needs at least two nodes");
   }
+  const Workload& wl = cfg.workload;
+  wl.Validate(sys);
+
+  if (wl.arrival.IsTrace()) {
+    // Trace replay: times, endpoints and lengths come straight from the
+    // records, cyclically extended by the trace's wrap period; lambda_g,
+    // the destination pattern and the length distribution are bypassed,
+    // and no randomness is consumed — replay is deterministic by
+    // construction and allocation-free past the one reserve below.
+    const TraceData& trace = *wl.arrival.trace();
+    const auto n_rec = static_cast<std::int64_t>(trace.records.size());
+    out.clear();
+    out.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t k = 0; k < count; ++k) {
+      const TraceRecord& rec =
+          trace.records[static_cast<std::size_t>(k % n_rec)];
+      const double t =
+          rec.time + static_cast<double>(k / n_rec) * trace.wrap_period;
+      out.push_back(TrafficEvent{t, rec.src, rec.dst, rec.flits});
+    }
+    return;
+  }
+
   if (cfg.lambda_g <= 0) {
     throw std::invalid_argument("lambda_g must be > 0");
   }
-  const Workload& wl = cfg.workload;
-  wl.Validate(sys);
   Rng rng(cfg.seed);
   const std::int64_t n = sys.TotalNodes();
 
@@ -101,12 +122,47 @@ void GenerateTraffic(const SystemConfig& sys, const SimConfig& cfg,
     perm = Derangement(rng, n);
   }
 
+  // Bursty (MMPP/on-off) arrivals modulate the superposed system-level
+  // process: the ON state generates at burstiness * system_rate and ends at
+  // rate alpha (so bursts average mean_burst_length messages), the OFF
+  // state is silent with mean 1/beta chosen to keep the long-run rate at
+  // exactly system_rate. The effectively-Poisson branch below draws the
+  // pre-seam gap sequence, keeping every existing golden bit-identical.
+  const bool poisson_gaps = wl.arrival.EffectivelyPoisson();
+  double lambda_on = 0;
+  double alpha = 0;
+  double beta = 0;
+  double p_arrival = 0;
+  bool on = true;  // bursts start in ON, deterministically
+  if (!poisson_gaps) {
+    const double r = wl.arrival.burstiness();
+    lambda_on = r * system_rate;
+    alpha = lambda_on / wl.arrival.mean_burst_length();
+    beta = alpha / (r - 1.0);
+    p_arrival = lambda_on / (lambda_on + alpha);
+  }
+
   const int base_flits = sys.message().length_flits;
   out.clear();
   out.reserve(static_cast<std::size_t>(count));
   double t = 0;
   for (std::int64_t i = 0; i < count; ++i) {
-    t += rng.NextExponential(system_rate);
+    if (poisson_gaps) {
+      t += rng.NextExponential(system_rate);
+    } else {
+      // Competing exponentials in ON: the next event is an arrival with
+      // probability lambda_on / (lambda_on + alpha), else the burst ends
+      // and an OFF dwell precedes the next one.
+      for (;;) {
+        if (!on) {
+          t += rng.NextExponential(beta);
+          on = true;
+        }
+        t += rng.NextExponential(lambda_on + alpha);
+        if (rng.NextDouble() < p_arrival) break;
+        on = false;
+      }
+    }
     std::int64_t src = 0;
     if (homogeneous) {
       src = static_cast<std::int64_t>(

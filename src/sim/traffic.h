@@ -32,7 +32,10 @@ struct TrafficEvent {
 
 /// Draws the full arrival sequence for a run: `count` messages, time-ordered.
 /// Destinations follow the workload's pattern; sources follow its
-/// per-cluster rates.
+/// per-cluster rates; interarrival gaps follow its arrival process (Poisson
+/// keeps the seed draw sequence bit for bit, MMPP modulates the superposed
+/// process, and trace replay takes times/endpoints/lengths straight from
+/// the records, ignoring lambda_g and the pattern entirely).
 std::vector<TrafficEvent> GenerateTraffic(const SystemConfig& sys,
                                           const SimConfig& cfg,
                                           std::int64_t count);

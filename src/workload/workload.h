@@ -12,7 +12,11 @@
 //     the heterogeneous-demand regime (Kirsal & Ever's Beowulf setting);
 //   * a message-length distribution with mean / second-moment accessors —
 //     the M/G/1 machinery of Eqs. 15-18/31/37 only ever needs two moments,
-//     so anything beyond deterministic M plugs in without new queueing math.
+//     so anything beyond deterministic M plugs in without new queueing math;
+//   * an arrival process (arrival_process.h) — Poisson (assumption 1, the
+//     default), bursty MMPP/on-off, or trace replay. The model consumes its
+//     interarrival SCV through the two-moment G/G/1 correction; the sim
+//     draws gaps (and, for traces, sources/destinations/lengths) from it.
 //
 // The model consumes the probabilistic accessors (EffectiveU, EcnLoadFactor,
 // InterDestProbability, MeanFlits/FlitVariance); the simulator's traffic
@@ -27,6 +31,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "workload/arrival_process.h"
 
 namespace coc {
 
@@ -112,6 +117,8 @@ struct Workload {
   /// rate.
   std::vector<double> rate_scale;
   MessageLength message_length;
+  /// Temporal arrival process (default: Poisson, the paper's assumption 1).
+  ArrivalProcess arrival;
 
   // --- factories ---------------------------------------------------------
   static Workload Uniform() { return Workload(); }
@@ -122,6 +129,7 @@ struct Workload {
   /// Builder-style helpers (compose with the factories).
   Workload& WithRateScale(std::vector<double> per_cluster);
   Workload& WithMessageLength(MessageLength length);
+  Workload& WithArrival(ArrivalProcess process);
 
   friend bool operator==(const Workload&, const Workload&) = default;
 
@@ -145,11 +153,13 @@ struct Workload {
   /// One-line human-readable description for tables and logs.
   std::string Describe() const;
 
-  /// Non-null when the analytical model approximates this pattern rather
+  /// Non-null when the analytical model approximates this workload rather
   /// than representing it exactly: the permutation pattern is modeled by its
   /// uniform destination marginal (a uniform random derangement's marginal
   /// IS uniform, so Eq. 2 applies), which averages out the fixed pairing's
-  /// per-link contention. The CLI prints the returned line next to model and
+  /// per-link contention; a non-Poisson arrival process is modeled by the
+  /// Allen-Cunneen two-moment G/G/1 correction, which keeps only the
+  /// interarrival SCV. The CLI prints the returned line next to model and
   /// bottleneck output so the approximation is never silent.
   const char* ModelApproximationNote() const;
 
@@ -203,9 +213,11 @@ enum class WorkloadDial : std::uint8_t {
   kLocality,         ///< kClusterLocal's locality_fraction
   kHotspotFraction,  ///< kHotspot's hotspot_fraction
   kRateScale,        ///< one cluster's rate_scale entry
+  kBurstiness,       ///< the MMPP arrival process's burstiness ratio
 };
 
-/// Canonical text name ("locality", "hotspot_fraction", "rate_scale").
+/// Canonical text name ("locality", "hotspot_fraction", "rate_scale",
+/// "burstiness").
 const char* WorkloadDialName(WorkloadDial dial);
 /// Inverse of WorkloadDialName. Throws std::invalid_argument with the valid
 /// names on unknown input.
@@ -215,8 +227,10 @@ WorkloadDial ParseWorkloadDial(const std::string& name);
 /// dials switch the pattern to the one they parameterize (mirroring the
 /// --locality / --hotspot-fraction overlay semantics); the rate_scale dial
 /// sets cluster `rate_scale_cluster`'s entry, expanding an empty (all-1)
-/// table to `num_clusters` entries first. The result is not validated —
-/// callers compile it against a concrete system, which validates.
+/// table to `num_clusters` entries first; the burstiness dial sets an MMPP
+/// arrival process with ratio `value`, keeping the base's mean burst length
+/// when it is already MMPP. The result is not validated — callers compile
+/// it against a concrete system, which validates.
 Workload ApplyWorkloadDial(const Workload& base, WorkloadDial dial,
                            double value, int rate_scale_cluster,
                            int num_clusters);

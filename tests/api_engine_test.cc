@@ -541,5 +541,73 @@ TEST(Engine, InvalidScenariosBecomeStatusRecordsNotTornBatches) {
   EXPECT_THROW(engine.Evaluate(unvalidated), std::invalid_argument);
 }
 
+TEST(Engine, RebindSourceTableIsBoundedByLru) {
+  // The per-(system, options)-family rebind-source table is an accelerator,
+  // not a registry: a batch cycling through many distinct families must not
+  // pin one compiled model per family forever. Each distinct preset:...:M:dm
+  // spelling is its own family; walking past the cap evicts the
+  // least-recently-touched entries and counts them.
+  Engine engine;
+  const int families = 20;  // > kRebindSourceCap (16)
+  for (int i = 0; i < families; ++i) {
+    Scenario s;
+    s.name = "fam" + std::to_string(i);
+    s.system = "preset:tiny:16:" + std::to_string(64 + i);
+    s.rate = 1e-4;
+    EXPECT_TRUE(engine.Evaluate(s).status.ok());
+  }
+  Engine::CacheStats stats = engine.Stats();
+  EXPECT_EQ(stats.models, static_cast<std::size_t>(families));
+  EXPECT_EQ(stats.rebind_evictions, static_cast<std::size_t>(families - 16));
+  // A family still resident (the most recent one) keeps rebinding; an
+  // evicted family's next miss compiles cold — correct either way, and the
+  // counters tell the two apart.
+  Scenario warm;
+  warm.name = "warm";
+  warm.system = "preset:tiny:16:" + std::to_string(64 + families - 1);
+  warm.rate = 1e-4;
+  warm.workload.pattern = WorkloadPattern::kClusterLocal;
+  warm.workload.locality = 0.7;
+  EXPECT_TRUE(engine.Evaluate(warm).status.ok());
+  EXPECT_EQ(engine.Stats().model_rebinds, 1u);
+
+  Scenario evicted;
+  evicted.name = "evicted";
+  evicted.system = "preset:tiny:16:64";  // family 0: long since evicted
+  evicted.rate = 1e-4;
+  evicted.workload.pattern = WorkloadPattern::kClusterLocal;
+  evicted.workload.locality = 0.7;
+  EXPECT_TRUE(engine.Evaluate(evicted).status.ok());
+  EXPECT_EQ(engine.Stats().model_rebinds, 1u);  // cold, not a rebind
+}
+
+TEST(Engine, ArrivalProcessIsPartOfTheModelCacheKey) {
+  // Same system, same pattern, different arrival process: two distinct
+  // compiled models (the SCV is baked in at compile time), and the second
+  // rebinds from the first within the family.
+  const char* text = R"cfg(
+[scenario poisson]
+system = preset:tiny:16:64
+analyses = model
+rate = 1e-4
+
+[scenario bursty]
+system = preset:tiny:16:64
+analyses = model
+rate = 1e-4
+workload.arrival = mmpp:4,8
+)cfg";
+  Engine engine;
+  const auto reports = engine.EvaluateBatch(ParseScenarios(text), 1);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(reports[0].status.ok());
+  EXPECT_TRUE(reports[1].status.ok());
+  EXPECT_EQ(engine.Stats().models, 2u);
+  EXPECT_EQ(engine.Stats().model_rebinds, 1u);
+  ASSERT_TRUE(reports[0].model.has_value());
+  ASSERT_TRUE(reports[1].model.has_value());
+  EXPECT_NE(reports[0].model->result.mean_latency, reports[1].model->result.mean_latency);
+}
+
 }  // namespace
 }  // namespace coc

@@ -682,6 +682,126 @@ TEST(Cli, SweepAbortLatencyFlagValidated) {
   EXPECT_EQ(ok.code, 0) << ok.err;
 }
 
+// ---------------------------------------------------------------------------
+// Arrival-process flag (--arrival) and its exit-code taxonomy.
+
+TEST(Cli, ArrivalMmppRunsEndToEndAndIsDeterministic) {
+  const auto model = RunCommand({"model", "preset:tiny:16:64", "--rate",
+                                 "1e-4", "--arrival", "mmpp:4,8"});
+  EXPECT_EQ(model.code, 0) << model.err;
+  EXPECT_NE(model.out.find("mmpp:4,8"), std::string::npos) << model.out;
+  const auto poisson = RunCommand({"model", "preset:tiny:16:64", "--rate",
+                                   "1e-4"});
+  EXPECT_NE(model.out, poisson.out);  // the correction moved the numbers
+  const auto sim = RunCommand({"sim", "preset:tiny:8:32", "--rate", "1e-4",
+                               "--messages", "1000", "--seed", "3",
+                               "--arrival", "mmpp:4,8"});
+  EXPECT_EQ(sim.code, 0) << sim.err;
+  const auto again = RunCommand({"sim", "preset:tiny:8:32", "--rate", "1e-4",
+                                 "--messages", "1000", "--seed", "3",
+                                 "--arrival", "mmpp:4,8"});
+  EXPECT_EQ(sim.out, again.out);  // same seed, same bytes
+}
+
+TEST(Cli, NonPoissonModelOutputCarriesTheApproximationNote) {
+  for (const char* cmd : {"model", "bottleneck"}) {
+    const auto r = RunCommand({cmd, "preset:tiny:16:64", "--rate", "1e-4",
+                               "--arrival", "mmpp:4,8"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("Allen-Cunneen"), std::string::npos)
+        << cmd << ": " << r.out;
+    const auto plain = RunCommand({cmd, "preset:tiny:16:64", "--rate",
+                                   "1e-4"});
+    EXPECT_EQ(plain.out.find("Allen-Cunneen"), std::string::npos) << cmd;
+    // mmpp:1 is exactly Poisson: same bytes, no note.
+    const auto unit = RunCommand({cmd, "preset:tiny:16:64", "--rate", "1e-4",
+                                  "--arrival", "mmpp:1,8"});
+    EXPECT_EQ(unit.out, plain.out) << cmd;
+  }
+}
+
+TEST(Cli, ArrivalTraceReplayRunsEndToEnd) {
+  const std::string path = WriteTempFile(
+      "coc_cli_test_replay.trace",
+      "# time src dst flits\n0 0 9 8\n40 1 10 8\n90 2 11 8\n150 3 12 8\n");
+  const auto r = RunCommand({"sim", "preset:tiny:8:32", "--rate", "1e-4",
+                             "--messages", "500", "--arrival",
+                             "trace:" + path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("trace:" + path), std::string::npos) << r.out;
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ArrivalFlagErrorsFollowTheExitCodeTaxonomy) {
+  // A bogus spec is flag misuse: exit 1 (invalid_argument from the parse).
+  const auto bogus = RunCommand({"model", "preset:tiny:16:64", "--rate",
+                                 "1e-4", "--arrival", "gamma:2"});
+  EXPECT_EQ(bogus.code, 1);
+  EXPECT_NE(bogus.err.find("arrival spec 'gamma:2'"), std::string::npos)
+      << bogus.err;
+  // A missing trace file is a usage error (exit 2) naming errno, exactly
+  // like a missing scenario file.
+  const auto missing = RunCommand({"sim", "preset:tiny:8:32", "--rate",
+                                   "1e-4", "--messages", "100", "--arrival",
+                                   "trace:/no/such/file.trace"});
+  EXPECT_EQ(missing.code, 2);
+  EXPECT_NE(missing.err.find("cannot open trace file"), std::string::npos)
+      << missing.err;
+  EXPECT_NE(missing.err.find("No such file or directory"), std::string::npos)
+      << missing.err;
+  // Malformed trace *content* is a scenario error (exit 1) naming the line.
+  const std::string unsorted = WriteTempFile(
+      "coc_cli_test_unsorted.trace", "1.0 0 1 4\n0.5 1 0 4\n");
+  const auto bad = RunCommand({"sim", "preset:tiny:8:32", "--rate", "1e-4",
+                               "--messages", "100", "--arrival",
+                               "trace:" + unsorted});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("line 2"), std::string::npos) << bad.err;
+  EXPECT_NE(bad.err.find("time-sorted"), std::string::npos) << bad.err;
+  std::remove(unsorted.c_str());
+  // A trace whose node ids exceed the system's range names the line too.
+  const std::string range = WriteTempFile("coc_cli_test_range.trace",
+                                          "0 0 1 4\n5 0 9999 4\n");
+  const auto oob = RunCommand({"sim", "preset:tiny:8:32", "--rate", "1e-4",
+                               "--messages", "100", "--arrival",
+                               "trace:" + range});
+  EXPECT_EQ(oob.code, 1);
+  EXPECT_NE(oob.err.find("line 2"), std::string::npos) << oob.err;
+  EXPECT_NE(oob.err.find("node id 9999"), std::string::npos) << oob.err;
+  std::remove(range.c_str());
+}
+
+TEST(Cli, SweepBurstinessDialEmitsGridTable) {
+  const auto r = RunCommand({"sweep", "preset:tiny:16:64", "--max-rate",
+                             "1e-3", "--points", "2", "--sweep-burstiness",
+                             "1:8:3.5"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("burstiness"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("sat_rate"), std::string::npos);
+}
+
+TEST(Cli, ScenarioArrivalKeyRoundTripsThroughBatch) {
+  const std::string path = WriteTempFile("coc_cli_test_arrival_batch.cfg",
+                                         "[scenario bursty]\n"
+                                         "system = preset:tiny:16:64\n"
+                                         "analyses = model\n"
+                                         "rate = 1e-4\n"
+                                         "workload.arrival = mmpp:4,8\n");
+  const auto r = RunCommand({"batch", path, "--format", "json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("mmpp:4,8"), std::string::npos) << r.out;
+  // A bad arrival spec inside the file is a line-numbered config error.
+  const std::string bad_path = WriteTempFile(
+      "coc_cli_test_arrival_bad.cfg",
+      "[scenario bursty]\nsystem = preset:tiny\nanalyses = model\n"
+      "rate = 1e-4\nworkload.arrival = mmpp:nope,8\n");
+  const auto bad = RunCommand({"batch", bad_path});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("line 5"), std::string::npos) << bad.err;
+  std::remove(path.c_str());
+  std::remove(bad_path.c_str());
+}
+
 TEST(Cli, ConfigFileRoundTrip) {
   const std::string path = "/tmp/coc_cli_test_system.conf";
   std::FILE* f = std::fopen(path.c_str(), "w");

@@ -313,6 +313,31 @@ TEST(CompiledModelRebind, SingleDialMovesReuseUntouchedClasses) {
             bimodal.rebind_stats().pair_rebuilt);
 }
 
+TEST(CompiledModelRebind, BurstinessMovesReuseTheFullStructure) {
+  // The arrival SCV enters only the per-rate G/G/1 evaluations (mg1.h
+  // GG1Wait), never the per-class constant tuples, so an arrival-process
+  // move is the cheapest rebind there is: every intra and pair class
+  // carries over untouched — and the result still matches a cold compile
+  // bit for bit.
+  const SystemConfig sys = MakeSystem1120(MessageFormat{32, 256});
+  const CompiledModel base(sys);
+  Workload bursty;
+  bursty.arrival = ArrivalProcess::Mmpp(4.0, 8.0);
+  const CompiledModel rebound = base.Rebind(bursty);
+  const auto& stats = rebound.rebind_stats();
+  EXPECT_EQ(stats.intra_rebuilt, 0);
+  EXPECT_EQ(stats.pair_rebuilt, 0);
+  EXPECT_GT(stats.intra_reused, 0);
+  EXPECT_GT(stats.pair_reused, 0);
+
+  const CompiledModel cold(sys, bursty);
+  for (const double rate : RateGrid(1e-6, 1e-3, 5)) {
+    ExpectSameResult(cold.Evaluate(rate), rebound.Evaluate(rate),
+                     "lambda_g = " + Hex(rate));
+  }
+  EXPECT_BIT_EQ(cold.SaturationRate(1.0), rebound.SaturationRate(1.0));
+}
+
 /// Property test: a random walk over the workload dials, rebind-chained N
 /// deep, stays bit-identical to a cold compile at every step — reuse noise
 /// cannot accumulate across generations of rebinding.
@@ -323,7 +348,7 @@ TEST(CompiledModelRebind, ChainedDialMovesStayBitIdentical) {
     const std::vector<double> rates = RateGrid(1e-5, 0.5, 5);
     std::mt19937 rng(20260807);
     std::uniform_real_distribution<double> frac(0.0, 1.0);
-    std::uniform_int_distribution<int> dial_pick(0, 2);
+    std::uniform_int_distribution<int> dial_pick(0, 3);  // incl. burstiness
     std::uniform_int_distribution<int> cluster_pick(0,
                                                     sys.num_clusters() - 1);
 
@@ -332,7 +357,9 @@ TEST(CompiledModelRebind, ChainedDialMovesStayBitIdentical) {
     for (int step = 0; step < 12; ++step) {
       const auto dial = static_cast<WorkloadDial>(dial_pick(rng));
       const double value =
-          dial == WorkloadDial::kRateScale ? 0.5 + frac(rng) : 0.95 * frac(rng);
+          dial == WorkloadDial::kRateScale     ? 0.5 + frac(rng)
+          : dial == WorkloadDial::kBurstiness  ? 1.0 + 7.0 * frac(rng)
+                                               : 0.95 * frac(rng);
       workload = ApplyWorkloadDial(workload, dial, value, cluster_pick(rng),
                                    sys.num_clusters());
       chained = chained.Rebind(workload);

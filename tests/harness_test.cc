@@ -193,6 +193,42 @@ TEST(Harness, WorkloadGridBitIdenticalToPerPointColdCompiles) {
   EXPECT_GT(grid[1].rebind.combos_shared, 0);
 }
 
+TEST(Harness, BurstinessGridBitIdenticalToPerPointColdCompiles) {
+  // The burstiness dial walks the arrival process from Poisson (ratio 1)
+  // into deep bursts. Arrival moves are the cheapest rebind (evaluate-time
+  // SCV only), so every point past the first must reuse the full compiled
+  // structure — and still match a cold compile bit for bit.
+  const auto sys = MakeSmallSystem(MessageFormat{16, 64});
+  WorkloadGridSpec spec;
+  spec.dial = WorkloadDial::kBurstiness;
+  spec.values = {1.0, 2.0, 4.0, 8.0};
+  spec.rates = LinearRates(2e-3, 4);
+  const auto grid = RunWorkloadGrid(sys, spec);
+  ASSERT_EQ(grid.size(), spec.values.size());
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    const Workload w = ApplyWorkloadDial(spec.base, spec.dial, spec.values[k],
+                                         0, sys.num_clusters());
+    const CompiledModel cold(sys, w);
+    const auto want = cold.EvaluateMany(spec.rates);
+    ASSERT_EQ(grid[k].results.size(), want.size());
+    for (std::size_t r = 0; r < want.size(); ++r) {
+      EXPECT_EQ(grid[k].results[r].mean_latency, want[r].mean_latency)
+          << "value " << spec.values[k] << " rate " << spec.rates[r];
+    }
+    EXPECT_EQ(grid[k].saturation_rate, cold.SaturationRate(1.0))
+        << "value " << spec.values[k];
+    if (k > 0) {
+      EXPECT_EQ(grid[k].rebind.intra_rebuilt, 0) << "value " << spec.values[k];
+      EXPECT_EQ(grid[k].rebind.pair_rebuilt, 0) << "value " << spec.values[k];
+    }
+  }
+  // Burstiness degrades the saturation point monotonically: more variance
+  // in the arrival stream means the queues blow up earlier.
+  for (std::size_t k = 1; k < grid.size(); ++k) {
+    EXPECT_LE(grid[k].saturation_rate, grid[k - 1].saturation_rate);
+  }
+}
+
 TEST(Harness, WorkloadGridFormattersNameDialAndValues) {
   const auto sys = MakeTinySystem(MessageFormat{16, 64});
   WorkloadGridSpec spec;

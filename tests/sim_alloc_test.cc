@@ -6,6 +6,7 @@
 // across Reset().
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
 #include <new>
 #include <vector>
 
@@ -112,6 +113,80 @@ TEST(ZeroAlloc, SimRunAllocationsIndependentOfMessageCount) {
       << "per-run allocations must not scale with message count";
   // The constant is result bookkeeping (per-cluster stats vector), not the
   // hot path; keep it honest and tiny.
+  EXPECT_LE(large_allocs, 8);
+}
+
+TEST(ZeroAlloc, MmppArrivalsStayAllocationFree) {
+  // The bursty generator is a two-state gap sampler over the same Rng — no
+  // state beyond two doubles and a bool, so the streaming path's
+  // per-message allocation count stays zero.
+  const auto sys = MakeSmallSystem(MessageFormat{16, 64});
+  const CocSystemSim sim(sys);
+  SimScratch scratch;
+
+  SimConfig large;
+  large.lambda_g = 2e-4;
+  large.warmup_messages = 200;
+  large.measured_messages = 2000;
+  large.drain_messages = 200;
+  large.workload.arrival = ArrivalProcess::Mmpp(4.0, 8.0);
+  SimConfig small = large;
+  small.measured_messages = 600;
+
+  sim.Run(large, scratch);  // warm every buffer to the larger shape
+
+  auto count_allocs = [&](const SimConfig& cfg) {
+    const long before = g_alloc_count.load(std::memory_order_relaxed);
+    const auto r = sim.Run(cfg, scratch);
+    EXPECT_GT(r.delivered, 0);
+    return g_alloc_count.load(std::memory_order_relaxed) - before;
+  };
+
+  const long small_allocs = count_allocs(small);
+  const long large_allocs = count_allocs(large);
+  EXPECT_EQ(small_allocs, large_allocs)
+      << "per-run allocations must not scale with message count";
+  EXPECT_LE(large_allocs, 8);
+}
+
+TEST(ZeroAlloc, TraceReplayStaysAllocationFree) {
+  // Trace replay reads the shared immutable TraceData (loaded once, outside
+  // the measured window) and pushes into the reused traffic buffer — no
+  // per-message heap traffic, independent of how many cycles the replay
+  // wraps through.
+  const auto sys = MakeSmallSystem(MessageFormat{16, 64});
+  {
+    std::ofstream out("/tmp/coc_alloc_replay.trace");
+    for (int k = 0; k < 32; ++k) {
+      out << (k * 50.0) << ' ' << (k % 16) << ' ' << (16 + k % 8) << " 8\n";
+    }
+  }
+  const CocSystemSim sim(sys);
+  SimScratch scratch;
+
+  SimConfig large;
+  large.lambda_g = 2e-4;
+  large.warmup_messages = 200;
+  large.measured_messages = 2000;
+  large.drain_messages = 200;
+  large.workload.arrival =
+      ArrivalProcess::TraceReplay("/tmp/coc_alloc_replay.trace");
+  SimConfig small = large;
+  small.measured_messages = 600;
+
+  sim.Run(large, scratch);  // warm every buffer to the larger shape
+
+  auto count_allocs = [&](const SimConfig& cfg) {
+    const long before = g_alloc_count.load(std::memory_order_relaxed);
+    const auto r = sim.Run(cfg, scratch);
+    EXPECT_GT(r.delivered, 0);
+    return g_alloc_count.load(std::memory_order_relaxed) - before;
+  };
+
+  const long small_allocs = count_allocs(small);
+  const long large_allocs = count_allocs(large);
+  EXPECT_EQ(small_allocs, large_allocs)
+      << "per-run allocations must not scale with message count";
   EXPECT_LE(large_allocs, 8);
 }
 

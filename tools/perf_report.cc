@@ -314,6 +314,8 @@ int main(int argc, char** argv) {
        "workload validation suite", "--workload-baseline", {}, {}, {}, {}},
       {"bench_ablation_dragonfly", "BENCH_dragonfly.json",
        "dragonfly validation suite", "--dragonfly-baseline", {}, {}, {}, {}},
+      {"bench_ablation_burstiness", "BENCH_burstiness.json",
+       "burstiness validation suite", "--burstiness-baseline", {}, {}, {}, {}},
   };
 
   std::string bench_dir = ".";
