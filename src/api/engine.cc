@@ -110,7 +110,10 @@ std::shared_ptr<Engine::SystemEntry> Engine::GetSystem(
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = systems_.find(key);
-    if (it != systems_.end()) return it->second;
+    if (it != systems_.end()) {
+      system_lru_.splice(system_lru_.begin(), system_lru_, it->second);
+      return it->second->entry;
+    }
   }
   auto entry = std::make_shared<SystemEntry>(LoadExperiment(scenario.system));
   if (scenario.icn2_override) {
@@ -118,7 +121,22 @@ std::shared_ptr<Engine::SystemEntry> Engine::GetSystem(
         entry->experiment.system.WithIcn2Topology(*scenario.icn2_override);
   }
   std::lock_guard<std::mutex> lock(mu_);
-  return systems_.emplace(key, std::move(entry)).first->second;
+  const auto it = systems_.find(key);
+  if (it != systems_.end()) {
+    // A racing worker built the same system first; its insert wins.
+    system_lru_.splice(system_lru_.begin(), system_lru_, it->second);
+    return it->second->entry;
+  }
+  system_lru_.push_front(SystemNode{key, std::move(entry)});
+  systems_[key] = system_lru_.begin();
+  if (opts_.system_entries > 0) {
+    while (system_lru_.size() > opts_.system_entries) {
+      systems_.erase(system_lru_.back().key);
+      system_lru_.pop_back();
+      ++system_evictions_;
+    }
+  }
+  return system_lru_.front().entry;
 }
 
 std::shared_ptr<const CocSystemSim> Engine::GetSim(
@@ -146,7 +164,10 @@ std::shared_ptr<Engine::ModelEntry> Engine::GetModel(
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = models_.find(key);
-    if (it != models_.end()) return it->second;
+    if (it != models_.end()) {
+      model_lru_.splice(model_lru_.begin(), model_lru_, it->second);
+      return it->second->entry;
+    }
     const auto sib = rebind_sources_.find(family_key);
     if (sib != rebind_sources_.end()) {
       // Touch: a lookup hit moves the family to the LRU front so hot
@@ -173,16 +194,31 @@ std::shared_ptr<Engine::ModelEntry> Engine::GetModel(
     // Refresh in place (a racing worker may have inserted first).
     rebind_lru_.splice(rebind_lru_.begin(), rebind_lru_, sib->second);
     sib->second->model = mentry->model;
-  } else {
+  } else if (opts_.rebind_sources > 0) {
     rebind_lru_.push_front(RebindSource{family_key, mentry->model});
     rebind_sources_[std::move(family_key)] = rebind_lru_.begin();
-    while (rebind_lru_.size() > kRebindSourceCap) {
+    while (rebind_lru_.size() > opts_.rebind_sources) {
       rebind_sources_.erase(rebind_lru_.back().family_key);
       rebind_lru_.pop_back();
       ++rebind_evictions_;
     }
   }
-  return models_.emplace(std::move(key), std::move(mentry)).first->second;
+  const auto it = models_.find(key);
+  if (it != models_.end()) {
+    // A racing worker compiled the same model first; its insert wins.
+    model_lru_.splice(model_lru_.begin(), model_lru_, it->second);
+    return it->second->entry;
+  }
+  model_lru_.push_front(ModelNode{std::move(key), std::move(mentry)});
+  models_[model_lru_.front().key] = model_lru_.begin();
+  if (opts_.model_entries > 0) {
+    while (model_lru_.size() > opts_.model_entries) {
+      models_.erase(model_lru_.back().key);
+      model_lru_.pop_back();
+      ++model_evictions_;
+    }
+  }
+  return model_lru_.front().entry;
 }
 
 std::shared_ptr<const LatencyModel> Engine::GetReferenceModel(
@@ -239,12 +275,14 @@ Engine::CacheStats Engine::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   CacheStats stats;
   stats.systems = systems_.size();
-  for (const auto& [key, entry] : systems_) {
-    if (entry->sim) ++stats.sims;
+  for (const SystemNode& node : system_lru_) {
+    if (node.entry->sim) ++stats.sims;
   }
   stats.models = models_.size();
   stats.model_rebinds = model_rebinds_;
   stats.rebind_evictions = rebind_evictions_;
+  stats.model_evictions = model_evictions_;
+  stats.system_evictions = system_evictions_;
   return stats;
 }
 

@@ -58,7 +58,25 @@ namespace coc {
 
 class Engine {
  public:
+  /// Cross-call cache bounds. The memo maps are accelerators, not
+  /// registries: a long-lived mixed request stream (server mode) must not
+  /// grow memory without bound, so each map can be capped. Eviction is LRU
+  /// and costs only a later rebuild — never correctness — and an evicted
+  /// model's family may still rebind warm from the rebind-source table,
+  /// which holds its own reference to the latest model per family.
+  struct Options {
+    /// Max (system spec, ICN2 override) entries; 0 = unbounded (the one-shot
+    /// CLI default, where the scenario file bounds the working set).
+    std::size_t system_entries = 0;
+    /// Max (system, workload, options) compiled-model entries; 0 = unbounded.
+    std::size_t model_entries = 0;
+    /// Max rebind-source families (was a hardcoded 16 before it was an
+    /// option); 0 disables the table, forcing cold compiles on every miss.
+    std::size_t rebind_sources = 16;
+  };
+
   Engine() = default;
+  explicit Engine(const Options& opts) : opts_(opts) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -105,6 +123,13 @@ class Engine {
     /// table (an eviction only costs a later cold compile, never
     /// correctness).
     std::size_t rebind_evictions = 0;
+    /// Model entries dropped by Options::model_entries. Warm state lost,
+    /// not correctness: a re-request rebinds from the family's surviving
+    /// rebind source, or compiles cold.
+    std::size_t model_evictions = 0;
+    /// System entries dropped by Options::system_entries (the shared
+    /// Topology, channel tables and any lazily-built simulator go with it).
+    std::size_t system_evictions = 0;
   };
   CacheStats Stats() const;
 
@@ -148,26 +173,44 @@ class Engine {
                     int sweep_threads, Report& report);
 
   mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<SystemEntry>> systems_;
-  std::map<std::string, std::shared_ptr<ModelEntry>> models_;
+  // Every memo map is an LRU: a node list ordered most-recent-first plus a
+  // key index into it. A lookup hit splices the node to the front; an
+  // insert past the map's Options cap drops the back. With the default
+  // cap 0 the while-loop never runs and the maps behave exactly like the
+  // unbounded std::map they replaced.
+  struct SystemNode {
+    std::string key;
+    std::shared_ptr<SystemEntry> entry;
+  };
+  struct ModelNode {
+    std::string key;
+    std::shared_ptr<ModelEntry> entry;
+  };
+  std::list<SystemNode> system_lru_;  ///< front = most recently touched
+  std::map<std::string, std::list<SystemNode>::iterator> systems_;
+  std::list<ModelNode> model_lru_;  ///< front = most recently touched
+  std::map<std::string, std::list<ModelNode>::iterator> models_;
   /// Latest compiled model per (system, options) family — the rebind source
   /// a cache miss for an adjacent workload starts from instead of compiling
   /// cold. Guarded by mu_; values are also held by models_, so this adds
-  /// structure sharing, not lifetime. Bounded: the table keeps the
-  /// kRebindSourceCap most-recently-touched families in LRU order (a batch
-  /// cycling through many distinct (system, options) families would
-  /// otherwise pin one model per family forever); evicted families fall
-  /// back to a cold compile on their next miss and count in
+  /// structure sharing, not lifetime — and because the table keeps its own
+  /// reference, a family evicted from models_ can still rebind warm while
+  /// its rebind source survives. Bounded by Options::rebind_sources in LRU
+  /// order (a batch cycling through many distinct (system, options)
+  /// families would otherwise pin one model per family forever); evicted
+  /// families fall back to a cold compile on their next miss and count in
   /// CacheStats::rebind_evictions.
-  static constexpr std::size_t kRebindSourceCap = 16;
   struct RebindSource {
     std::string family_key;
     std::shared_ptr<const CompiledModel> model;
   };
   std::list<RebindSource> rebind_lru_;  ///< front = most recently touched
   std::map<std::string, std::list<RebindSource>::iterator> rebind_sources_;
+  const Options opts_;
   std::size_t model_rebinds_ = 0;     ///< guarded by mu_
   std::size_t rebind_evictions_ = 0;  ///< guarded by mu_
+  std::size_t model_evictions_ = 0;   ///< guarded by mu_
+  std::size_t system_evictions_ = 0;  ///< guarded by mu_
 };
 
 }  // namespace coc

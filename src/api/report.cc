@@ -1,6 +1,7 @@
 #include "api/report.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/table.h"
 
@@ -194,6 +195,33 @@ std::string SimCsv(const SimAnalysisResult& a) {
 
 std::string SweepCsv(const SweepAnalysisResult& a) {
   return FormatSweepCsv(a.points);
+}
+
+std::string BatchCsv(const std::vector<Report>& reports) {
+  Table t({"scenario", "status", "degraded", "workload",
+           "model_mean_latency_us", "saturation_rate", "binding",
+           "sweep_points", "sim_mean_us", "sim_delivered"});
+  for (const Report& r : reports) {
+    // The headline number of every analysis that ran; a blank cell means
+    // that analysis was not requested (or the failure preempted it).
+    double saturation = std::numeric_limits<double>::quiet_NaN();
+    if (r.model) {
+      saturation = r.model->saturation_rate;
+    } else if (r.bottleneck) {
+      saturation = r.bottleneck->saturation_rate;
+    } else if (r.saturation_rate) {
+      saturation = *r.saturation_rate;
+    }
+    t.AddRow({r.scenario, StatusCodeName(r.status.code),
+              r.status.degraded ? "1" : "0", r.workload,
+              r.model ? JsonNumber(r.model->result.mean_latency) : "",
+              std::isnan(saturation) ? "" : JsonNumber(saturation),
+              r.bottleneck ? r.bottleneck->report.binding : "",
+              r.sweep ? std::to_string(r.sweep->points.size()) : "",
+              r.sim ? JsonNumber(r.sim->mean) : "",
+              r.sim ? std::to_string(r.sim->delivered) : ""});
+  }
+  return t.ToCsv();
 }
 
 }  // namespace coc

@@ -119,5 +119,9 @@ std::string ModelCsv(const ModelAnalysisResult& model);
 std::string BottleneckCsv(const BottleneckAnalysisResult& bottleneck);
 std::string SimCsv(const SimAnalysisResult& sim);
 std::string SweepCsv(const SweepAnalysisResult& sweep);
+/// One row per report — scenario, status, and each analysis' headline
+/// number (blank when the analysis was not requested). `coc_cli batch
+/// --format csv`'s projection.
+std::string BatchCsv(const std::vector<Report>& reports);
 
 }  // namespace coc

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <set>
@@ -19,6 +21,7 @@
 #include "common/status.h"
 #include "common/table.h"
 #include "harness/sweep.h"
+#include "server/server.h"
 #include "topology/topology_spec.h"
 
 namespace coc {
@@ -38,8 +41,12 @@ constexpr const char* kUsage = R"(usage:
                       --sweep-burstiness LO:HI:STEP]
                      [--format F]
   coc_cli bottleneck <system> --rate R [workload flags] [--format F]
-  coc_cli batch      <scenarios-file> [--threads N] [--format text|json]
+  coc_cli batch      <scenarios-file> [--threads N] [--format text|json|csv]
                      [--fail-fast] [--deadline-ms MS]
+  coc_cli serve      --port P [--host A] [--threads N] [--cache-entries K]
+                     [--max-queue Q]
+  coc_cli submit     <scenarios-file> --port P [--host A] [--deadline-ms MS]
+                     [--format text|json]
 
 Workload flags (shared by model, sim, sweep and bottleneck; they override the
 config file's workload.* keys so the analytical model and the simulator always
@@ -91,6 +98,16 @@ scenarios are unaffected); --fail-fast aborts on the first failure instead.
 
 Every evaluating command accepts --deadline-ms MS, a cooperative per-scenario
 deadline; a tripped deadline reports deadline_exceeded with partial results.
+
+serve runs the long-lived evaluation daemon: a newline-delimited JSON
+protocol over TCP (README "Server mode" has the grammar), a worker pool
+sharing one Engine, and a content-addressed result cache — responses are
+batch reports with an added "cache": "hit"|"miss" per report. A full
+pending queue (--max-queue) answers a structured "overloaded" status
+instead of blocking; --cache-entries sizes the cache (0 disables);
+SIGINT/SIGTERM drains (finish in-flight, flush stats, exit 0). submit
+sends <scenarios-file> to a running server as one batch request and exits
+like batch (0 all ok, 3 partial failure, 1 connection/server error).
 
 Exit codes: 0 success; 1 evaluation error; 2 usage error; 3 batch completed
 but at least one scenario failed (see each report's "status" block).
@@ -596,12 +613,10 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out) {
   opts.fail_fast = flags.Present("fail-fast");
   opts.default_deadline_ms = DeadlineFromFlags(flags);
   // Deterministic fault-injection seam for tests and failure drills:
-  // COC_FAULT="site:index[,...]" (sites parse|model|sim_budget|deadline).
+  // COC_FAULT="site:index[,...]" (sites parse|model|sim_budget|deadline;
+  // the server site only fires in serve mode).
   opts.faults = FaultInjector::FromEnv();
   const Format format = FormatFromFlags(flags);
-  if (format == Format::kCsv) {
-    throw UsageError("batch supports --format text or json");
-  }
   flags.CheckAllUsed();
   const std::vector<Scenario> scenarios = LoadScenarios(args[1]);
   Engine engine;
@@ -612,6 +627,8 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out) {
   }
   if (format == Format::kJson) {
     EmitJson(BatchToJson(reports), out);
+  } else if (format == Format::kCsv) {
+    out << BatchCsv(reports);
   } else {
     for (std::size_t i = 0; i < reports.size(); ++i) {
       if (i != 0) out << "\n";
@@ -633,6 +650,140 @@ int CmdBatch(const std::vector<std::string>& args, std::ostream& out) {
   return any_failed ? 3 : 0;
 }
 
+// --- server mode -----------------------------------------------------------
+
+int PortFromFlags(Flags& flags) {
+  const double port = flags.Number("port");
+  if (!(port >= 0) || port > 65535 ||
+      port != static_cast<double>(static_cast<int>(port))) {
+    throw UsageError("--port expects an integer in [0, 65535]");
+  }
+  return static_cast<int>(port);
+}
+
+int CmdServe(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  Flags flags(args, 1);
+  ServerOptions opts;
+  opts.port = PortFromFlags(flags);
+  opts.host = flags.Text("host", "127.0.0.1");
+  opts.threads = ThreadsFromFlags(flags);
+  if (flags.Present("cache-entries")) {
+    const double n = flags.Number("cache-entries");
+    if (!(n >= 0) || n != static_cast<double>(static_cast<std::int64_t>(n))) {
+      throw UsageError(
+          "--cache-entries expects an integer >= 0 (0 disables caching)");
+    }
+    opts.cache_entries = static_cast<std::size_t>(n);
+  }
+  if (flags.Present("max-queue")) {
+    const double n = flags.Number("max-queue");
+    if (!(n >= 1) || n != static_cast<double>(static_cast<std::int64_t>(n))) {
+      throw UsageError("--max-queue expects an integer >= 1");
+    }
+    opts.max_queue = static_cast<std::size_t>(n);
+  }
+  // COC_FAULT="server:index" arms the request-isolation drill site.
+  opts.faults = FaultInjector::FromEnv();
+  flags.CheckAllUsed();
+  EvalServer server(std::move(opts));
+  server.Start();
+  InstallDrainSignalHandlers(server);
+  // The port line is the readiness signal (and, with --port 0, the only
+  // place the ephemeral port is visible) — flush it through any pipe.
+  out << "listening on " << server.port() << "\n";
+  out.flush();
+  const int code = server.Wait();
+  // Drain flushes the run's counters so operators see cache effectiveness.
+  err << "drained: " << server.handler().StatsJson().Dump(0) << "\n";
+  return code;
+}
+
+std::string ReadFileText(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw UsageError("cannot open '" + path + "': " + std::strerror(errno));
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+int CmdSubmit(const std::vector<std::string>& args, std::ostream& out) {
+  // The <scenario-file> may come before or after the flags; every submit
+  // flag takes a value, so bare tokens are unambiguous.
+  static const std::set<std::string> kValueFlags = {"port", "host", "format",
+                                                    "deadline-ms"};
+  std::vector<std::string> flag_args;
+  std::string path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i].rfind("--", 0) == 0) {
+      flag_args.push_back(args[i]);
+      if (kValueFlags.count(args[i].substr(2)) != 0 && i + 1 < args.size()) {
+        flag_args.push_back(args[++i]);
+      }
+    } else if (path.empty()) {
+      path = args[i];
+    } else {
+      throw UsageError("unexpected argument: " + args[i]);
+    }
+  }
+  if (path.empty()) {
+    throw UsageError("submit needs a <scenario-file>");
+  }
+  Flags flags(flag_args, 0);
+  const int port = PortFromFlags(flags);
+  const std::string host = flags.Text("host", "127.0.0.1");
+  const std::optional<double> deadline_ms = DeadlineFromFlags(flags);
+  const Format format = FormatFromFlags(flags);
+  if (format == Format::kCsv) {
+    throw UsageError("submit supports --format text or json");
+  }
+  flags.CheckAllUsed();
+  // The server parses and validates; the client ships the file verbatim.
+  Json request = Json::Object();
+  request.Set("op", "batch");
+  request.Set("scenarios", ReadFileText(path));
+  if (deadline_ms) request.Set("deadline_ms", *deadline_ms);
+  const Json response = Json::Parse(SubmitLine(host, port, JsonLine(request)));
+  const Json* reports = response.Find("reports");
+  if (reports == nullptr) {
+    // A status-only envelope: the request was rejected as a whole
+    // (malformed batch text, overload, injected server fault).
+    const Json* status = response.Find("status");
+    const Json* message =
+        status != nullptr ? status->Find("message") : nullptr;
+    throw std::runtime_error(
+        "server: " +
+        (message != nullptr ? message->AsString() : response.Dump(0)));
+  }
+  bool any_failed = false;
+  for (std::size_t i = 0; i < reports->Size(); ++i) {
+    const Json* status = reports->At(i).Find("status");
+    const Json* ok = status != nullptr ? status->Find("ok") : nullptr;
+    if (ok == nullptr || !ok->AsBool()) any_failed = true;
+  }
+  if (format == Format::kJson) {
+    EmitJson(response, out);
+  } else {
+    for (std::size_t i = 0; i < reports->Size(); ++i) {
+      const Json& r = reports->At(i);
+      const Json* name = r.Find("scenario");
+      const Json* status = r.Find("status");
+      const Json* code = status != nullptr ? status->Find("code") : nullptr;
+      const Json* message =
+          status != nullptr ? status->Find("message") : nullptr;
+      const Json* cache = r.Find("cache");
+      out << "scenario " << (name != nullptr ? name->AsString() : "?") << ": "
+          << (code != nullptr ? code->AsString() : "?");
+      if (message != nullptr) out << ": " << message->AsString();
+      out << " (cache "
+          << (cache != nullptr ? cache->AsString() : "?") << ")\n";
+    }
+  }
+  return any_failed ? 3 : 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -644,6 +795,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   const std::string& command = args[0];
   try {
     if (command == "batch") return CmdBatch(args, out);
+    if (command == "serve") return CmdServe(args, out, err);
+    if (command == "submit") return CmdSubmit(args, out);
     Flags flags(args, 2);
     const std::string& system = args[1];
     if (command == "info") return CmdInfo(system, flags, out);

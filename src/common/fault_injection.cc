@@ -10,14 +10,15 @@ namespace {
 
 constexpr FaultInjector::Site kAllSites[] = {
     FaultInjector::Site::kParse, FaultInjector::Site::kModel,
-    FaultInjector::Site::kSimBudget, FaultInjector::Site::kDeadline};
+    FaultInjector::Site::kSimBudget, FaultInjector::Site::kDeadline,
+    FaultInjector::Site::kServer};
 
 FaultInjector::Site ParseSite(const std::string& name) {
   for (const FaultInjector::Site s : kAllSites) {
     if (name == FaultSiteName(s)) return s;
   }
   throw UsageError("fault spec: unknown site '" + name +
-                   "' (use parse, model, sim_budget or deadline)");
+                   "' (use parse, model, sim_budget, deadline or server)");
 }
 
 }  // namespace
@@ -28,6 +29,7 @@ const char* FaultSiteName(FaultInjector::Site site) {
     case FaultInjector::Site::kModel: return "model";
     case FaultInjector::Site::kSimBudget: return "sim_budget";
     case FaultInjector::Site::kDeadline: return "deadline";
+    case FaultInjector::Site::kServer: return "server";
   }
   return "?";
 }

@@ -15,6 +15,11 @@
 //                  events, forcing SimBudgetError;
 //   * deadline   — the scenario runs under Deadline::TripAfterChecks(0), so
 //                  the first cooperative check throws DeadlineExceeded.
+//   * server     — indexed by the evaluation server's admitted-request
+//                  sequence number instead of a batch position: request k
+//                  answers with a structured internal_error before touching
+//                  the Engine or the result cache, proving request isolation
+//                  the same way the batch sites prove scenario isolation.
 //
 // Spec grammar: "site:index[,site:index...]", e.g. "model:1,deadline:3".
 // The CLI arms it from $COC_FAULT; the Engine takes it via BatchOptions.
@@ -29,7 +34,13 @@ namespace coc {
 
 class FaultInjector {
  public:
-  enum class Site : std::uint8_t { kParse, kModel, kSimBudget, kDeadline };
+  enum class Site : std::uint8_t {
+    kParse,
+    kModel,
+    kSimBudget,
+    kDeadline,
+    kServer,
+  };
 
   FaultInjector() = default;  ///< disarmed
 
@@ -47,7 +58,8 @@ class FaultInjector {
   std::vector<std::pair<Site, int>> arms_;
 };
 
-/// Stable spec spelling ("parse", "model", "sim_budget", "deadline").
+/// Stable spec spelling ("parse", "model", "sim_budget", "deadline",
+/// "server").
 const char* FaultSiteName(FaultInjector::Site site);
 
 }  // namespace coc

@@ -438,4 +438,20 @@ class Parser {
 
 Json Json::Parse(const std::string& text) { return Parser(text).Run(); }
 
+std::string JsonLine(const Json& j) {
+  std::string line = j.Dump(0);
+  line.push_back('\n');
+  return line;
+}
+
+Json JsonStatusMessage(StatusCode code, const std::string& message) {
+  Json status = Json::Object();
+  status.Set("code", StatusCodeName(code));
+  status.Set("ok", code == StatusCode::kOk);
+  status.Set("message", message);
+  Json j = Json::Object();
+  j.Set("status", std::move(status));
+  return j;
+}
+
 }  // namespace coc

@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace coc {
 
 class Json {
@@ -127,5 +129,18 @@ Json& JsonSetNumber(Json& obj, const std::string& key, double v);
 /// the sibling sentinel when `key` is null. Throws std::invalid_argument on
 /// a missing field, a null without its sentinel, or an unknown sentinel.
 double JsonGetNumber(const Json& obj, const std::string& key);
+
+// --- newline-delimited protocol helpers (the evaluation server's framing) --
+
+/// One frame of a newline-delimited JSON protocol: the compact (indent 0)
+/// dump plus the terminating '\n'. Compactness is load-bearing — the dump of
+/// a frame must not itself contain a newline, or framing breaks.
+std::string JsonLine(const Json& j);
+
+/// A status-only protocol message, shaped like the "status" block of a
+/// Report: {"status": {"code": "...", "ok": false, "message": "..."}}.
+/// Carries protocol-level failures (malformed request, overload, injected
+/// server fault) in the same taxonomy the batch path uses for scenarios.
+Json JsonStatusMessage(StatusCode code, const std::string& message);
 
 }  // namespace coc

@@ -22,6 +22,10 @@
 //                        (SimConfig::max_events);
 //   * kDeadlineExceeded — a cooperative deadline (common/deadline.h) tripped
 //                        mid-evaluation; partial progress is preserved;
+//   * kOverloaded      — the evaluation server's admission control shed the
+//                        request (pending queue full, or the server is
+//                        draining); the work was never started and a client
+//                        should back off and retry;
 //   * kInternalError   — anything else (classification fallback only).
 #pragma once
 
@@ -37,6 +41,7 @@ enum class StatusCode : std::uint8_t {
   kModelError,
   kSimBudgetError,
   kDeadlineExceeded,
+  kOverloaded,
   kInternalError,
 };
 
@@ -49,6 +54,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kModelError: return "model_error";
     case StatusCode::kSimBudgetError: return "sim_budget_error";
     case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kOverloaded: return "overloaded";
     case StatusCode::kInternalError: return "internal_error";
   }
   return "?";
@@ -108,6 +114,15 @@ class DeadlineExceeded : public std::runtime_error, public TypedError {
   StatusCode code() const noexcept override {
     return StatusCode::kDeadlineExceeded;
   }
+};
+
+/// The evaluation server's admission control shed this request before any
+/// work started: the pending queue was full, or the server was draining.
+/// Crosses the wire as a structured status record, never a torn connection.
+class OverloadedError : public std::runtime_error, public TypedError {
+ public:
+  using std::runtime_error::runtime_error;
+  StatusCode code() const noexcept override { return StatusCode::kOverloaded; }
 };
 
 /// Classifies any caught exception: typed errors report their own code;

@@ -1,0 +1,173 @@
+#include "server/protocol.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "api/report.h"
+#include "api/scenario.h"
+#include "common/status.h"
+
+namespace coc {
+namespace {
+
+Json ServerTimingBlock(std::chrono::steady_clock::time_point start) {
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  Json server = Json::Object();
+  server.Set("elapsed_ms", elapsed_ms);
+  return server;
+}
+
+}  // namespace
+
+std::string RequestHandler::HandleLine(const std::string& line,
+                                       bool* shutdown_requested) {
+  Json response;
+  try {
+    const Json request = Json::Parse(line);
+    const Json* op = request.Find("op");
+    if (op == nullptr) {
+      throw UsageError("request is missing \"op\"");
+    }
+    const std::string& verb = op->AsString();
+    if (verb == "evaluate") {
+      response = Evaluate(request, /*envelope=*/false);
+    } else if (verb == "batch") {
+      response = Evaluate(request, /*envelope=*/true);
+    } else if (verb == "stats") {
+      response = StatsJson();
+    } else if (verb == "shutdown") {
+      if (shutdown_requested != nullptr) *shutdown_requested = true;
+      response = JsonStatusMessage(StatusCode::kOk, "draining");
+    } else {
+      throw UsageError("unknown op '" + verb +
+                       "' (use evaluate, batch, stats or shutdown)");
+    }
+  } catch (const std::exception& e) {
+    ++protocol_errors_;
+    response = JsonStatusMessage(ErrorCodeOf(e), e.what());
+  }
+  return JsonLine(response);
+}
+
+Json RequestHandler::Evaluate(const Json& request, bool envelope) {
+  const auto start = std::chrono::steady_clock::now();
+  // The admitted-request sequence number keys the "server" fault site: an
+  // armed request fails structurally before touching the Engine or the
+  // cache, so its neighbors (and any cached entry for the same scenario)
+  // are untouched.
+  const int request_index = static_cast<int>(requests_.fetch_add(1));
+  if (faults_.Armed(FaultInjector::Site::kServer, request_index)) {
+    throw std::runtime_error("injected server fault (site server, request " +
+                             std::to_string(request_index) + ")");
+  }
+
+  const char* field = envelope ? "scenarios" : "scenario";
+  const Json* text = request.Find(field);
+  if (text == nullptr) {
+    throw UsageError(std::string("request is missing \"") + field + '"');
+  }
+  std::vector<Scenario> scenarios = ParseScenarios(text->AsString());
+  if (!envelope && scenarios.size() != 1) {
+    throw UsageError("op \"evaluate\" takes exactly one [scenario] section (" +
+                     std::to_string(scenarios.size()) +
+                     " given); use op \"batch\" for more");
+  }
+
+  Engine::BatchOptions opts;
+  // Parallelism lives across requests (the server's worker pool); inside
+  // one request the batch runs serially, which is also the bit-identity
+  // guarantee's simplest witness.
+  opts.threads = 1;
+  if (const Json* deadline = request.Find("deadline_ms")) {
+    const double ms = deadline->AsDouble();
+    if (!(ms > 0)) {
+      throw UsageError("\"deadline_ms\" must be > 0");
+    }
+    opts.default_deadline_ms = ms;
+  }
+
+  std::vector<Json> rendered;
+  rendered.reserve(scenarios.size());
+  for (const Scenario& scenario : scenarios) {
+    // Content address: the canonical serialization, so two spellings of the
+    // same scenario share one entry. The request deadline is deliberately
+    // not part of the key — only ok reports are cached, a deadline can only
+    // remove results (by tripping, which is not ok and not cached), so a
+    // cached ok report is valid under any deadline.
+    const std::string key = scenario.Serialize();
+    const ResultCache::Lookup lookup =
+        cache_.GetOrCompute(key, [&]() -> ResultCache::Computed {
+          ++evaluated_scenarios_;
+          const std::vector<Report> reports =
+              engine_.EvaluateBatch({scenario}, opts);
+          ResultCache::Computed computed;
+          computed.report = reports.front().ToJson();
+          computed.cacheable = reports.front().status.ok();
+          return computed;
+        });
+    Json report = std::move(lookup.report);
+    report.Set("cache", lookup.hit ? "hit" : "miss");
+    rendered.push_back(std::move(report));
+  }
+
+  if (!envelope) {
+    Json response = std::move(rendered.front());
+    response.Set("server", ServerTimingBlock(start));
+    return response;
+  }
+  // Mirror BatchToJson's envelope shape so offline and served batch output
+  // differ only by the appended cache/server fields.
+  Json reports = Json::Array();
+  for (Json& report : rendered) reports.Push(std::move(report));
+  Json response = Json::Object();
+  response.Set("schema_version", kReportSchemaVersion);
+  response.Set("reports", std::move(reports));
+  response.Set("server", ServerTimingBlock(start));
+  return response;
+}
+
+Json RequestHandler::StatsJson() const {
+  Json j = Json::Object();
+  j.Set("schema_version", 1);
+
+  const ResultCache::Stats c = cache_.GetStats();
+  Json cache = Json::Object();
+  cache.Set("capacity", static_cast<std::int64_t>(c.capacity));
+  cache.Set("entries", static_cast<std::int64_t>(c.entries));
+  cache.Set("hits", static_cast<std::int64_t>(c.hits));
+  cache.Set("misses", static_cast<std::int64_t>(c.misses));
+  cache.Set("evictions", static_cast<std::int64_t>(c.evictions));
+  cache.Set("coalesced", static_cast<std::int64_t>(c.coalesced));
+  j.Set("cache", std::move(cache));
+
+  const Engine::CacheStats e = engine_.Stats();
+  Json engine = Json::Object();
+  engine.Set("systems", static_cast<std::int64_t>(e.systems));
+  engine.Set("sims", static_cast<std::int64_t>(e.sims));
+  engine.Set("models", static_cast<std::int64_t>(e.models));
+  engine.Set("model_rebinds", static_cast<std::int64_t>(e.model_rebinds));
+  engine.Set("rebind_evictions",
+             static_cast<std::int64_t>(e.rebind_evictions));
+  engine.Set("model_evictions", static_cast<std::int64_t>(e.model_evictions));
+  engine.Set("system_evictions",
+             static_cast<std::int64_t>(e.system_evictions));
+  j.Set("engine", std::move(engine));
+
+  Json server = Json::Object();
+  server.Set("requests", static_cast<std::int64_t>(requests_.load()));
+  server.Set("evaluated_scenarios",
+             static_cast<std::int64_t>(evaluated_scenarios_.load()));
+  server.Set("protocol_errors",
+             static_cast<std::int64_t>(protocol_errors_.load()));
+  server.Set("connections", static_cast<std::int64_t>(connections_.load()));
+  server.Set("shed", static_cast<std::int64_t>(shed_.load()));
+  j.Set("server", std::move(server));
+  return j;
+}
+
+}  // namespace coc

@@ -581,6 +581,71 @@ TEST(Engine, RebindSourceTableIsBoundedByLru) {
   EXPECT_EQ(engine.Stats().model_rebinds, 1u);  // cold, not a rebind
 }
 
+TEST(Engine, ModelMemoMapIsBoundedByLruWithWarmRebindAfterEvict) {
+  // Engine::Options::model_entries caps the compiled-model memo map for a
+  // long-lived mixed request stream (server mode). Eviction is LRU and an
+  // evicted model re-enters warm: the family's rebind source keeps its own
+  // reference, so the re-request rebinds instead of compiling cold.
+  Engine::Options opts;
+  opts.model_entries = 2;
+  Engine engine(opts);
+  const auto scenario = [](double locality) {
+    Scenario s;
+    s.name = "m";
+    s.system = "preset:tiny:16:64";
+    s.rate = 1e-4;
+    if (locality > 0) {
+      s.workload.pattern = WorkloadPattern::kClusterLocal;
+      s.workload.locality = locality;
+    }
+    return s;
+  };
+  const Report first = engine.Evaluate(scenario(0));
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_TRUE(engine.Evaluate(scenario(0.5)).status.ok());
+  EXPECT_EQ(engine.Stats().models, 2u);
+  EXPECT_EQ(engine.Stats().model_evictions, 0u);
+  EXPECT_TRUE(engine.Evaluate(scenario(0.7)).status.ok());
+  Engine::CacheStats stats = engine.Stats();
+  // Eviction order is LRU: the uniform model (oldest touch) went first.
+  EXPECT_EQ(stats.models, 2u);
+  EXPECT_EQ(stats.model_evictions, 1u);
+  EXPECT_EQ(stats.model_rebinds, 2u);
+  // The evicted model's re-request is a miss, but a warm one, and the
+  // rebound report is bit-identical to the original cold compile.
+  const Report again = engine.Evaluate(scenario(0));
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_EQ(again.ToJson().Dump(2), first.ToJson().Dump(2));
+  stats = engine.Stats();
+  EXPECT_EQ(stats.models, 2u);
+  EXPECT_EQ(stats.model_evictions, 2u);
+  EXPECT_EQ(stats.model_rebinds, 3u);
+}
+
+TEST(Engine, SystemMemoMapIsBoundedByLruAndTouchRefreshes) {
+  Engine::Options opts;
+  opts.system_entries = 2;
+  Engine engine(opts);
+  const auto eval = [&](int dm) {
+    Scenario s;
+    s.name = "sys";
+    s.system = "preset:tiny:16:" + std::to_string(dm);
+    s.rate = 1e-4;
+    EXPECT_TRUE(engine.Evaluate(s).status.ok());
+  };
+  eval(64);  // A
+  eval(65);  // B: LRU order [B, A]
+  eval(64);  // hit touches A to the front: [A, B]
+  eval(66);  // C evicts B — the least recently touched — not A
+  EXPECT_EQ(engine.Stats().systems, 2u);
+  EXPECT_EQ(engine.Stats().system_evictions, 1u);
+  eval(64);  // A survived the touch-refresh: still a hit, no eviction
+  EXPECT_EQ(engine.Stats().system_evictions, 1u);
+  eval(65);  // B really was evicted: reloading it evicts the next victim
+  EXPECT_EQ(engine.Stats().system_evictions, 2u);
+  EXPECT_EQ(engine.Stats().systems, 2u);
+}
+
 TEST(Engine, ArrivalProcessIsPartOfTheModelCacheKey) {
   // Same system, same pattern, different arrival process: two distinct
   // compiled models (the SCV is baked in at compile time), and the second

@@ -607,8 +607,61 @@ TEST(Cli, BatchRejectsBadInputs) {
   const auto bad = RunCommand({"batch", path});
   EXPECT_EQ(bad.code, 1);
   EXPECT_NE(bad.err.find("missing 'system'"), std::string::npos) << bad.err;
-  const auto csv = RunCommand({"batch", path, "--format", "csv"});
-  EXPECT_EQ(csv.code, 2);  // format validated before the file loads
+  std::remove(path.c_str());
+}
+
+TEST(Cli, BatchFormatCsvProjectsOneRowPerScenario) {
+  const std::string path =
+      WriteTempFile("coc_cli_test_batch_csv.cfg", kBatchScenarios);
+  const auto csv =
+      RunCommand({"batch", path, "--threads", "2", "--format", "csv"});
+  ASSERT_EQ(csv.code, 0) << csv.err;
+  EXPECT_EQ(csv.out.substr(0, csv.out.find('\n')),
+            "scenario,status,degraded,workload,model_mean_latency_us,"
+            "saturation_rate,binding,sweep_points,sim_mean_us,sim_delivered");
+  EXPECT_NE(csv.out.find("\nfirst,ok,0,"), std::string::npos) << csv.out;
+  EXPECT_NE(csv.out.find("\nsecond,ok,0,"), std::string::npos) << csv.out;
+  // Deterministic like the other formats: worker count cannot change bytes.
+  const auto again =
+      RunCommand({"batch", path, "--threads", "1", "--format", "csv"});
+  EXPECT_EQ(again.out, csv.out);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ServeAndSubmitValidateFlags) {
+  const auto badport = RunCommand({"serve", "--port", "70000"});
+  EXPECT_EQ(badport.code, 2);
+  EXPECT_NE(badport.err.find("--port expects an integer in [0, 65535]"),
+            std::string::npos)
+      << badport.err;
+  const auto badqueue =
+      RunCommand({"serve", "--port", "0", "--max-queue", "0"});
+  EXPECT_EQ(badqueue.code, 2);
+  EXPECT_NE(badqueue.err.find("--max-queue expects an integer >= 1"),
+            std::string::npos);
+  const auto badcache =
+      RunCommand({"serve", "--port", "0", "--cache-entries", "-1"});
+  EXPECT_EQ(badcache.code, 2);
+  EXPECT_NE(badcache.err.find("--cache-entries expects an integer >= 0"),
+            std::string::npos);
+  const auto nofile = RunCommand({"submit", "--port", "1"});
+  EXPECT_EQ(nofile.code, 2);
+  EXPECT_NE(nofile.err.find("submit needs a <scenario-file>"),
+            std::string::npos);
+  const auto badfmt =
+      RunCommand({"submit", "x.cfg", "--port", "1", "--format", "csv"});
+  EXPECT_EQ(badfmt.code, 2);
+  EXPECT_NE(badfmt.err.find("submit supports --format text or json"),
+            std::string::npos);
+}
+
+TEST(Cli, SubmitConnectionRefusedExitsOne) {
+  const std::string path =
+      WriteTempFile("coc_cli_test_submit_refused.cfg", kBatchScenarios);
+  // Port 1 is closed on a loopback-only test host, so connect fails fast.
+  const auto r = RunCommand({"submit", path, "--port", "1"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot connect"), std::string::npos) << r.err;
   std::remove(path.c_str());
 }
 

@@ -15,8 +15,8 @@
 // Usage:
 //   perf_report [--bench-dir DIR] [--out-dir DIR] [--baseline FILE]
 //               [--model-baseline FILE] [--workload-baseline FILE]
-//               [--dragonfly-baseline FILE] [--min-time SECONDS]
-//               [--check] [--check-threshold FACTOR]
+//               [--dragonfly-baseline FILE] [--server-baseline FILE]
+//               [--min-time SECONDS] [--check] [--check-threshold FACTOR]
 //
 //   --bench-dir        directory holding bench_perf_sim / bench_perf_model
 //                      (default: ".")
@@ -30,6 +30,9 @@
 //                      (BENCH_workload.json; compares model-vs-sim err%)
 //   --dragonfly-baseline same for the dragonfly validation suite
 //                      (BENCH_dragonfly.json; compares model-vs-sim err%)
+//   --server-baseline  same for the evaluation-server suite
+//                      (BENCH_server.json; cached vs uncached request
+//                      latency through the line protocol)
 //   --min-time         per-benchmark measuring time (default 1 second)
 //   --check            exit non-zero when any benchmark regresses past the
 //                      threshold against its baseline (throughput metrics:
@@ -316,6 +319,8 @@ int main(int argc, char** argv) {
        "dragonfly validation suite", "--dragonfly-baseline", {}, {}, {}, {}},
       {"bench_ablation_burstiness", "BENCH_burstiness.json",
        "burstiness validation suite", "--burstiness-baseline", {}, {}, {}, {}},
+      {"bench_perf_server", "BENCH_server.json", "server suite",
+       "--server-baseline", {}, {}, {}, {}},
   };
 
   std::string bench_dir = ".";
@@ -357,7 +362,7 @@ int main(int argc, char** argv) {
                    "usage: perf_report [--bench-dir DIR] [--out-dir DIR] "
                    "[--baseline FILE] [--model-baseline FILE] "
                    "[--workload-baseline FILE] [--dragonfly-baseline FILE] "
-                   "[--min-time SECONDS] [--check] "
+                   "[--server-baseline FILE] [--min-time SECONDS] [--check] "
                    "[--check-threshold FACTOR]\n");
       return arg == "--help" ? 0 : 1;
     }
